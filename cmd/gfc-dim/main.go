@@ -1,0 +1,78 @@
+// Command gfc-dim computes graph dimensions from Section 7 of the paper:
+// the isometric dimension idim(G) (number of Θ*-classes, Winkler machinery)
+// and the f-dimension dim_f(G) (smallest d with G isometric in Q_d(f)) for
+// the standard guest families, verifying the Proposition 7.1 bounds
+// idim(G) <= dim_f(G) <= 3 idim(G) - 2.
+//
+// Usage:
+//
+//	gfc-dim [-f FACTOR] [-guest path|cycle|star|grid] [-n N] [-m M]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/graph"
+	"gfcube/internal/isometry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gfc-dim: ")
+	factor := flag.String("f", "11", "forbidden factor (binary string)")
+	guest := flag.String("guest", "path", "guest family: path, cycle, star or grid")
+	n := flag.Int("n", 4, "guest size parameter")
+	m := flag.Int("m", 2, "second grid parameter")
+	flag.Parse()
+
+	f, err := bitstr.Parse(*factor)
+	if err != nil || f.Len() == 0 {
+		log.Fatalf("invalid factor %q: %v", *factor, err)
+	}
+
+	var g *graph.Graph
+	var name string
+	switch *guest {
+	case "path":
+		g, name = graph.Path(*n), fmt.Sprintf("P_%d", *n)
+	case "cycle":
+		g, name = graph.Cycle(*n), fmt.Sprintf("C_%d", *n)
+	case "star":
+		g, name = graph.Star(*n), fmt.Sprintf("K_{1,%d}", *n)
+	case "grid":
+		g, name = graph.Grid(*m, *n), fmt.Sprintf("%dx%d grid", *m, *n)
+	default:
+		log.Fatalf("unknown guest %q", *guest)
+	}
+
+	a := isometry.Analyze(g)
+	idim := a.Idim()
+	fmt.Printf("guest %s: n=%d m=%d\n", name, g.N(), g.M())
+	if idim < 0 {
+		fmt.Println("idim = infinity (not a partial cube); dim_f undefined")
+		return
+	}
+	fmt.Printf("idim = %d (Θ*-classes)\n", idim)
+
+	upper := 3*idim - 2
+	if f.HasFactor(bitstr.MustParse("11")) || f.HasFactor(bitstr.MustParse("00")) {
+		upper = 2*idim - 1
+	}
+	res := isometry.FDim(g, f, upper)
+	if !res.Found {
+		fmt.Printf("dim_%s not found within the Proposition 7.1 bound %d\n", f, upper)
+		return
+	}
+	fmt.Printf("dim_%s = %d  (Prop 7.1 bounds: %d <= dim <= %d)\n", f, res.Dim, idim, upper)
+	fmt.Println("embedding:")
+	for v, word := range res.Embedding {
+		fmt.Printf("  vertex %d -> %s\n", v, word)
+	}
+	if err := isometry.VerifyEmbedding(g, f, res.Embedding); err != nil {
+		log.Fatalf("embedding failed verification: %v", err)
+	}
+	fmt.Println("embedding verified isometric")
+}

@@ -1,0 +1,78 @@
+// Command gfc-route evaluates Q_d(f) as an interconnection network (the
+// ICPP'93 setting): static topology metrics, routing under uniform and
+// permutation traffic with the greedy bit-fixing and shortest-path oracle
+// routers, one-to-all broadcast, and random-fault tolerance.
+//
+// Usage:
+//
+//	gfc-route [-f FACTOR] [-d DIM] [-packets N] [-faults K] [-trials T] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+	"gfcube/internal/network"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gfc-route: ")
+	factor := flag.String("f", "11", "forbidden factor (binary string)")
+	dim := flag.Int("d", 10, "dimension")
+	packets := flag.Int("packets", 512, "packets for uniform traffic")
+	faults := flag.Int("faults", 3, "random node faults per trial")
+	trials := flag.Int("trials", 25, "fault trials")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	f, err := bitstr.Parse(*factor)
+	if err != nil || f.Len() == 0 {
+		log.Fatalf("invalid factor %q: %v", *factor, err)
+	}
+
+	n := network.New(core.New(*dim, f))
+	fmt.Printf("network Q_%d(%s): %s\n\n", *dim, f, n.Metrics())
+
+	greedy := network.NewGreedyRouter(n)
+	oracle := network.NewOracleRouter(n)
+	uniform := n.UniformPairs(*packets, *seed)
+	perm := n.PermutationPairs(*seed)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "workload\trouter\tsuccess\tavg stretch\tmax hops")
+	for _, row := range []struct {
+		name  string
+		pairs [][2]int
+		r     network.Router
+	}{
+		{"uniform", uniform, greedy},
+		{"uniform", uniform, oracle},
+		{"permutation", perm, greedy},
+		{"permutation", perm, oracle},
+	} {
+		st := n.EvaluateRouting(row.r, row.pairs)
+		fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\t%d\n",
+			row.name, row.r.Name(), st.SuccessRate(), st.AvgStretch(), st.MaxHops)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	sim := n.Simulate(network.MakePackets(perm), oracle, network.SimConfig{})
+	fmt.Printf("\nsynchronous permutation run (oracle): %s\n", sim)
+
+	bc := n.Broadcast(0)
+	fmt.Printf("broadcast from node 0: rounds=%d messages=%d reached=%d/%d\n",
+		bc.Rounds, bc.Messages, bc.Reached, n.Size())
+
+	fs := n.RandomFaults(*faults, *trials, *seed)
+	fmt.Printf("faults: kill=%d trials=%d connected=%d/%d mean_routable=%.4f worst=%.4f\n",
+		fs.Killed, fs.Trials, fs.ConnectedTrials, fs.Trials, fs.MeanRoutable, fs.WorstRoutable)
+	fmt.Printf("single-node articulation-free fraction: %.4f\n", n.ArticulationFreeFraction())
+}

@@ -1,0 +1,114 @@
+// Command gfc-survey extends the paper's Table 1 beyond length 5: for every
+// complement/reversal class of forbidden factors of a given length it
+// computes the first dimension at which Q_d(f) stops being an isometric
+// subgraph of Q_d (or reports "good" if none is found up to -maxd). The
+// histogram of first failures addresses the density questions behind the
+// paper's concluding conjectures.
+//
+// Usage:
+//
+//	gfc-survey [-len L] [-maxd D] [-method exact|screen]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gfc-survey: ")
+	length := flag.Int("len", 6, "forbidden-factor length to survey")
+	maxD := flag.Int("maxd", 11, "largest dimension to test")
+	method := flag.String("method", "exact", "exact (BFS) or screen (2/3-critical words)")
+	flag.Parse()
+	if *length < 1 || *length > 10 {
+		log.Fatalf("length %d out of range [1,10]", *length)
+	}
+
+	check := func(d int, f bitstr.Word) bool {
+		c := core.New(d, f)
+		if *method == "screen" {
+			_, found := c.HasCriticalPair(3)
+			return !found
+		}
+		return c.IsIsometric().Isometric
+	}
+
+	type row struct {
+		factor    bitstr.Word
+		firstFail int // 0 = good up to maxD
+		theory    string
+	}
+	var rows []row
+	good := 0
+	for _, f := range bitstr.CanonicalOfLen(*length) {
+		r := row{factor: f}
+		for d := f.Len() + 1; d <= *maxD; d++ {
+			if !check(d, f) {
+				r.firstFail = d
+				break
+			}
+		}
+		if cl := core.Classify(f, *maxD); cl.Verdict != core.Unknown {
+			r.theory = cl.Reason
+		} else {
+			r.theory = "-"
+		}
+		if r.firstFail == 0 {
+			good++
+		}
+		rows = append(rows, r)
+	}
+
+	sort.Slice(rows, func(i, j int) bool {
+		fi, fj := rows[i].firstFail, rows[j].firstFail
+		if fi == 0 {
+			fi = 1 << 30
+		}
+		if fj == 0 {
+			fj = 1 << 30
+		}
+		if fi != fj {
+			return fi < fj
+		}
+		return rows[i].factor.Less(rows[j].factor)
+	})
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "factor\tfirst non-isometric d\ttheory")
+	hist := map[int]int{}
+	for _, r := range rows {
+		ff := "good (all d <= maxd)"
+		if r.firstFail > 0 {
+			ff = fmt.Sprintf("%d", r.firstFail)
+		}
+		hist[r.firstFail]++
+		fmt.Fprintf(w, "%s\t%s\t%s\n", r.factor, ff, r.theory)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nclasses of length %d: %d; good up to d=%d: %d (%.1f%%)\n",
+		*length, len(rows), *maxD, good, 100*float64(good)/float64(len(rows)))
+	var keys []int
+	for k := range hist {
+		if k > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	fmt.Print("first-failure histogram:")
+	for _, k := range keys {
+		fmt.Printf("  d=%d:%d", k, hist[k])
+	}
+	fmt.Println()
+}

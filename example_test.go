@@ -1,0 +1,112 @@
+package gfcube_test
+
+import (
+	"fmt"
+
+	"gfcube"
+)
+
+// Build the cube of the paper's Figure 1 and inspect it.
+func ExampleNew() {
+	cube := gfcube.New(4, gfcube.MustWord("101"))
+	fmt.Println(cube.N(), "vertices,", cube.M(), "edges")
+	fmt.Println("contains 1010:", cube.Contains(gfcube.MustWord("1010")))
+	fmt.Println("contains 1001:", cube.Contains(gfcube.MustWord("1001")))
+	// Output:
+	// 12 vertices, 18 edges
+	// contains 1010: false
+	// contains 1001: true
+}
+
+// The Fibonacci cube is the special case f = 11.
+func ExampleFibonacciCube() {
+	for d := 1; d <= 6; d++ {
+		fmt.Print(gfcube.FibonacciCube(d).N(), " ")
+	}
+	fmt.Println()
+	// Output:
+	// 2 3 5 8 13 21
+}
+
+// Decide isometric embeddability, with a witness on failure. The serial
+// checker reports the deterministic first witness.
+func ExampleIsIsometric() {
+	res := gfcube.New(4, gfcube.MustWord("101")).IsIsometricSerial()
+	fmt.Println("isometric:", res.Isometric)
+	fmt.Printf("witness: %s -- %s (cube %d, Hamming %d)\n", res.U, res.V, res.CubeDist, res.HammingDist)
+	// Output:
+	// isometric: false
+	// witness: 1001 -- 1111 (cube 4, Hamming 2)
+}
+
+// The paper's classification theory, with citations.
+func ExampleClassify() {
+	fmt.Println(gfcube.Classify(gfcube.MustWord("11"), 100).Reason)
+	fmt.Println(gfcube.Classify(gfcube.MustWord("1100"), 7).Reason)
+	// Output:
+	// Proposition 3.1 (f = 1^s)
+	// Theorem 3.3(ii) (f = 1^2 0^s, d > s+4)
+}
+
+// Exact counting far beyond explicit construction.
+func ExampleCount() {
+	c := gfcube.Count(40, gfcube.MustWord("110"))
+	fmt.Println(c.V)
+	fmt.Println(c.E)
+	// Output:
+	// 433494436
+	// 4978643595
+}
+
+// Zeckendorf-style addressing: rank/unrank without construction.
+func ExampleNewRanker() {
+	r := gfcube.NewRanker(gfcube.Ones(2), 10)
+	w, _ := r.UnrankInt(88)
+	fmt.Println(w)
+	rank, _ := r.Rank(w)
+	fmt.Println(rank)
+	// Output:
+	// 0101010101
+	// 88
+}
+
+// Distributed routing with purely local decisions.
+func ExampleNewWordRouter() {
+	router := gfcube.NewWordRouter(gfcube.Ones(2))
+	src := gfcube.MustWord("101010")
+	dst := gfcube.MustWord("010101")
+	path, ok := router.Route(src, dst, 0)
+	fmt.Println(ok, len(path)-1, "hops")
+	// Output:
+	// true 6 hops
+}
+
+// Lucas cubes: the cyclic sibling family.
+func ExampleNewLucasCube() {
+	for d := 1; d <= 6; d++ {
+		fmt.Print(gfcube.NewLucasCube(d).N(), " ")
+	}
+	fmt.Println()
+	// Output:
+	// 1 3 4 7 11 18
+}
+
+// Generalized Lucas cubes avoid an arbitrary factor circularly.
+func ExampleNewGeneralLucasCube() {
+	l := gfcube.NewGeneralLucasCube(5, gfcube.MustWord("110"))
+	q := gfcube.New(5, gfcube.MustWord("110"))
+	fmt.Println(l.N(), "of", q.N(), "linear-avoiding words survive the circular condition")
+	// Output:
+	// 12 of 20 linear-avoiding words survive the circular condition
+}
+
+// Isometric dimension and f-dimension of a guest graph (Section 7).
+func ExampleFDim() {
+	g := gfcube.CycleGraph(4)
+	fmt.Println("idim:", gfcube.Idim(g))
+	res := gfcube.FDim(g, gfcube.Ones(2), 5)
+	fmt.Println("dim_11:", res.Dim)
+	// Output:
+	// idim: 2
+	// dim_11: 3
+}

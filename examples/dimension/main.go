@@ -1,0 +1,69 @@
+// Dimension: the Section 7 experiments. Compute isometric dimensions and
+// f-dimensions of standard guest graphs, verify the Proposition 7.1 bounds
+// idim(G) <= dim_f(G) <= 3 idim(G) - 2, and reproduce the Section 8 result
+// that Q_d(101) embeds isometrically in no hypercube at all.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"gfcube"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	guests := []struct {
+		name string
+		g    *gfcube.Graph
+	}{
+		{"P_3", gfcube.PathGraph(3)},
+		{"P_4", gfcube.PathGraph(4)},
+		{"P_5", gfcube.PathGraph(5)},
+		{"C_4", gfcube.CycleGraph(4)},
+		{"C_6", gfcube.CycleGraph(6)},
+		{"K_{1,3}", gfcube.StarGraph(3)},
+		{"2x3 grid", gfcube.GridGraph(2, 3)},
+	}
+	factors := []string{"11", "111", "110"}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "guest\tidim\tdim_11\tdim_111\tdim_110\tbounds ok")
+	for _, guest := range guests {
+		idim := gfcube.Idim(guest.g)
+		row := fmt.Sprintf("%s\t%d", guest.name, idim)
+		ok := true
+		for _, fs := range factors {
+			f := gfcube.MustWord(fs)
+			res := gfcube.FDim(guest.g, f, 2*idim-1)
+			if !res.Found {
+				row += "\t?"
+				ok = false
+				continue
+			}
+			if res.Dim < idim || res.Dim > 3*idim-2 {
+				ok = false
+			}
+			row += fmt.Sprintf("\t%d", res.Dim)
+		}
+		fmt.Fprintf(w, "%s\t%v\n", row, ok)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// An odd cycle embeds in no hypercube: idim = infinity, dim_f undefined.
+	fmt.Printf("\nidim(C_5) = %d (negative means: not a partial cube)\n", gfcube.Idim(gfcube.CycleGraph(5)))
+
+	// Section 8: Q_d(101) itself is not a partial cube for d >= 4 - it is
+	// not an isometric subgraph of ANY hypercube, not merely of Q_d.
+	for d := 3; d <= 6; d++ {
+		cube := gfcube.New(d, gfcube.MustWord("101"))
+		a := gfcube.AnalyzePartialCube(cube.Graph())
+		fmt.Printf("Q_%d(101): bipartite=%v Θ-transitive=%v partial cube=%v\n",
+			d, a.Bipartite, a.ThetaTransitive, a.IsPartialCube())
+	}
+}

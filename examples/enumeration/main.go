@@ -1,0 +1,71 @@
+// Enumeration: regenerate the Section 6 results - the recurrences (1)-(6)
+// for Q_d(111) and Q_d(110), the closed forms of Propositions 6.2/6.3, and
+// the Fibonacci-cube identities of the final remark.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+	"os"
+	"text/tabwriter"
+
+	"gfcube"
+)
+
+func main() {
+	log.SetFlags(0)
+	const maxD = 16
+
+	fmt.Println("H_d = Q_d(110): recurrences (4)-(6) vs closed forms vs DP")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "d\t|V|=F_{d+3}-1\t|E| (Prop 6.2)\t|S| (Prop 6.3)\tagree\t")
+	rec := gfcube.RecurrenceQ110(maxD)
+	dp := gfcube.CountSeq(maxD, gfcube.MustWord("110"))
+	for d := 0; d <= maxD; d++ {
+		cf := gfcube.ClosedFormsQ110(d)
+		agree := "ok"
+		if cf.V.Cmp(rec[d].V) != 0 || cf.E.Cmp(rec[d].E) != 0 || cf.S.Cmp(rec[d].S) != 0 ||
+			cf.V.Cmp(dp[d].V) != 0 || cf.E.Cmp(dp[d].E) != 0 || cf.S.Cmp(dp[d].S) != 0 {
+			agree = "MISMATCH"
+		}
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\t\n", d, cf.V, cf.E, cf.S, agree)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nG_d = Q_d(111): recurrences (1)-(3) vs DP")
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "d\t|V|\t|E|\t|S|\tagree\t")
+	rec3 := gfcube.RecurrenceQ111(maxD)
+	dp3 := gfcube.CountSeq(maxD, gfcube.MustWord("111"))
+	for d := 0; d <= maxD; d++ {
+		agree := "ok"
+		if rec3[d].V.Cmp(dp3[d].V) != 0 || rec3[d].E.Cmp(dp3[d].E) != 0 || rec3[d].S.Cmp(dp3[d].S) != 0 {
+			agree = "MISMATCH"
+		}
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\t\n", d, rec3[d].V, rec3[d].E, rec3[d].S, agree)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Final remark: Q_d(110) vs Γ_{d+1} = Q_{d+1}(11).
+	fmt.Println("\nfinal-remark identities: |V(H_d)| = |V(Γ_{d+1})|-1, |E(H_d)| = |E(Γ_{d+1})|-1, |S(H_d)| = |S(Γ_{d+1})|")
+	one := big.NewInt(1)
+	holds := true
+	for d := 0; d <= maxD; d++ {
+		h := gfcube.Count(d, gfcube.MustWord("110"))
+		g := gfcube.Count(d+1, gfcube.MustWord("11"))
+		if new(big.Int).Add(h.V, one).Cmp(g.V) != 0 ||
+			new(big.Int).Add(h.E, one).Cmp(g.E) != 0 ||
+			h.S.Cmp(g.S) != 0 {
+			holds = false
+		}
+	}
+	fmt.Printf("identities hold for d = 0..%d: %v\n", maxD, holds)
+	if !holds {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,43 @@
+// Fault tolerance: kill random nodes of Γ_d and measure connectivity,
+// routable pairs and diameter inflation - the interconnection-network
+// robustness experiment of the ICPP'93 setting (cf. reference [9] of the
+// paper on the fault tolerance of Fibonacci cubes).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"gfcube"
+)
+
+func main() {
+	log.SetFlags(0)
+	const d = 10
+	const trials = 30
+
+	n := gfcube.NewNetwork(gfcube.FibonacciCube(d))
+	m := n.Metrics()
+	fmt.Printf("Γ_%d: %d nodes, %d links, diameter %d\n\n", d, m.Nodes, m.Links, m.Diameter)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "killed\tconnected trials\tmean routable\tworst routable\tmean diameter after")
+	for _, kill := range []int{1, 2, 4, 8, 16, 32} {
+		st := n.RandomFaults(kill, trials, int64(kill)*101)
+		fmt.Fprintf(w, "%d\t%d/%d\t%.4f\t%.4f\t%.1f\n",
+			kill, st.ConnectedTrials, st.Trials, st.MeanRoutable, st.WorstRoutable, st.MeanDiameterAfter)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nsingle-node articulation-free fraction of Γ_%d: %.4f\n", d, n.ArticulationFreeFraction())
+
+	// Compare against a path network - the worst topology for robustness.
+	// Q_29(10) is the path on 30 nodes; every interior node is a cut vertex.
+	p := gfcube.NewNetwork(gfcube.New(29, gfcube.MustWord("10")))
+	fmt.Printf("path with %d nodes, articulation-free fraction: %.4f\n",
+		p.Size(), p.ArticulationFreeFraction())
+}

@@ -1,0 +1,49 @@
+// Quickstart: build the generalized Fibonacci cube of the paper's Figure 1,
+// inspect its structure, test isometric embeddability, and count a large
+// instance without building it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gfcube"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Q_4(101): the 4-cube with every vertex containing "101" removed
+	// (Figure 1 of the paper).
+	f := gfcube.MustWord("101")
+	cube := gfcube.New(4, f)
+	fmt.Printf("Q_4(%s): %d vertices, %d edges\n", f, cube.N(), cube.M())
+
+	// Is it an isometric subgraph of Q_4? No: d = 4 is the first dimension
+	// where Proposition 3.2 bites (Q_d(101) is isometric only for d <= 3).
+	res := cube.IsIsometric()
+	fmt.Printf("isometric in Q_4: %v\n", res.Isometric)
+
+	// Same verdict one dimension higher, with an explicit witness pair.
+	res5 := gfcube.IsIsometric(5, f)
+	fmt.Printf("isometric in Q_5: %v (witness %s -- %s: cube distance %d, Hamming %d)\n",
+		res5.Isometric, res5.U, res5.V, res5.CubeDist, res5.HammingDist)
+
+	// The theory agrees.
+	cl := gfcube.Classify(f, 5)
+	fmt.Printf("theory: %s [%s]\n", cl.Verdict, cl.Reason)
+
+	// The Fibonacci cube is the special case f = 11; its order is a
+	// Fibonacci number.
+	gamma := gfcube.FibonacciCube(10)
+	fmt.Printf("Γ_10: %d vertices (= F_12 = %d)\n", gamma.N(), gfcube.FibonacciNumber(12))
+
+	// Counting without construction: Q_60(101) is far too large to build,
+	// but its exact order, size and number of squares take microseconds.
+	counts := gfcube.Count(60, f)
+	fmt.Printf("Q_60(101): |V| = %s, |E| = %s, |S| = %s\n", counts.V, counts.E, counts.S)
+
+	if cube.N() != 12 {
+		log.Fatal("unexpected vertex count") // the quickstart doubles as a smoke test
+	}
+}

@@ -1,0 +1,113 @@
+package gfcube
+
+import (
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	// The README quickstart, as a test: build Q_4(101) (Fig. 1), inspect it,
+	// check isometry, count a large instance.
+	c := New(4, MustWord("101"))
+	if c.N() != 12 {
+		t.Fatalf("|V(Q_4(101))| = %d", c.N())
+	}
+	if res := c.IsIsometric(); res.Isometric {
+		_ = res
+	}
+	big := Count(60, MustWord("101"))
+	if big.V.Sign() <= 0 || big.E.Sign() <= 0 {
+		t.Error("large counts should be positive")
+	}
+}
+
+func TestFacadeFibonacci(t *testing.T) {
+	c := FibonacciCube(10)
+	if uint64(c.N()) != FibonacciNumber(12) {
+		t.Errorf("|V(Γ_10)| = %d, want F_12 = %d", c.N(), FibonacciNumber(12))
+	}
+}
+
+func TestFacadeClassify(t *testing.T) {
+	cl := Classify(MustWord("11"), 50)
+	if cl.Verdict != Isometric {
+		t.Errorf("Fibonacci factor should be isometric: %+v", cl)
+	}
+	cl = Classify(MustWord("101"), 50)
+	if cl.Verdict != NotIsometric {
+		t.Errorf("101 should be non-isometric at d=50: %+v", cl)
+	}
+}
+
+func TestFacadeTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 22 {
+		t.Errorf("Table 1 has %d rows, want 22", len(rows))
+	}
+}
+
+func TestFacadeIsIsometric(t *testing.T) {
+	if res := IsIsometric(6, MustWord("1100")); !res.Isometric {
+		t.Error("Q_6(1100) is isometric (computer check)")
+	}
+	if res := IsIsometric(7, MustWord("1100")); res.Isometric {
+		t.Error("Q_7(1100) is not isometric")
+	}
+}
+
+func TestFacadeDimensions(t *testing.T) {
+	p4 := PathGraph(4)
+	if got := Idim(p4); got != 3 {
+		t.Errorf("idim(P_4) = %d", got)
+	}
+	res := FDim(p4, Ones(2), 5)
+	if !res.Found || res.Dim != 3 {
+		t.Errorf("dim_11(P_4) = %+v", res)
+	}
+	if a := AnalyzePartialCube(CycleGraph(5)); a.IsPartialCube() {
+		t.Error("C_5 is not a partial cube")
+	}
+	if g := GridGraph(2, 3); Idim(g) != 3 {
+		t.Error("idim(2x3 grid) should be 3")
+	}
+	if g := StarGraph(4); Idim(g) != 4 {
+		t.Error("idim(K_{1,4}) should be 4")
+	}
+}
+
+func TestFacadeNetwork(t *testing.T) {
+	n := NewNetwork(FibonacciCube(6))
+	greedy := NewGreedyRouter(n)
+	oracle := NewOracleRouter(n)
+	for _, r := range []Router{greedy, oracle} {
+		res := n.Route(r, 0, n.Size()-1, 0)
+		if !res.Delivered {
+			t.Errorf("%s failed to deliver", r.Name())
+		}
+	}
+	if n.Metrics().Diameter != 6 {
+		t.Error("Γ_6 diameter should be 6")
+	}
+}
+
+func TestFacadeHamilton(t *testing.T) {
+	order, res := HamiltonianPath(FibonacciCube(6), 0)
+	if res != HamiltonFound || len(order) != FibonacciCube(6).N() {
+		t.Errorf("Hamiltonian path on Γ_6: %v", res)
+	}
+	if _, res := HamiltonianCycle(New(2, MustWord("11")), 0); res != HamiltonNone {
+		t.Error("Γ_2 has no Hamiltonian cycle")
+	}
+}
+
+func TestFacadeWords(t *testing.T) {
+	w, err := ParseWord("11010")
+	if err != nil || w.Len() != 5 {
+		t.Fatal("ParseWord failed")
+	}
+	if Ones(3).String() != "111" || Zeros(2).String() != "00" {
+		t.Error("Ones/Zeros wrong")
+	}
+	if HypercubeGraph(3).N() != 8 {
+		t.Error("hypercube graph wrong")
+	}
+}

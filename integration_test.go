@@ -1,0 +1,131 @@
+package gfcube_test
+
+import (
+	"math/big"
+	"testing"
+
+	"gfcube"
+)
+
+// Cross-module pipeline: theory -> construction -> isometry -> network ->
+// dimensions, exercised end to end through the public API, pinning the
+// numbers recorded in EXPERIMENTS.md (deterministic seeds).
+
+func TestIntegrationE12RoutingTable(t *testing.T) {
+	const d = 9
+	const pairsN = 400
+	const seed = 17
+	type rowWant struct {
+		factor    string
+		nodes     int
+		diameter  int32
+		delivered int // greedy, out of 400
+	}
+	rows := []rowWant{
+		{"1111111111", 512, 9, pairsN}, // f longer than d: the full hypercube
+		{"11", 89, 9, pairsN},
+		{"111", 274, 9, pairsN},
+		{"101", 200, 10, 348},
+	}
+	for _, row := range rows {
+		n := gfcube.NewNetwork(gfcube.New(d, gfcube.MustWord(row.factor)))
+		m := n.Metrics()
+		if m.Nodes != row.nodes {
+			t.Errorf("f=%s: nodes %d, want %d", row.factor, m.Nodes, row.nodes)
+		}
+		if m.Diameter != row.diameter {
+			t.Errorf("f=%s: diameter %d, want %d", row.factor, m.Diameter, row.diameter)
+		}
+		pairs := n.UniformPairs(pairsN, seed)
+		greedy := n.EvaluateRouting(gfcube.NewGreedyRouter(n), pairs)
+		oracle := n.EvaluateRouting(gfcube.NewOracleRouter(n), pairs)
+		if oracle.Delivered != pairsN {
+			t.Errorf("f=%s: oracle delivered %d", row.factor, oracle.Delivered)
+		}
+		if greedy.Delivered != row.delivered {
+			t.Errorf("f=%s: greedy delivered %d, want %d (EXPERIMENTS.md pin)",
+				row.factor, greedy.Delivered, row.delivered)
+		}
+	}
+}
+
+func TestIntegrationFig2Pipeline(t *testing.T) {
+	// Build Γ_5 and Q_4(110), confirm the Fig. 2 relations from three
+	// independent directions: explicit graphs, counting DP, and closed
+	// forms.
+	gamma := gfcube.FibonacciCube(5)
+	h := gfcube.New(4, gfcube.MustWord("110"))
+
+	if gamma.N() != 13 || h.N() != 12 || gamma.M() != 20 || h.M() != 19 {
+		t.Fatalf("Fig. 2 explicit counts wrong: Γ_5 (%d,%d), H_4 (%d,%d)",
+			gamma.N(), gamma.M(), h.N(), h.M())
+	}
+	dpG := gfcube.Count(5, gfcube.MustWord("11"))
+	dpH := gfcube.Count(4, gfcube.MustWord("110"))
+	if dpG.V.Int64() != 13 || dpH.V.Int64() != 12 {
+		t.Error("DP counts disagree with explicit")
+	}
+	cf := gfcube.ClosedFormsQ110(4)
+	if cf.V.Cmp(dpH.V) != 0 || cf.E.Cmp(dpH.E) != 0 || cf.S.Cmp(dpH.S) != 0 {
+		t.Error("closed forms disagree with DP")
+	}
+	// Both are partial cubes of full isometric dimension.
+	if got := gfcube.Idim(gamma.Graph()); got != 5 {
+		t.Errorf("idim(Γ_5) = %d", got)
+	}
+	if got := gfcube.Idim(h.Graph()); got != 4 {
+		t.Errorf("idim(Q_4(110)) = %d", got)
+	}
+}
+
+func TestIntegrationAddressingAndRouting(t *testing.T) {
+	// Rank -> word -> route -> rank, at d = 32 (never constructing the
+	// cube), with hop count equal to Hamming distance on the isometric Γ.
+	const d = 32
+	r := gfcube.NewRanker(gfcube.Ones(2), d)
+	total := r.Total()
+	// F_34 = 5702887.
+	if total.Cmp(big.NewInt(5702887)) != 0 {
+		t.Fatalf("|V(Γ_32)| = %s, want 5702887", total)
+	}
+	src, err := r.UnrankInt(123456)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := r.UnrankInt(4444444)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, ok := gfcube.NewWordRouter(gfcube.Ones(2)).Route(src, dst, 0)
+	if !ok {
+		t.Fatal("route failed")
+	}
+	if len(path)-1 != src.HammingDistance(dst) {
+		t.Errorf("hops %d, Hamming %d", len(path)-1, src.HammingDistance(dst))
+	}
+	back, err := r.Rank(path[len(path)-1])
+	if err != nil || back.Int64() != 4444444 {
+		t.Errorf("final vertex ranks to %v", back)
+	}
+}
+
+func TestIntegrationClassifyConstructVerify(t *testing.T) {
+	// For every Table 1 factor: theory at d = 8, explicit check at d = 8,
+	// and the Lemma 2.4 screen must tell one consistent story.
+	for _, row := range gfcube.Table1() {
+		f := row.Word()
+		cube := gfcube.New(8, f)
+		exact := cube.IsIsometric().Isometric
+		if want := row.VerdictFor(8) == gfcube.Isometric; exact != want {
+			t.Errorf("%s: exact %v, table %v", row.Factor, exact, want)
+		}
+		cl := gfcube.Classify(f, 8)
+		if cl.Verdict != gfcube.Unknown && (cl.Verdict == gfcube.Isometric) != exact {
+			t.Errorf("%s: classifier %v vs exact %v", row.Factor, cl.Verdict, exact)
+		}
+		_, hasCrit := cube.HasCriticalPair(3)
+		if hasCrit == exact {
+			t.Errorf("%s: screen and exact check disagree", row.Factor)
+		}
+	}
+}

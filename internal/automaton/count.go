@@ -1,0 +1,260 @@
+package automaton
+
+import (
+	"math/big"
+)
+
+// CountVertices returns |V(Q_d(f))|: the number of binary words of length d
+// that avoid the factor f. The computation is a dynamic program over the
+// automaton states and is exact for any d (big.Int arithmetic).
+func (a *DFA) CountVertices(d int) *big.Int {
+	if d < 0 {
+		panic("automaton: negative dimension")
+	}
+	dp := make([]*big.Int, a.m)
+	next := make([]*big.Int, a.m)
+	for s := range dp {
+		dp[s] = new(big.Int)
+		next[s] = new(big.Int)
+	}
+	dp[0].SetInt64(1)
+	for pos := 0; pos < d; pos++ {
+		for s := range next {
+			next[s].SetInt64(0)
+		}
+		for s := 0; s < a.m; s++ {
+			if dp[s].Sign() == 0 {
+				continue
+			}
+			for c := 0; c < 2; c++ {
+				t := a.delta[s][c]
+				if t == a.m {
+					continue
+				}
+				next[t].Add(next[t], dp[s])
+			}
+		}
+		dp, next = next, dp
+	}
+	total := new(big.Int)
+	for s := 0; s < a.m; s++ {
+		total.Add(total, dp[s])
+	}
+	return total
+}
+
+// CountVerticesSeq returns |V(Q_d(f))| for d = 0..dmax as a slice indexed by
+// d. It shares the DP across dimensions, so it is cheaper than dmax+1
+// independent CountVertices calls.
+func (a *DFA) CountVerticesSeq(dmax int) []*big.Int {
+	out := make([]*big.Int, dmax+1)
+	dp := make([]*big.Int, a.m)
+	next := make([]*big.Int, a.m)
+	for s := range dp {
+		dp[s] = new(big.Int)
+		next[s] = new(big.Int)
+	}
+	dp[0].SetInt64(1)
+	sum := func(v []*big.Int) *big.Int {
+		t := new(big.Int)
+		for _, x := range v {
+			t.Add(t, x)
+		}
+		return t
+	}
+	out[0] = sum(dp)
+	for d := 1; d <= dmax; d++ {
+		for s := range next {
+			next[s].SetInt64(0)
+		}
+		for s := 0; s < a.m; s++ {
+			if dp[s].Sign() == 0 {
+				continue
+			}
+			for c := 0; c < 2; c++ {
+				t := a.delta[s][c]
+				if t == a.m {
+					continue
+				}
+				next[t].Add(next[t], dp[s])
+			}
+		}
+		dp, next = next, dp
+		out[d] = sum(dp)
+	}
+	return out
+}
+
+// CountEdges returns |E(Q_d(f))|: the number of unordered pairs of f-avoiding
+// words of length d at Hamming distance 1.
+//
+// The DP walks both endpoints of an edge simultaneously. Before the (unique)
+// position where they differ both endpoints share one automaton state; at the
+// divergence position the lexicographically smaller endpoint reads 0 and the
+// larger reads 1 (counting each edge exactly once); afterwards both read the
+// same bits but may occupy different states.
+func (a *DFA) CountEdges(d int) *big.Int {
+	if d < 0 {
+		panic("automaton: negative dimension")
+	}
+	m := a.m
+	// dpSame[s]: runs where the endpoints have not yet diverged.
+	// dpPair[sa*m+sb]: runs after divergence; sa tracks the 0-endpoint.
+	dpSame := newBigs(m)
+	dpPair := newBigs(m * m)
+	nxSame := newBigs(m)
+	nxPair := newBigs(m * m)
+	dpSame[0].SetInt64(1)
+	for pos := 0; pos < d; pos++ {
+		zero(nxSame)
+		zero(nxPair)
+		for s := 0; s < m; s++ {
+			if dpSame[s].Sign() == 0 {
+				continue
+			}
+			// Both endpoints read the same bit.
+			for c := 0; c < 2; c++ {
+				t := a.delta[s][c]
+				if t == a.m {
+					continue
+				}
+				nxSame[t].Add(nxSame[t], dpSame[s])
+			}
+			// Diverge here: smaller endpoint reads 0, larger reads 1.
+			ta, tb := a.delta[s][0], a.delta[s][1]
+			if ta != a.m && tb != a.m {
+				nxPair[ta*m+tb].Add(nxPair[ta*m+tb], dpSame[s])
+			}
+		}
+		for sa := 0; sa < m; sa++ {
+			for sb := 0; sb < m; sb++ {
+				v := dpPair[sa*m+sb]
+				if v.Sign() == 0 {
+					continue
+				}
+				for c := 0; c < 2; c++ {
+					ta, tb := a.delta[sa][c], a.delta[sb][c]
+					if ta == a.m || tb == a.m {
+						continue
+					}
+					nxPair[ta*m+tb].Add(nxPair[ta*m+tb], v)
+				}
+			}
+		}
+		dpSame, nxSame = nxSame, dpSame
+		dpPair, nxPair = nxPair, dpPair
+	}
+	total := new(big.Int)
+	for _, v := range dpPair {
+		total.Add(total, v)
+	}
+	return total
+}
+
+// CountSquares returns |S(Q_d(f))|: the number of 4-cycles of Q_d(f). A
+// square of the hypercube is determined by a pair of positions i < j and the
+// values of the remaining bits, with all four words required to avoid f.
+//
+// The DP runs in three phases: before position i a single shared state;
+// between i and j two states (bit 0 and bit 1 at position i); after j four
+// states, one per combination of bits at i and j.
+func (a *DFA) CountSquares(d int) *big.Int {
+	if d < 0 {
+		panic("automaton: negative dimension")
+	}
+	m := a.m
+	dp1 := newBigs(m)             // before i
+	dp2 := newBigs(m * m)         // between i and j: (s0, s1)
+	dp4 := newBigs(m * m * m * m) // after j: (s00, s01, s10, s11)
+	nx1 := newBigs(m)
+	nx2 := newBigs(m * m)
+	nx4 := newBigs(m * m * m * m)
+	dp1[0].SetInt64(1)
+	at := func(s00, s01, s10, s11 int) int { return ((s00*m+s01)*m+s10)*m + s11 }
+	for pos := 0; pos < d; pos++ {
+		zero(nx1)
+		zero(nx2)
+		zero(nx4)
+		for s := 0; s < m; s++ {
+			if dp1[s].Sign() == 0 {
+				continue
+			}
+			for c := 0; c < 2; c++ {
+				t := a.delta[s][c]
+				if t != a.m {
+					nx1[t].Add(nx1[t], dp1[s])
+				}
+			}
+			// This position is i: branch on the bit at i.
+			t0, t1 := a.delta[s][0], a.delta[s][1]
+			if t0 != a.m && t1 != a.m {
+				nx2[t0*m+t1].Add(nx2[t0*m+t1], dp1[s])
+			}
+		}
+		for s0 := 0; s0 < m; s0++ {
+			for s1 := 0; s1 < m; s1++ {
+				v := dp2[s0*m+s1]
+				if v.Sign() == 0 {
+					continue
+				}
+				for c := 0; c < 2; c++ {
+					t0, t1 := a.delta[s0][c], a.delta[s1][c]
+					if t0 == a.m || t1 == a.m {
+						continue
+					}
+					nx2[t0*m+t1].Add(nx2[t0*m+t1], v)
+				}
+				// This position is j: branch on the bit at j in both copies.
+				s00, s01 := a.delta[s0][0], a.delta[s0][1]
+				s10, s11 := a.delta[s1][0], a.delta[s1][1]
+				if s00 != a.m && s01 != a.m && s10 != a.m && s11 != a.m {
+					k := at(s00, s01, s10, s11)
+					nx4[k].Add(nx4[k], v)
+				}
+			}
+		}
+		for s00 := 0; s00 < m; s00++ {
+			for s01 := 0; s01 < m; s01++ {
+				for s10 := 0; s10 < m; s10++ {
+					for s11 := 0; s11 < m; s11++ {
+						v := dp4[at(s00, s01, s10, s11)]
+						if v.Sign() == 0 {
+							continue
+						}
+						for c := 0; c < 2; c++ {
+							t00, t01 := a.delta[s00][c], a.delta[s01][c]
+							t10, t11 := a.delta[s10][c], a.delta[s11][c]
+							if t00 == a.m || t01 == a.m || t10 == a.m || t11 == a.m {
+								continue
+							}
+							k := at(t00, t01, t10, t11)
+							nx4[k].Add(nx4[k], v)
+						}
+					}
+				}
+			}
+		}
+		dp1, nx1 = nx1, dp1
+		dp2, nx2 = nx2, dp2
+		dp4, nx4 = nx4, dp4
+	}
+	total := new(big.Int)
+	for _, v := range dp4 {
+		total.Add(total, v)
+	}
+	return total
+}
+
+func newBigs(n int) []*big.Int {
+	out := make([]*big.Int, n)
+	for i := range out {
+		out[i] = new(big.Int)
+	}
+	return out
+}
+
+func zero(v []*big.Int) {
+	for _, x := range v {
+		x.SetInt64(0)
+	}
+}

@@ -1,0 +1,120 @@
+package automaton
+
+import (
+	"fmt"
+	"math/big"
+
+	"gfcube/internal/bitstr"
+)
+
+// Ranker provides constant-memory rank/unrank between the f-free words of
+// length d (in increasing packed order) and the integers 0..|V(Q_d(f))|-1.
+//
+// For f = 11 this is exactly the Zeckendorf addressing Hsu used for the
+// Fibonacci cube as an interconnection network: node i corresponds to the
+// i-th word of the Fibonacci numeration system. The generalization works for
+// any forbidden factor via the counting DP: suffixCount[s][k] is the number
+// of f-free completions of length k starting from automaton state s.
+type Ranker struct {
+	dfa *DFA
+	d   int
+	// suffix[s][k] = number of ways to extend a run in state s by k more
+	// symbols without seeing the factor.
+	suffix [][]*big.Int
+	total  *big.Int
+}
+
+// NewRanker prepares rank/unrank tables for words of length d avoiding f.
+func NewRanker(f bitstr.Word, d int) *Ranker {
+	if d < 0 {
+		panic("automaton: negative dimension")
+	}
+	dfa := New(f)
+	m := dfa.m
+	suffix := make([][]*big.Int, m)
+	for s := range suffix {
+		suffix[s] = make([]*big.Int, d+1)
+		suffix[s][0] = big.NewInt(1)
+	}
+	for k := 1; k <= d; k++ {
+		for s := 0; s < m; s++ {
+			total := new(big.Int)
+			for c := 0; c < 2; c++ {
+				t := dfa.delta[s][c]
+				if t == m {
+					continue
+				}
+				total.Add(total, suffix[t][k-1])
+			}
+			suffix[s][k] = total
+		}
+	}
+	return &Ranker{dfa: dfa, d: d, suffix: suffix, total: new(big.Int).Set(suffix[0][d])}
+}
+
+// Total returns |V(Q_d(f))|.
+func (r *Ranker) Total() *big.Int { return new(big.Int).Set(r.total) }
+
+// Rank returns the index of w in the increasing enumeration of f-free words
+// of length d. It returns an error if w has the wrong length or contains the
+// factor.
+func (r *Ranker) Rank(w bitstr.Word) (*big.Int, error) {
+	if w.Len() != r.d {
+		return nil, fmt.Errorf("automaton: word length %d, ranker dimension %d", w.Len(), r.d)
+	}
+	rank := new(big.Int)
+	s := 0
+	for i := 0; i < r.d; i++ {
+		bit := w.Bit(i)
+		if bit == 1 {
+			// All words with 0 at this position (and the same prefix) come
+			// first.
+			t0 := r.dfa.delta[s][0]
+			if t0 != r.dfa.m {
+				rank.Add(rank, r.suffix[t0][r.d-1-i])
+			}
+		}
+		s = r.dfa.delta[s][bit]
+		if s == r.dfa.m {
+			return nil, fmt.Errorf("automaton: word %s contains the factor %s", w, r.dfa.factor)
+		}
+	}
+	return rank, nil
+}
+
+// Unrank returns the word of the given index. It returns an error if the
+// index is out of range [0, Total).
+func (r *Ranker) Unrank(idx *big.Int) (bitstr.Word, error) {
+	if idx.Sign() < 0 || idx.Cmp(r.total) >= 0 {
+		return bitstr.Word{}, fmt.Errorf("automaton: rank %s out of range [0, %s)", idx, r.total)
+	}
+	rem := new(big.Int).Set(idx)
+	var bits uint64
+	s := 0
+	for i := 0; i < r.d; i++ {
+		k := r.d - 1 - i
+		t0 := r.dfa.delta[s][0]
+		var zeroCount *big.Int
+		if t0 == r.dfa.m {
+			zeroCount = new(big.Int)
+		} else {
+			zeroCount = r.suffix[t0][k]
+		}
+		if rem.Cmp(zeroCount) < 0 {
+			s = t0
+		} else {
+			rem.Sub(rem, zeroCount)
+			bits |= 1 << uint(k)
+			s = r.dfa.delta[s][1]
+		}
+		if s == r.dfa.m {
+			return bitstr.Word{}, fmt.Errorf("automaton: internal unrank error at position %d", i)
+		}
+	}
+	return bitstr.Word{Bits: bits, N: r.d}, nil
+}
+
+// UnrankInt is Unrank for plain int indices.
+func (r *Ranker) UnrankInt(idx int) (bitstr.Word, error) {
+	return r.Unrank(big.NewInt(int64(idx)))
+}

@@ -1,0 +1,77 @@
+package bitstr
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that Parse never panics, accepts exactly the {0,1}
+// strings of admissible length, and round-trips through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"", "0", "1", "10", "11010", "101x", strings.Repeat("1", 70)} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		w, err := Parse(s)
+		valid := len(s) <= MaxLen
+		for i := 0; valid && i < len(s); i++ {
+			if s[i] != '0' && s[i] != '1' {
+				valid = false
+			}
+		}
+		if valid != (err == nil) {
+			t.Fatalf("Parse(%q): err=%v but validity=%v", s, err, valid)
+		}
+		if err == nil && len(s) > 0 && w.String() != s {
+			t.Fatalf("round trip %q -> %q", s, w.String())
+		}
+	})
+}
+
+// FuzzFactorAgainstStrings checks HasFactor and FactorCount against the
+// strings package on arbitrary word/factor pairs.
+func FuzzFactorAgainstStrings(f *testing.F) {
+	f.Add(uint64(0b11010), 5, uint64(0b10), 2)
+	f.Add(uint64(0), 1, uint64(1), 1)
+	f.Fuzz(func(t *testing.T, wb uint64, wn int, fb uint64, fn int) {
+		if wn < 1 || wn > 20 || fn < 1 || fn > 8 {
+			t.Skip()
+		}
+		w := Word{Bits: wb & (^uint64(0) >> uint(64-wn)), N: wn}
+		fac := Word{Bits: fb & (^uint64(0) >> uint(64-fn)), N: fn}
+		if got, want := w.HasFactor(fac), strings.Contains(w.String(), fac.String()); got != want {
+			t.Fatalf("HasFactor(%s, %s) = %v, want %v", w, fac, got, want)
+		}
+		// Count overlapping occurrences the slow way.
+		wc, fs := w.String(), fac.String()
+		count := 0
+		for i := 0; i+len(fs) <= len(wc); i++ {
+			if wc[i:i+len(fs)] == fs {
+				count++
+			}
+		}
+		if got := w.FactorCount(fac); got != count {
+			t.Fatalf("FactorCount(%s, %s) = %d, want %d", w, fac, got, count)
+		}
+	})
+}
+
+// FuzzBlocksRoundTrip checks the block decomposition invariants on
+// arbitrary words.
+func FuzzBlocksRoundTrip(f *testing.F) {
+	f.Add(uint64(0b1100011), 7)
+	f.Fuzz(func(t *testing.T, bits uint64, n int) {
+		if n < 0 || n > MaxLen {
+			t.Skip()
+		}
+		var w Word
+		if n == 0 {
+			w = Word{}
+		} else {
+			w = Word{Bits: bits & (^uint64(0) >> uint(64-n)), N: n}
+		}
+		if FromBlocks(w.Blocks()) != w {
+			t.Fatalf("blocks round trip failed for %s", w)
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package bitstr
+
+// ForEach calls fn for every word of length n in increasing packed-value
+// order. It stops early and returns false if fn returns false; otherwise it
+// returns true after the full sweep.
+func ForEach(n int, fn func(Word) bool) bool {
+	if n < 0 || n > MaxLen {
+		panic(ErrTooLong)
+	}
+	total := uint64(1) << uint(n)
+	for v := uint64(0); v < total; v++ {
+		if !fn(Word{Bits: v, N: n}) {
+			return false
+		}
+	}
+	return true
+}
+
+// All returns every word of length n in increasing packed-value order. For
+// large n prefer ForEach, which does not materialize the slice.
+func All(n int) []Word {
+	out := make([]Word, 0, 1<<uint(n))
+	ForEach(n, func(w Word) bool {
+		out = append(out, w)
+		return true
+	})
+	return out
+}
+
+// AllOfLenUpTo returns every nonempty word of length at most n, shortest
+// first. Used to sweep forbidden factors in classification experiments.
+func AllOfLenUpTo(n int) []Word {
+	var out []Word
+	for l := 1; l <= n; l++ {
+		out = append(out, All(l)...)
+	}
+	return out
+}
+
+// CanonicalRepresentative returns the least word, in (length, value) order,
+// of the equivalence class of w under complementation and reversal. The
+// graphs Q_d(f), Q_d(f̄), Q_d(f^R) and Q_d(f̄^R) are pairwise isomorphic
+// (Lemmas 2.2 and 2.3 of the paper), so classification experiments need only
+// consider canonical representatives.
+func CanonicalRepresentative(w Word) Word {
+	best := w
+	for _, cand := range []Word{w.Complement(), w.Reverse(), w.Complement().Reverse()} {
+		if cand.Less(best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// IsCanonical reports whether w is the canonical representative of its
+// complement/reversal class.
+func IsCanonical(w Word) bool { return CanonicalRepresentative(w) == w }
+
+// CanonicalOfLen returns the canonical representatives of all
+// complement/reversal classes of words of length n, in increasing value order.
+func CanonicalOfLen(n int) []Word {
+	var out []Word
+	ForEach(n, func(w Word) bool {
+		if IsCanonical(w) {
+			out = append(out, w)
+		}
+		return true
+	})
+	return out
+}
+
+// The named families of forbidden factors studied in Sections 3-5 of the
+// paper. Each constructor returns the factor as a Word.
+
+// OnesZeros returns 1^r 0^s (Theorem 3.3).
+func OnesZeros(r, s int) Word { return Ones(r).Concat(Zeros(s)) }
+
+// OnesZerosOnes returns 1^r 0^s 1^t (Proposition 3.2).
+func OnesZerosOnes(r, s, t int) Word {
+	return ConcatAll(Ones(r), Zeros(s), Ones(t))
+}
+
+// Alternating returns (10)^s (Theorem 4.4).
+func Alternating(s int) Word { return Repeat(MustParse("10"), s) }
+
+// AlternatingOne returns (10)^s 1 (Proposition 4.1).
+func AlternatingOne(s int) Word { return Alternating(s).Concat(Ones(1)) }
+
+// AlternatingMid returns (10)^r 1 (10)^s (Proposition 4.2).
+func AlternatingMid(r, s int) Word {
+	return ConcatAll(Alternating(r), Ones(1), Alternating(s))
+}
+
+// TwoOnesBlocks returns 1^s 0 1^s 0 (Theorem 4.3).
+func TwoOnesBlocks(s int) Word {
+	return ConcatAll(Ones(s), Zeros(1), Ones(s), Zeros(1))
+}

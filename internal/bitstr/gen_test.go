@@ -1,0 +1,96 @@
+package bitstr
+
+import "testing"
+
+func TestForEachCountsAll(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		count := 0
+		ForEach(n, func(Word) bool { count++; return true })
+		if count != 1<<uint(n) {
+			t.Errorf("ForEach(%d) visited %d words", n, count)
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	count := 0
+	done := ForEach(6, func(Word) bool { count++; return count < 5 })
+	if done || count != 5 {
+		t.Errorf("early stop: done=%v count=%d", done, count)
+	}
+}
+
+func TestAllOrdering(t *testing.T) {
+	words := All(4)
+	if len(words) != 16 {
+		t.Fatalf("All(4) has %d words", len(words))
+	}
+	for i := 1; i < len(words); i++ {
+		if !words[i-1].Less(words[i]) {
+			t.Fatalf("All(4) not sorted at %d", i)
+		}
+	}
+}
+
+func TestAllOfLenUpTo(t *testing.T) {
+	words := AllOfLenUpTo(3)
+	if len(words) != 2+4+8 {
+		t.Fatalf("AllOfLenUpTo(3) has %d words", len(words))
+	}
+}
+
+func TestCanonicalOfLenCounts(t *testing.T) {
+	// Number of complement+reversal classes of binary strings: orbits under
+	// a group of order 4 acting on 2^n strings. By Burnside the counts for
+	// n = 1..5 are 1, 2, 3, 6, 10, and Table 1 of the paper lists exactly
+	// that many factors per length (1, 2, 3, 6 and 10 rows).
+	want := map[int]int{1: 1, 2: 2, 3: 3, 4: 6, 5: 10}
+	for n, expect := range want {
+		got := len(CanonicalOfLen(n))
+		if got != expect {
+			t.Errorf("CanonicalOfLen(%d) = %d classes, want %d", n, got, expect)
+		}
+	}
+}
+
+func TestCanonicalRepresentativeExamples(t *testing.T) {
+	// 11 and 00 are complements: one class. 10 and 01 are reverses (and
+	// complements): one class.
+	if CanonicalRepresentative(MustParse("11")) != CanonicalRepresentative(MustParse("00")) {
+		t.Error("11 and 00 should share a class")
+	}
+	if CanonicalRepresentative(MustParse("10")) != CanonicalRepresentative(MustParse("01")) {
+		t.Error("10 and 01 should share a class")
+	}
+	// The paper's example: Q_d(110s...) classes — 1100 ~ 0011 ~ 1100^R=0011.
+	if CanonicalRepresentative(MustParse("1100")) != CanonicalRepresentative(MustParse("0011")) {
+		t.Error("1100 and 0011 should share a class")
+	}
+}
+
+func TestFamilyConstructors(t *testing.T) {
+	cases := []struct {
+		got  Word
+		want string
+	}{
+		{OnesZeros(2, 3), "11000"},
+		{OnesZerosOnes(1, 1, 1), "101"},
+		{OnesZerosOnes(2, 2, 1), "11001"},
+		{Alternating(3), "101010"},
+		{AlternatingOne(2), "10101"},
+		{AlternatingMid(1, 1), "10110"},
+		{TwoOnesBlocks(2), "110110"},
+	}
+	for _, c := range cases {
+		if c.got.String() != c.want {
+			t.Errorf("family constructor: got %s, want %s", c.got, c.want)
+		}
+	}
+}
+
+func TestFibonacciFactorIsSpecialCase(t *testing.T) {
+	// Γ_d = Q_d(11): the Fibonacci factor is 1^2 and also OnesZeros(2, 0).
+	if Ones(2) != MustParse("11") || OnesZeros(2, 0) != MustParse("11") {
+		t.Error("Fibonacci factor construction broken")
+	}
+}

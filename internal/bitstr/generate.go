@@ -1,0 +1,25 @@
+package bitstr
+
+import (
+	"math/rand"
+	"reflect"
+)
+
+// Generate implements testing/quick.Generator: property-based tests across
+// the module draw structurally valid random words (length 1..20) instead of
+// raw struct values.
+func (Word) Generate(rng *rand.Rand, _ int) reflect.Value {
+	n := 1 + rng.Intn(20)
+	return reflect.ValueOf(Word{Bits: rng.Uint64() & (^uint64(0) >> uint(64-n)), N: n})
+}
+
+// Random returns a uniformly random word of the given length.
+func Random(rng *rand.Rand, n int) Word {
+	if n == 0 {
+		return Word{}
+	}
+	if n < 0 || n > MaxLen {
+		panic(ErrTooLong)
+	}
+	return Word{Bits: rng.Uint64() & (^uint64(0) >> uint(64-n)), N: n}
+}

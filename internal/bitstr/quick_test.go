@@ -1,0 +1,171 @@
+package bitstr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickComplementInvolution(t *testing.T) {
+	prop := func(w Word) bool { return w.Complement().Complement() == w }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReverseInvolution(t *testing.T) {
+	prop := func(w Word) bool { return w.Reverse().Reverse() == w }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComplementReverseCommute(t *testing.T) {
+	prop := func(w Word) bool { return w.Complement().Reverse() == w.Reverse().Complement() }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOnesCountComplement(t *testing.T) {
+	prop := func(w Word) bool { return w.OnesCount()+w.Complement().OnesCount() == w.N }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickXorSelfInverse(t *testing.T) {
+	prop := func(w, o Word) bool {
+		if o.N != w.N {
+			o = Word{Bits: o.Bits & (^uint64(0) >> uint(64-w.N)), N: w.N}
+		}
+		return w.Xor(o).Xor(o) == w
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHammingIsXorWeight(t *testing.T) {
+	prop := func(w, o Word) bool {
+		if o.N != w.N {
+			o = Word{Bits: o.Bits & (^uint64(0) >> uint(64-w.N)), N: w.N}
+		}
+		return w.HammingDistance(o) == w.Xor(o).OnesCount()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFlipChangesExactlyOneBit(t *testing.T) {
+	prop := func(w Word) bool {
+		for i := 0; i < w.N; i++ {
+			if w.HammingDistance(w.Flip(i)) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Factor-duality properties from Lemmas 2.2 and 2.3 of the paper: f is a
+// factor of b iff f̄ is a factor of b̄, and iff f^R is a factor of b^R.
+func TestQuickFactorComplementDuality(t *testing.T) {
+	prop := func(w, f Word) bool {
+		if f.N > w.N {
+			w, f = f, w
+		}
+		return w.HasFactor(f) == w.Complement().HasFactor(f.Complement())
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFactorReverseDuality(t *testing.T) {
+	prop := func(w, f Word) bool {
+		if f.N > w.N {
+			w, f = f, w
+		}
+		return w.HasFactor(f) == w.Reverse().HasFactor(f.Reverse())
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPrefixSuffixConcat(t *testing.T) {
+	prop := func(w Word) bool {
+		for k := 0; k <= w.N; k++ {
+			if w.Prefix(k).Concat(w.Suffix(w.N-k)) != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBlocksRoundTrip(t *testing.T) {
+	prop := func(w Word) bool { return FromBlocks(w.Blocks()) == w }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBlocksAlternate(t *testing.T) {
+	prop := func(w Word) bool {
+		bl := w.Blocks()
+		total := 0
+		for i, b := range bl {
+			total += b.Len
+			if b.Len < 1 {
+				return false
+			}
+			if i > 0 && bl[i-1].Bit == b.Bit {
+				return false
+			}
+		}
+		return total == w.N
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParseRoundTrip(t *testing.T) {
+	prop := func(w Word) bool {
+		got, err := Parse(w.String())
+		return err == nil && got == w
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCanonicalIdempotent(t *testing.T) {
+	prop := func(w Word) bool {
+		c := CanonicalRepresentative(w)
+		return CanonicalRepresentative(c) == c && !c.Less(CanonicalRepresentative(w)) == true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCanonicalClassInvariant(t *testing.T) {
+	prop := func(w Word) bool {
+		c := CanonicalRepresentative(w)
+		return CanonicalRepresentative(w.Complement()) == c &&
+			CanonicalRepresentative(w.Reverse()) == c &&
+			CanonicalRepresentative(w.Complement().Reverse()) == c
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,334 @@
+// Package bitstr implements fixed-length binary strings (words) packed into
+// machine integers, together with the string operations used throughout the
+// generalized Fibonacci cube literature: complementation, reversal, factor
+// (substring) tests, block decomposition, and single-bit flips.
+//
+// A Word of length n stores its bits so that the most significant used bit is
+// the first (leftmost) character of the string, i.e. the integer value of the
+// Bits field equals the value of the word read as a binary numeral. Positions
+// are 0-based from the left, so Bit(0) is the first character b1 of the
+// paper's notation b1 b2 ... bd.
+package bitstr
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxLen is the maximum supported word length. Words are packed in a uint64;
+// two bits of headroom are kept so that intermediate shifts never overflow.
+const MaxLen = 62
+
+// Word is a binary string of length N packed into Bits. The zero value is the
+// empty word.
+type Word struct {
+	Bits uint64
+	N    int
+}
+
+// ErrTooLong is returned when a requested word length exceeds MaxLen.
+var ErrTooLong = errors.New("bitstr: word length exceeds MaxLen")
+
+// New returns the word of length n whose packed value is bits. It panics if n
+// is out of range or bits has set bits beyond the low n positions; this is a
+// programming error, not an input error.
+func New(bits uint64, n int) Word {
+	if n < 0 || n > MaxLen {
+		panic(fmt.Sprintf("bitstr.New: length %d out of range [0,%d]", n, MaxLen))
+	}
+	if n < 64 && bits>>uint(n) != 0 {
+		panic(fmt.Sprintf("bitstr.New: value %b does not fit in %d bits", bits, n))
+	}
+	return Word{Bits: bits, N: n}
+}
+
+// Parse converts a string of '0' and '1' characters into a Word.
+func Parse(s string) (Word, error) {
+	if len(s) > MaxLen {
+		return Word{}, ErrTooLong
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		v <<= 1
+		switch s[i] {
+		case '1':
+			v |= 1
+		case '0':
+		default:
+			return Word{}, fmt.Errorf("bitstr: invalid character %q at position %d", s[i], i)
+		}
+	}
+	return Word{Bits: v, N: len(s)}, nil
+}
+
+// MustParse is Parse that panics on error; for use with constant strings.
+func MustParse(s string) Word {
+	w, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// String renders the word as a string of '0' and '1' characters.
+func (w Word) String() string {
+	if w.N == 0 {
+		return "ε"
+	}
+	var b strings.Builder
+	b.Grow(w.N)
+	for i := 0; i < w.N; i++ {
+		if w.Bit(i) == 1 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Len returns the number of bits in the word.
+func (w Word) Len() int { return w.N }
+
+// IsEmpty reports whether the word has length zero.
+func (w Word) IsEmpty() bool { return w.N == 0 }
+
+// Bit returns the bit at 0-based position i from the left (b_{i+1} in the
+// paper's 1-based notation).
+func (w Word) Bit(i int) uint64 {
+	w.check(i)
+	return (w.Bits >> uint(w.N-1-i)) & 1
+}
+
+// SetBit returns a copy of w with position i set to v (0 or 1).
+func (w Word) SetBit(i int, v uint64) Word {
+	w.check(i)
+	mask := uint64(1) << uint(w.N-1-i)
+	if v&1 == 1 {
+		w.Bits |= mask
+	} else {
+		w.Bits &^= mask
+	}
+	return w
+}
+
+// Flip returns w + e_{i+1}: the word with the bit at 0-based position i
+// reversed, all other bits unchanged.
+func (w Word) Flip(i int) Word {
+	w.check(i)
+	w.Bits ^= uint64(1) << uint(w.N-1-i)
+	return w
+}
+
+// E returns the word e_{i+1} of length n: 1 at 0-based position i and 0
+// elsewhere.
+func E(i, n int) Word {
+	w := New(0, n)
+	return w.SetBit(i, 1)
+}
+
+// Xor returns the bitwise sum modulo 2 of two words of equal length (the
+// paper's b + c).
+func (w Word) Xor(o Word) Word {
+	w.checkSameLen(o)
+	w.Bits ^= o.Bits
+	return w
+}
+
+// Complement returns the bitwise complement of the word.
+func (w Word) Complement() Word {
+	if w.N == 0 {
+		return w
+	}
+	w.Bits = ^w.Bits & (^uint64(0) >> uint(64-w.N))
+	return w
+}
+
+// Reverse returns the word read right to left (b^R in the paper).
+func (w Word) Reverse() Word {
+	r := uint64(0)
+	for i := 0; i < w.N; i++ {
+		r = r<<1 | (w.Bits>>uint(i))&1
+	}
+	return Word{Bits: r, N: w.N}
+}
+
+// OnesCount returns the number of 1 bits in the word.
+func (w Word) OnesCount() int { return bits.OnesCount64(w.Bits) }
+
+// HammingDistance returns the number of positions in which two equal-length
+// words differ; this equals their distance in the hypercube Q_n.
+func (w Word) HammingDistance(o Word) int {
+	w.checkSameLen(o)
+	return bits.OnesCount64(w.Bits ^ o.Bits)
+}
+
+// Concat returns the concatenation of w followed by o.
+func (w Word) Concat(o Word) Word {
+	if w.N+o.N > MaxLen {
+		panic(ErrTooLong)
+	}
+	return Word{Bits: w.Bits<<uint(o.N) | o.Bits, N: w.N + o.N}
+}
+
+// ConcatAll concatenates any number of words left to right.
+func ConcatAll(ws ...Word) Word {
+	out := Word{}
+	for _, w := range ws {
+		out = out.Concat(w)
+	}
+	return out
+}
+
+// Repeat returns the word w concatenated with itself k times (w^k).
+func Repeat(w Word, k int) Word {
+	out := Word{}
+	for i := 0; i < k; i++ {
+		out = out.Concat(w)
+	}
+	return out
+}
+
+// Ones returns the word 1^s.
+func Ones(s int) Word {
+	if s > MaxLen {
+		panic(ErrTooLong)
+	}
+	if s == 0 {
+		return Word{}
+	}
+	return Word{Bits: ^uint64(0) >> uint(64-s), N: s}
+}
+
+// Zeros returns the word 0^s.
+func Zeros(s int) Word { return New(0, s) }
+
+// Prefix returns the first k characters of the word.
+func (w Word) Prefix(k int) Word {
+	if k < 0 || k > w.N {
+		panic(fmt.Sprintf("bitstr: prefix length %d out of range for word of length %d", k, w.N))
+	}
+	return Word{Bits: w.Bits >> uint(w.N-k), N: k}
+}
+
+// Suffix returns the last k characters of the word.
+func (w Word) Suffix(k int) Word {
+	if k < 0 || k > w.N {
+		panic(fmt.Sprintf("bitstr: suffix length %d out of range for word of length %d", k, w.N))
+	}
+	if k == 0 {
+		return Word{}
+	}
+	return Word{Bits: w.Bits & (^uint64(0) >> uint(64-k)), N: k}
+}
+
+// Factor returns the factor (substring) of length m starting at 0-based
+// position i.
+func (w Word) Factor(i, m int) Word {
+	if i < 0 || m < 0 || i+m > w.N {
+		panic(fmt.Sprintf("bitstr: factor [%d,%d) out of range for word of length %d", i, i+m, w.N))
+	}
+	return w.Suffix(w.N - i).Prefix(m)
+}
+
+// HasFactor reports whether f occurs as a factor (contiguous substring) of w.
+// The empty word is a factor of every word.
+func (w Word) HasFactor(f Word) bool {
+	if f.N == 0 {
+		return true
+	}
+	if f.N > w.N {
+		return false
+	}
+	mask := ^uint64(0) >> uint(64-f.N)
+	for shift := 0; shift <= w.N-f.N; shift++ {
+		if (w.Bits>>uint(w.N-f.N-shift))&mask == f.Bits {
+			return true
+		}
+	}
+	return false
+}
+
+// FactorCount returns the number of (possibly overlapping) occurrences of f
+// in w. For the empty factor it returns len(w)+1.
+func (w Word) FactorCount(f Word) int {
+	if f.N == 0 {
+		return w.N + 1
+	}
+	if f.N > w.N {
+		return 0
+	}
+	mask := ^uint64(0) >> uint(64-f.N)
+	count := 0
+	for shift := 0; shift <= w.N-f.N; shift++ {
+		if (w.Bits>>uint(w.N-f.N-shift))&mask == f.Bits {
+			count++
+		}
+	}
+	return count
+}
+
+// Block is a maximal run of equal characters in a word.
+type Block struct {
+	Bit uint64 // 0 or 1
+	Len int    // run length, >= 1
+}
+
+// Blocks returns the block decomposition of the word: the non-extendable
+// sequences of contiguous equal digits, left to right.
+func (w Word) Blocks() []Block {
+	if w.N == 0 {
+		return nil
+	}
+	var out []Block
+	cur := Block{Bit: w.Bit(0), Len: 1}
+	for i := 1; i < w.N; i++ {
+		b := w.Bit(i)
+		if b == cur.Bit {
+			cur.Len++
+			continue
+		}
+		out = append(out, cur)
+		cur = Block{Bit: b, Len: 1}
+	}
+	return append(out, cur)
+}
+
+// BlockCount returns the number of blocks of the word.
+func (w Word) BlockCount() int { return len(w.Blocks()) }
+
+// FromBlocks reconstructs a word from a block decomposition.
+func FromBlocks(blocks []Block) Word {
+	out := Word{}
+	for _, b := range blocks {
+		if b.Bit == 1 {
+			out = out.Concat(Ones(b.Len))
+		} else {
+			out = out.Concat(Zeros(b.Len))
+		}
+	}
+	return out
+}
+
+// Less orders words first by length, then by packed value; a convenient total
+// order for canonical enumeration.
+func (w Word) Less(o Word) bool {
+	if w.N != o.N {
+		return w.N < o.N
+	}
+	return w.Bits < o.Bits
+}
+
+func (w Word) check(i int) {
+	if i < 0 || i >= w.N {
+		panic(fmt.Sprintf("bitstr: position %d out of range for word of length %d", i, w.N))
+	}
+}
+
+func (w Word) checkSameLen(o Word) {
+	if w.N != o.N {
+		panic(fmt.Sprintf("bitstr: length mismatch %d vs %d", w.N, o.N))
+	}
+}

@@ -1,0 +1,299 @@
+package bitstr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseAndString(t *testing.T) {
+	cases := []struct {
+		in   string
+		bits uint64
+		n    int
+	}{
+		{"", 0, 0},
+		{"0", 0, 1},
+		{"1", 1, 1},
+		{"10", 2, 2},
+		{"01", 1, 2},
+		{"11", 3, 2},
+		{"101", 5, 3},
+		{"0000", 0, 4},
+		{"1111", 15, 4},
+		{"11010", 26, 5},
+	}
+	for _, c := range cases {
+		w, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if w.Bits != c.bits || w.N != c.n {
+			t.Errorf("Parse(%q) = {%d,%d}, want {%d,%d}", c.in, w.Bits, w.N, c.bits, c.n)
+		}
+		if c.in != "" && w.String() != c.in {
+			t.Errorf("String() round trip: got %q want %q", w.String(), c.in)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("10x1"); err == nil {
+		t.Error("Parse accepted invalid character")
+	}
+	if _, err := Parse(strings.Repeat("1", MaxLen+1)); err != ErrTooLong {
+		t.Errorf("Parse over-long: got %v, want ErrTooLong", err)
+	}
+}
+
+func TestEmptyWordString(t *testing.T) {
+	if got := (Word{}).String(); got != "ε" {
+		t.Errorf("empty word renders as %q", got)
+	}
+}
+
+func TestBitIndexing(t *testing.T) {
+	w := MustParse("10110")
+	want := []uint64{1, 0, 1, 1, 0}
+	for i, b := range want {
+		if w.Bit(i) != b {
+			t.Errorf("Bit(%d) = %d, want %d", i, w.Bit(i), b)
+		}
+	}
+}
+
+func TestSetBitAndFlip(t *testing.T) {
+	w := MustParse("0000")
+	w = w.SetBit(1, 1)
+	if w.String() != "0100" {
+		t.Fatalf("SetBit: got %s", w)
+	}
+	w = w.Flip(1)
+	if w.String() != "0000" {
+		t.Fatalf("Flip back: got %s", w)
+	}
+	w = w.Flip(3)
+	if w.String() != "0001" {
+		t.Fatalf("Flip last: got %s", w)
+	}
+	// SetBit with the value already present is a no-op.
+	if w.SetBit(3, 1) != w {
+		t.Error("SetBit(3,1) changed a word that already had bit 3 set")
+	}
+}
+
+func TestE(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		e := E(i, 5)
+		if e.OnesCount() != 1 || e.Bit(i) != 1 {
+			t.Errorf("E(%d,5) = %s", i, e)
+		}
+	}
+	// b + e_i flips exactly bit i (paper Section 2).
+	b := MustParse("10101")
+	for i := 0; i < 5; i++ {
+		if b.Xor(E(i, 5)) != b.Flip(i) {
+			t.Errorf("b+e_%d != Flip(%d)", i+1, i)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	cases := map[string]string{
+		"11":    "00",
+		"10":    "01",
+		"11010": "00101",
+		"0":     "1",
+	}
+	for in, want := range cases {
+		if got := MustParse(in).Complement().String(); got != want {
+			t.Errorf("Complement(%s) = %s, want %s", in, got, want)
+		}
+	}
+	if (Word{}).Complement() != (Word{}) {
+		t.Error("complement of empty word not empty")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	cases := map[string]string{
+		"10":    "01",
+		"110":   "011",
+		"11010": "01011",
+		"1111":  "1111",
+	}
+	for in, want := range cases {
+		if got := MustParse(in).Reverse().String(); got != want {
+			t.Errorf("Reverse(%s) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	a := MustParse("10110")
+	b := MustParse("00111")
+	if d := a.HammingDistance(b); d != 2 {
+		t.Errorf("distance = %d, want 2", d)
+	}
+	if d := a.HammingDistance(a); d != 0 {
+		t.Errorf("self distance = %d", d)
+	}
+}
+
+func TestConcatRepeat(t *testing.T) {
+	if got := MustParse("10").Concat(MustParse("11")).String(); got != "1011" {
+		t.Errorf("Concat = %s", got)
+	}
+	if got := Repeat(MustParse("10"), 3).String(); got != "101010" {
+		t.Errorf("Repeat = %s", got)
+	}
+	if got := ConcatAll(Ones(2), Zeros(3), Ones(1)).String(); got != "110001" {
+		t.Errorf("ConcatAll = %s", got)
+	}
+	if Repeat(MustParse("10"), 0) != (Word{}) {
+		t.Error("Repeat k=0 should be empty")
+	}
+}
+
+func TestOnesZeros(t *testing.T) {
+	if Ones(4).String() != "1111" || Zeros(3).String() != "000" {
+		t.Error("Ones/Zeros wrong")
+	}
+	if Ones(0) != (Word{}) || Zeros(0) != (Word{}) {
+		t.Error("zero-length Ones/Zeros should be empty")
+	}
+}
+
+func TestPrefixSuffixFactor(t *testing.T) {
+	w := MustParse("110100")
+	if w.Prefix(3).String() != "110" {
+		t.Errorf("Prefix = %s", w.Prefix(3))
+	}
+	if w.Suffix(3).String() != "100" {
+		t.Errorf("Suffix = %s", w.Suffix(3))
+	}
+	if w.Factor(1, 4).String() != "1010" {
+		t.Errorf("Factor = %s", w.Factor(1, 4))
+	}
+	if w.Prefix(0) != (Word{}) || w.Suffix(0) != (Word{}) {
+		t.Error("zero-length prefix/suffix should be empty")
+	}
+	if w.Prefix(6) != w || w.Suffix(6) != w {
+		t.Error("full-length prefix/suffix should be the word itself")
+	}
+}
+
+func TestHasFactor(t *testing.T) {
+	cases := []struct {
+		w, f string
+		want bool
+	}{
+		{"11010", "11", true},
+		{"11010", "101", true},
+		{"11010", "111", false},
+		{"10101", "1010", true},
+		{"10101", "0100", false},
+		{"0", "1", false},
+		{"1", "1", true},
+		{"110", "110", true},
+		{"110", "1100", false},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.w).HasFactor(MustParse(c.f)); got != c.want {
+			t.Errorf("HasFactor(%s, %s) = %v, want %v", c.w, c.f, got, c.want)
+		}
+	}
+	if !MustParse("101").HasFactor(Word{}) {
+		t.Error("empty factor should occur in every word")
+	}
+}
+
+func TestHasFactorVsStringsContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 2000; iter++ {
+		n := 1 + rng.Intn(16)
+		m := 1 + rng.Intn(6)
+		w := Word{Bits: rng.Uint64() & (^uint64(0) >> uint(64-n)), N: n}
+		f := Word{Bits: rng.Uint64() & (^uint64(0) >> uint(64-m)), N: m}
+		want := strings.Contains(w.String(), f.String())
+		if got := w.HasFactor(f); got != want {
+			t.Fatalf("HasFactor(%s,%s) = %v, strings.Contains says %v", w, f, got, want)
+		}
+	}
+}
+
+func TestFactorCount(t *testing.T) {
+	if got := MustParse("10101").FactorCount(MustParse("101")); got != 2 {
+		t.Errorf("overlapping count = %d, want 2", got)
+	}
+	if got := MustParse("1111").FactorCount(MustParse("11")); got != 3 {
+		t.Errorf("count = %d, want 3", got)
+	}
+	if got := MustParse("000").FactorCount(MustParse("1")); got != 0 {
+		t.Errorf("count = %d, want 0", got)
+	}
+	if got := MustParse("101").FactorCount(Word{}); got != 4 {
+		t.Errorf("empty-factor count = %d, want 4", got)
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	w := MustParse("1100011")
+	got := w.Blocks()
+	want := []Block{{1, 2}, {0, 3}, {1, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("blocks = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("block %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if w.BlockCount() != 3 {
+		t.Errorf("BlockCount = %d", w.BlockCount())
+	}
+	if len((Word{}).Blocks()) != 0 {
+		t.Error("empty word should have no blocks")
+	}
+	if FromBlocks(got) != w {
+		t.Error("FromBlocks does not invert Blocks")
+	}
+}
+
+func TestLessOrdering(t *testing.T) {
+	a, b := MustParse("1"), MustParse("00")
+	if !a.Less(b) {
+		t.Error("shorter word should order first")
+	}
+	c, d := MustParse("01"), MustParse("10")
+	if !c.Less(d) || d.Less(c) {
+		t.Error("same-length ordering by value broken")
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	w := MustParse("101")
+	assertPanics("Bit out of range", func() { w.Bit(3) })
+	assertPanics("Flip negative", func() { w.Flip(-1) })
+	assertPanics("Xor length mismatch", func() { w.Xor(MustParse("10")) })
+	assertPanics("New bad length", func() { New(0, MaxLen+1) })
+	assertPanics("New overflow value", func() { New(4, 2) })
+	assertPanics("Prefix out of range", func() { w.Prefix(4) })
+	assertPanics("Factor out of range", func() { w.Factor(2, 2) })
+	assertPanics("Concat too long", func() { Ones(40).Concat(Ones(40)) })
+}
+
+func TestOnesCount(t *testing.T) {
+	if MustParse("10110").OnesCount() != 3 {
+		t.Error("OnesCount wrong")
+	}
+}

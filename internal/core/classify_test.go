@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"gfcube/internal/bitstr"
+)
+
+// The theoretical classifier must agree with Table 1 on every factor of
+// length at most 5 (not only canonical representatives) and every dimension
+// where the theory speaks.
+func TestClassifyMatchesTable1(t *testing.T) {
+	for length := 1; length <= 5; length++ {
+		for _, f := range bitstr.All(length) {
+			row, ok := Table1Lookup(f)
+			if !ok {
+				t.Fatalf("no Table 1 row for %s", f)
+			}
+			for d := 1; d <= 12; d++ {
+				want := row.VerdictFor(d)
+				got := Classify(f, d)
+				if got.Verdict == Unknown {
+					t.Errorf("Classify(%s, %d) is Unknown; Table 1 decides every |f| <= 5", f, d)
+					continue
+				}
+				if got.Verdict != want {
+					t.Errorf("Classify(%s, %d) = %v (%s), Table 1 says %v",
+						f, d, got.Verdict, got.Reason, want)
+				}
+			}
+		}
+	}
+}
+
+// The classifier must agree with the exact computation wherever it claims a
+// verdict, for every factor of length at most 6 and d <= 9. Length-6 factors
+// exercise the infinite families beyond the Table 1 data.
+func TestClassifyAgainstExactLength6(t *testing.T) {
+	for _, f := range bitstr.CanonicalOfLen(6) {
+		for d := 7; d <= 9; d++ {
+			cl := Classify(f, d)
+			if cl.Verdict == Unknown {
+				continue
+			}
+			res := New(d, f).IsIsometric()
+			got := NotIsometric
+			if res.Isometric {
+				got = Isometric
+			}
+			if got != cl.Verdict {
+				t.Errorf("f=%s d=%d: theory says %v (%s), computation says %v",
+					f, d, cl.Verdict, cl.Reason, got)
+			}
+		}
+	}
+}
+
+func TestClassifyFamilies(t *testing.T) {
+	cases := []struct {
+		f    bitstr.Word
+		d    int
+		want Verdict
+	}{
+		{bitstr.Ones(4), 20, Isometric},                  // Prop 3.1
+		{bitstr.OnesZeros(5, 1), 20, Isometric},          // Thm 3.3(i)
+		{bitstr.OnesZeros(2, 5), 9, Isometric},           // Thm 3.3(ii): d <= s+4
+		{bitstr.OnesZeros(2, 5), 10, NotIsometric},       // Thm 3.3(ii): d > s+4
+		{bitstr.OnesZeros(3, 4), 11, Isometric},          // Thm 3.3(iii): d <= 2r+2s-3 = 11
+		{bitstr.OnesZeros(3, 4), 12, NotIsometric},       // Thm 3.3(iii)
+		{bitstr.OnesZerosOnes(2, 3, 2), 8, NotIsometric}, // Prop 3.2: d > |f|
+		{bitstr.Alternating(4), 25, Isometric},           // Thm 4.4
+		{bitstr.TwoOnesBlocks(3), 25, Isometric},         // Thm 4.3
+		{bitstr.MustParse("11010"), 25, Isometric},       // Prop 5.1
+		{bitstr.AlternatingOne(3), 12, NotIsometric},     // Prop 4.1: d >= 4s = 12
+		{bitstr.AlternatingMid(2, 1), 9, NotIsometric},   // Prop 4.2: d >= 2r+2s+3 = 9
+	}
+	for _, cs := range cases {
+		got := Classify(cs.f, cs.d)
+		if got.Verdict != cs.want {
+			t.Errorf("Classify(%s, %d) = %v (%s), want %v", cs.f, cs.d, got.Verdict, got.Reason, cs.want)
+		}
+	}
+}
+
+func TestClassifySymmetryInvariance(t *testing.T) {
+	// Classification must be invariant under complement and reversal
+	// (Lemmas 2.2, 2.3).
+	for _, f := range bitstr.All(5) {
+		for d := 6; d <= 9; d++ {
+			base := Classify(f, d).Verdict
+			for _, g := range []bitstr.Word{f.Complement(), f.Reverse(), f.Complement().Reverse()} {
+				if got := Classify(g, d).Verdict; got != base {
+					t.Errorf("Classify not symmetric: f=%s (%v) vs %s (%v), d=%d", f, base, g, got, d)
+				}
+			}
+		}
+	}
+}
+
+func TestClassifyGapsAreUnknown(t *testing.T) {
+	// (10)^3 1: |f| = 7, Prop 4.1 applies for d >= 12; the gap 8..11 is
+	// undecided by the paper.
+	f := bitstr.AlternatingOne(3)
+	for d := 8; d <= 11; d++ {
+		if got := Classify(f, d); got.Verdict != Unknown {
+			t.Errorf("Classify(%s, %d) = %v, want Unknown", f, d, got.Verdict)
+		}
+	}
+	// (10)^2 1 (10)^1: |f| = 7, Prop 4.2 applies for d >= 9; d = 8 is a gap.
+	f = bitstr.AlternatingMid(2, 1)
+	if got := Classify(f, 8); got.Verdict != Unknown {
+		t.Errorf("Classify(%s, 8) = %v, want Unknown", f, got.Verdict)
+	}
+}
+
+func TestTable1Lookup(t *testing.T) {
+	// Lookup must work for non-canonical variants too: 00 is the complement
+	// of 11, 01011 the reversal of 11010.
+	row, ok := Table1Lookup(w("00"))
+	if !ok || row.Factor != "11" {
+		t.Errorf("lookup(00) = %+v", row)
+	}
+	row, ok = Table1Lookup(w("01011"))
+	if !ok || row.Factor != "11010" {
+		t.Errorf("lookup(01011) = %+v", row)
+	}
+	if _, ok := Table1Lookup(w("110100")); ok {
+		t.Error("lookup should fail for |f| = 6")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Isometric.String() != "isometric" || NotIsometric.String() != "not isometric" || Unknown.String() != "unknown" {
+		t.Error("verdict strings wrong")
+	}
+}
+
+// E11: Conjecture 8.1 — if Q_d(f) embeds isometrically for all d then so
+// does Q_d(ff). Verified computationally for the good factors of length <= 3
+// and d up to 11.
+func TestE11Conjecture81(t *testing.T) {
+	good := []string{"1", "11", "10", "111", "110"}
+	for _, fs := range good {
+		f := w(fs)
+		ff := f.Concat(f)
+		for d := 1; d <= 11; d++ {
+			if res := New(d, ff).IsIsometric(); !res.Isometric {
+				t.Errorf("Conjecture 8.1 counterexample: f=%s, ff=%s, d=%d", fs, ff, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/big"
+
+	"gfcube/internal/automaton"
+	"gfcube/internal/bitstr"
+	"gfcube/internal/fib"
+)
+
+// BigCounts holds exact order, size and square counts for arbitrary d.
+type BigCounts struct {
+	V, E, S *big.Int
+}
+
+// Count returns the exact number of vertices, edges and squares of Q_d(f)
+// for any d, without constructing the graph, via transfer-matrix dynamic
+// programming over the factor automaton.
+func Count(d int, f bitstr.Word) BigCounts {
+	a := automaton.New(f)
+	return BigCounts{V: a.CountVertices(d), E: a.CountEdges(d), S: a.CountSquares(d)}
+}
+
+// CountSeq returns Count(d, f) for d = 0..dmax.
+func CountSeq(dmax int, f bitstr.Word) []BigCounts {
+	a := automaton.New(f)
+	out := make([]BigCounts, dmax+1)
+	for d := 0; d <= dmax; d++ {
+		out[d] = BigCounts{V: a.CountVertices(d), E: a.CountEdges(d), S: a.CountSquares(d)}
+	}
+	return out
+}
+
+// RecurrenceQ111 evaluates the recurrences (1)-(3) of Section 6 for
+// G_d = Q_d(111):
+//
+//	|V(G_d)| = |V(G_{d-1})| + |V(G_{d-2})| + |V(G_{d-3})|
+//	|E(G_d)| = |E(G_{d-1})| + |E(G_{d-2})| + |E(G_{d-3})| + |V(G_{d-2})| + 2|V(G_{d-3})|
+//	|S(G_d)| = |S(G_{d-1})| + |S(G_{d-2})| + |S(G_{d-3})| + |E(G_{d-2})| + 2|E(G_{d-3})| + |V(G_{d-3})|
+//
+// with starting values |V| = 1, 2, 4; |E| = 0, 1, 4; |S| = 0, 0, 1 for
+// d = 0, 1, 2. It returns the sequence for d = 0..dmax.
+func RecurrenceQ111(dmax int) []BigCounts {
+	out := make([]BigCounts, dmax+1)
+	vStart := []int64{1, 2, 4}
+	eStart := []int64{0, 1, 4}
+	sStart := []int64{0, 0, 1}
+	for d := 0; d <= dmax; d++ {
+		if d <= 2 {
+			out[d] = BigCounts{
+				V: big.NewInt(vStart[d]),
+				E: big.NewInt(eStart[d]),
+				S: big.NewInt(sStart[d]),
+			}
+			continue
+		}
+		v := new(big.Int).Add(out[d-1].V, out[d-2].V)
+		v.Add(v, out[d-3].V)
+
+		e := new(big.Int).Add(out[d-1].E, out[d-2].E)
+		e.Add(e, out[d-3].E)
+		e.Add(e, out[d-2].V)
+		e.Add(e, new(big.Int).Lsh(out[d-3].V, 1))
+
+		s := new(big.Int).Add(out[d-1].S, out[d-2].S)
+		s.Add(s, out[d-3].S)
+		s.Add(s, out[d-2].E)
+		s.Add(s, new(big.Int).Lsh(out[d-3].E, 1))
+		s.Add(s, out[d-3].V)
+
+		out[d] = BigCounts{V: v, E: e, S: s}
+	}
+	return out
+}
+
+// RecurrenceQ110 evaluates the recurrences (4)-(6) of Section 6 for
+// H_d = Q_d(110):
+//
+//	|V(H_d)| = |V(H_{d-1})| + |V(H_{d-2})| + 1
+//	|E(H_d)| = |E(H_{d-1})| + |E(H_{d-2})| + |V(H_{d-2})| + 2
+//	|S(H_d)| = |S(H_{d-1})| + |S(H_{d-2})| + |E(H_{d-2})| + 1
+//
+// with starting values |V| = 1, 2; |E| = 0, 1; |S| = 0, 0 for d = 0, 1.
+// It returns the sequence for d = 0..dmax.
+func RecurrenceQ110(dmax int) []BigCounts {
+	out := make([]BigCounts, dmax+1)
+	for d := 0; d <= dmax; d++ {
+		if d <= 1 {
+			out[d] = BigCounts{
+				V: big.NewInt(int64(d + 1)),
+				E: big.NewInt(int64(d)),
+				S: big.NewInt(0),
+			}
+			continue
+		}
+		v := new(big.Int).Add(out[d-1].V, out[d-2].V)
+		v.Add(v, big.NewInt(1))
+
+		e := new(big.Int).Add(out[d-1].E, out[d-2].E)
+		e.Add(e, out[d-2].V)
+		e.Add(e, big.NewInt(2))
+
+		s := new(big.Int).Add(out[d-1].S, out[d-2].S)
+		s.Add(s, out[d-2].E)
+		s.Add(s, big.NewInt(1))
+
+		out[d] = BigCounts{V: v, E: e, S: s}
+	}
+	return out
+}
+
+// ClosedFormsQ110 returns the closed-form values for H_d = Q_d(110):
+// |V(H_d)| = F_{d+3} - 1, |E(H_d)| per Proposition 6.2 and |S(H_d)| per
+// Proposition 6.3.
+func ClosedFormsQ110(d int) BigCounts {
+	v := new(big.Int).Sub(fib.Big(d+3), big.NewInt(1))
+	return BigCounts{V: v, E: fib.EdgesH(d), S: fib.SquaresH(d)}
+}
+
+// FibonacciCubeCounts returns |V|, |E| and |S| of the Fibonacci cube
+// Γ_d = Q_d(11), computed by the counting DP. Used by the Fig. 2 comparison
+// (E5) together with the identities of the paper's final remark:
+// |V(Q_d(110))| = |V(Γ_{d+1})| - 1, |E(Q_d(110))| = |E(Γ_{d+1})| - 1,
+// |S(Q_d(110))| = |S(Γ_{d+1})|.
+func FibonacciCubeCounts(d int) BigCounts {
+	return Count(d, bitstr.Ones(2))
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/fib"
+)
+
+// E3: recurrences (1)-(3) for G_d = Q_d(111) against the exact DP counts and
+// against explicitly built graphs.
+func TestE3RecurrencesQ111(t *testing.T) {
+	rec := RecurrenceQ111(30)
+	dp := CountSeq(30, w("111"))
+	for d := 0; d <= 30; d++ {
+		if rec[d].V.Cmp(dp[d].V) != 0 || rec[d].E.Cmp(dp[d].E) != 0 || rec[d].S.Cmp(dp[d].S) != 0 {
+			t.Errorf("d=%d: recurrence (%s,%s,%s) vs DP (%s,%s,%s)",
+				d, rec[d].V, rec[d].E, rec[d].S, dp[d].V, dp[d].E, dp[d].S)
+		}
+	}
+	for d := 0; d <= 12; d++ {
+		c := New(d, w("111"))
+		explicit := c.CountsExplicit()
+		if rec[d].V.Int64() != explicit.V || rec[d].E.Int64() != explicit.E || rec[d].S.Int64() != explicit.S {
+			t.Errorf("d=%d: recurrence vs explicit graph mismatch", d)
+		}
+	}
+}
+
+// Starting values quoted in Section 6 for G_d = Q_d(111).
+func TestQ111StartingValues(t *testing.T) {
+	rec := RecurrenceQ111(2)
+	wantV := []int64{1, 2, 4}
+	wantE := []int64{0, 1, 4}
+	wantS := []int64{0, 0, 1}
+	for d := 0; d <= 2; d++ {
+		if rec[d].V.Int64() != wantV[d] || rec[d].E.Int64() != wantE[d] || rec[d].S.Int64() != wantS[d] {
+			t.Errorf("d=%d starting values wrong: %+v", d, rec[d])
+		}
+	}
+}
+
+// E4: recurrences (4)-(6) for H_d = Q_d(110), the closed forms of
+// Propositions 6.2/6.3 and the identity |V(H_d)| = F_{d+3} - 1.
+func TestE4RecurrencesQ110(t *testing.T) {
+	rec := RecurrenceQ110(40)
+	dp := CountSeq(40, w("110"))
+	for d := 0; d <= 40; d++ {
+		if rec[d].V.Cmp(dp[d].V) != 0 || rec[d].E.Cmp(dp[d].E) != 0 || rec[d].S.Cmp(dp[d].S) != 0 {
+			t.Errorf("d=%d: recurrence vs DP mismatch", d)
+		}
+	}
+}
+
+func TestE4ClosedForms(t *testing.T) {
+	dp := CountSeq(40, w("110"))
+	for d := 0; d <= 40; d++ {
+		cf := ClosedFormsQ110(d)
+		if cf.V.Cmp(dp[d].V) != 0 {
+			t.Errorf("d=%d: |V| closed form %s, DP %s", d, cf.V, dp[d].V)
+		}
+		if cf.E.Cmp(dp[d].E) != 0 {
+			t.Errorf("d=%d: Prop 6.2 gives %s, DP %s", d, cf.E, dp[d].E)
+		}
+		if cf.S.Cmp(dp[d].S) != 0 {
+			t.Errorf("d=%d: Prop 6.3 gives %s, DP %s", d, cf.S, dp[d].S)
+		}
+	}
+}
+
+func TestE4ExplicitGraphs(t *testing.T) {
+	for d := 0; d <= 12; d++ {
+		c := New(d, w("110"))
+		explicit := c.CountsExplicit()
+		cf := ClosedFormsQ110(d)
+		if cf.V.Int64() != explicit.V || cf.E.Int64() != explicit.E || cf.S.Int64() != explicit.S {
+			t.Errorf("d=%d: closed forms (%s,%s,%s) vs explicit (%d,%d,%d)",
+				d, cf.V, cf.E, cf.S, explicit.V, explicit.E, explicit.S)
+		}
+	}
+}
+
+// Final-remark identities: |V(Q_d(110))| = |V(Γ_{d+1})| - 1,
+// |E(Q_d(110))| = |E(Γ_{d+1})| - 1, |S(Q_d(110))| = |S(Γ_{d+1})|.
+func TestE5FinalRemarkIdentities(t *testing.T) {
+	one := big.NewInt(1)
+	for d := 0; d <= 25; d++ {
+		h := Count(d, w("110"))
+		g := FibonacciCubeCounts(d + 1)
+		if new(big.Int).Add(h.V, one).Cmp(g.V) != 0 {
+			t.Errorf("d=%d: |V(H_d)|+1 = %s != |V(Γ_{d+1})| = %s", d, h.V, g.V)
+		}
+		if new(big.Int).Add(h.E, one).Cmp(g.E) != 0 {
+			t.Errorf("d=%d: |E(H_d)|+1 != |E(Γ_{d+1})|", d)
+		}
+		if h.S.Cmp(g.S) != 0 {
+			t.Errorf("d=%d: |S(H_d)| != |S(Γ_{d+1})|", d)
+		}
+	}
+}
+
+// Fig. 2 confronts Γ_5 = Q_5(11) with Q_4(110): same order minus one, same
+// squares, degree and diameter shifted by one.
+func TestE5Fig2Comparison(t *testing.T) {
+	gamma5 := Fibonacci(5)
+	h4 := New(4, w("110"))
+	if gamma5.N() != h4.N()+1 {
+		t.Errorf("|V(Γ_5)| = %d, |V(Q_4(110))| = %d; want difference 1", gamma5.N(), h4.N())
+	}
+	if gamma5.M() != h4.M()+1 {
+		t.Errorf("edge counts %d vs %d; want difference 1", gamma5.M(), h4.M())
+	}
+	if gamma5.Graph().CountSquares() != h4.Graph().CountSquares() {
+		t.Error("square counts should be equal")
+	}
+	sg := gamma5.Graph().Stats()
+	sh := h4.Graph().Stats()
+	if sg.Diameter != 5 || sh.Diameter != 4 {
+		t.Errorf("diameters %d, %d; want 5, 4", sg.Diameter, sh.Diameter)
+	}
+	if gamma5.Graph().MaxDegree() != 5 || h4.Graph().MaxDegree() != 4 {
+		t.Error("max degrees should be 5 and 4")
+	}
+}
+
+// |V(Q_d(1^k))| equals the k-bonacci number T^{(k)}_{d+k} (ICPP'93 family).
+func TestKBonacciOrders(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		factor := bitstr.Ones(k)
+		for d := 0; d <= 14; d++ {
+			got := Count(d, factor).V
+			want := fib.KBonacci(k, d+k)
+			if got.Cmp(want) != 0 {
+				t.Errorf("k=%d d=%d: |V| = %s, k-bonacci = %s", k, d, got, want)
+			}
+		}
+	}
+}
+
+func TestCountSeqAgainstSingle(t *testing.T) {
+	seq := CountSeq(15, w("1010"))
+	for d := 0; d <= 15; d++ {
+		single := Count(d, w("1010"))
+		if seq[d].V.Cmp(single.V) != 0 || seq[d].E.Cmp(single.E) != 0 || seq[d].S.Cmp(single.S) != 0 {
+			t.Errorf("d=%d: CountSeq disagrees with Count", d)
+		}
+	}
+}

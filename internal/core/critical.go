@@ -1,0 +1,121 @@
+package core
+
+import (
+	"gfcube/internal/bitstr"
+)
+
+// CriticalPair is a pair of p-critical words for Q_d(f) in the sense of
+// Section 2: vertices b, c of Q_d(f) with Hamming distance p >= 2 such that
+// none of the neighbors of b in the hypercube interval I(b,c) belongs to
+// Q_d(f), or none of the neighbors of c in I(b,c) does. By Lemma 2.4 the
+// existence of such a pair certifies Q_d(f) is not isometric in Q_d.
+type CriticalPair struct {
+	B, C bitstr.Word
+	P    int
+}
+
+// FindCriticalPair searches for a p-critical pair and returns the first one
+// found (scanning vertices in increasing packed order, positions
+// lexicographically). ok is false if no p-critical pair exists.
+func (c *Cube) FindCriticalPair(p int) (CriticalPair, bool) {
+	pairs := c.findCritical(p, 1)
+	if len(pairs) == 0 {
+		return CriticalPair{}, false
+	}
+	return pairs[0], true
+}
+
+// CriticalPairs returns up to limit p-critical pairs (all of them if
+// limit <= 0).
+func (c *Cube) CriticalPairs(p, limit int) []CriticalPair {
+	return c.findCritical(p, limit)
+}
+
+func (c *Cube) findCritical(p, limit int) []CriticalPair {
+	if p < 2 {
+		panic("core: critical pairs require p >= 2")
+	}
+	if p > c.d {
+		return nil
+	}
+	var out []CriticalPair
+	var rec func(start, k int, b, diff uint64) bool
+	// blockedSide reports whether every neighbor of x in I(x, y) is missing
+	// from the cube, where y = x ^ diff. The neighbors of x in the interval
+	// are exactly the words x with one differing bit flipped.
+	blockedSide := func(x, diff uint64) bool {
+		for m := diff; m != 0; m &= m - 1 {
+			if _, ok := c.rank(x ^ (m & -m)); ok {
+				return false
+			}
+		}
+		return true
+	}
+	var base uint64
+	rec = func(start, k int, b, diff uint64) bool {
+		if k == p {
+			cBits := b ^ diff
+			if _, ok := c.rank(cBits); !ok {
+				return true
+			}
+			if blockedSide(b, diff) || blockedSide(cBits, diff) {
+				out = append(out, CriticalPair{
+					B: bitstr.Word{Bits: b, N: c.d},
+					C: bitstr.Word{Bits: cBits, N: c.d},
+					P: p,
+				})
+				if limit > 0 && len(out) >= limit {
+					return false
+				}
+			}
+			return true
+		}
+		for pos := start; pos < c.d; pos++ {
+			if !rec(pos+1, k+1, b, diff|uint64(1)<<uint(c.d-1-pos)) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, v := range c.verts {
+		base = v
+		// Each unordered pair {b, c} is generated twice (once from each
+		// endpoint). To count each once, only accept b < c = b ^ diff;
+		// flipping a set of positions of b yields a larger word exactly when
+		// the leftmost flipped bit of b is 0. Rather than encode that in the
+		// recursion, we filter below: the recursion starts from b and the
+		// pair is kept only if b < c.
+		if !rec(0, 0, base, 0) {
+			break
+		}
+	}
+	// Deduplicate mirrored pairs (b,c) vs (c,b): keep pairs with B < C and
+	// drop exact duplicates.
+	seen := make(map[[2]uint64]bool, len(out))
+	dedup := out[:0]
+	for _, pr := range out {
+		b, cc := pr.B, pr.C
+		if cc.Less(b) {
+			b, cc = cc, b
+		}
+		key := [2]uint64{b.Bits, cc.Bits}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		pr.B, pr.C = b, cc
+		dedup = append(dedup, pr)
+	}
+	return dedup
+}
+
+// HasCriticalPair reports whether any p-critical pair exists for
+// 2 <= p <= maxP.
+func (c *Cube) HasCriticalPair(maxP int) (CriticalPair, bool) {
+	for p := 2; p <= maxP && p <= c.d; p++ {
+		if pair, ok := c.FindCriticalPair(p); ok {
+			return pair, true
+		}
+	}
+	return CriticalPair{}, false
+}

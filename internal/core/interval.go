@@ -1,0 +1,61 @@
+package core
+
+import (
+	"gfcube/internal/bitstr"
+	"gfcube/internal/graph"
+	"gfcube/internal/hypercube"
+)
+
+// Interval returns I_{Q_d(f)}(u, v): the vertices lying on shortest u,v-paths
+// inside the cube, in increasing packed order. For u, v in different
+// components the interval is empty.
+//
+// When Q_d(f) is an isometric subgraph of Q_d, the interval coincides with
+// the hypercube interval restricted to the cube's vertices:
+// I_{Q_d(f)}(u,v) = I_{Q_d}(u,v) ∩ V(Q_d(f)); the tests verify this
+// characterization on both isometric and non-isometric instances.
+func (c *Cube) Interval(u, v bitstr.Word) []bitstr.Word {
+	iu, ok1 := c.Rank(u)
+	iv, ok2 := c.Rank(v)
+	if !ok1 || !ok2 {
+		return nil
+	}
+	t := graph.NewTraverser(c.g)
+	du := make([]int32, c.N())
+	dv := make([]int32, c.N())
+	t.BFS(iu, du)
+	t.BFS(iv, dv)
+	if du[iv] == graph.Unreachable {
+		return nil
+	}
+	target := du[iv]
+	var out []bitstr.Word
+	for i := 0; i < c.N(); i++ {
+		if du[i] != graph.Unreachable && dv[i] != graph.Unreachable && du[i]+dv[i] == target {
+			out = append(out, c.Word(i))
+		}
+	}
+	return out
+}
+
+// IntervalMatchesHypercube reports whether I_{Q_d(f)}(u,v) equals
+// I_{Q_d}(u,v) ∩ V(Q_d(f)) - true for every pair exactly when distances
+// between u and v region behave isometrically.
+func (c *Cube) IntervalMatchesHypercube(u, v bitstr.Word) bool {
+	got := c.Interval(u, v)
+	var want []bitstr.Word
+	for _, w := range hypercube.Interval(u, v) {
+		if c.Contains(w) {
+			want = append(want, w)
+		}
+	}
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

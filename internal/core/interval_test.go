@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/hypercube"
+)
+
+func TestIntervalIsometricCharacterization(t *testing.T) {
+	// On isometric cubes the cube interval equals the hypercube interval
+	// restricted to cube vertices, for every pair.
+	for _, fs := range []string{"11", "110", "1010"} {
+		f := bitstr.MustParse(fs)
+		c := New(7, f)
+		if !c.IsIsometric().Isometric {
+			t.Fatalf("expected isometric instance for f=%s", fs)
+		}
+		for i := 0; i < c.N(); i++ {
+			for j := i + 1; j < c.N(); j++ {
+				if !c.IntervalMatchesHypercube(c.Word(i), c.Word(j)) {
+					t.Fatalf("f=%s: interval characterization fails at (%s, %s)",
+						fs, c.Word(i), c.Word(j))
+				}
+			}
+		}
+	}
+}
+
+func TestIntervalNonIsometricViolation(t *testing.T) {
+	// On a non-isometric cube the characterization must fail at the
+	// isometry witness (the pair whose geodesics leave the hypercube
+	// interval).
+	c := New(5, bitstr.MustParse("101"))
+	res := c.IsIsometricSerial()
+	if res.Isometric {
+		t.Fatal("Q_5(101) should not be isometric")
+	}
+	if c.IntervalMatchesHypercube(res.U, res.V) {
+		t.Errorf("characterization should fail at witness (%s, %s)", res.U, res.V)
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	c := Fibonacci(6)
+	u := bitstr.MustParse("000000")
+	// I(u, u) = {u}.
+	iv := c.Interval(u, u)
+	if len(iv) != 1 || iv[0] != u {
+		t.Errorf("I(u,u) = %v", iv)
+	}
+	// Interval of adjacent vertices is the pair itself.
+	v := bitstr.MustParse("000001")
+	iv = c.Interval(u, v)
+	if len(iv) != 2 {
+		t.Errorf("adjacent interval has %d vertices", len(iv))
+	}
+	// Non-vertices give nil.
+	if c.Interval(bitstr.MustParse("110000"), u) != nil {
+		t.Error("interval with non-vertex should be nil")
+	}
+}
+
+func TestIntervalContainsMedianTriple(t *testing.T) {
+	// In the median-closed Γ_d, the median of any triple lies in all three
+	// pairwise intervals (spot-checked randomly).
+	c := Fibonacci(8)
+	rng := rand.New(rand.NewSource(3))
+	inInterval := func(w bitstr.Word, iv []bitstr.Word) bool {
+		for _, x := range iv {
+			if x == w {
+				return true
+			}
+		}
+		return false
+	}
+	for iter := 0; iter < 25; iter++ {
+		u := c.Word(rng.Intn(c.N()))
+		v := c.Word(rng.Intn(c.N()))
+		w := c.Word(rng.Intn(c.N()))
+		m := hypercube.Median(u, v, w)
+		if !c.Contains(m) {
+			t.Fatalf("median %s missing from median-closed Γ_8", m)
+		}
+		if !inInterval(m, c.Interval(u, v)) || !inInterval(m, c.Interval(u, w)) || !inInterval(m, c.Interval(v, w)) {
+			t.Fatalf("median %s outside a pairwise interval of (%s,%s,%s)", m, u, v, w)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"gfcube/internal/bitstr"
+	"gfcube/internal/hypercube"
+)
+
+// MedianWitness is a triple of vertices of Q_d(f) whose hypercube median is
+// not a vertex of Q_d(f); it certifies that the cube is not a median closed
+// subgraph of Q_d.
+type MedianWitness struct {
+	U, V, W bitstr.Word
+	Median  bitstr.Word
+}
+
+// IsMedianClosed reports whether Q_d(f) is a median closed subgraph of Q_d:
+// for every triple of vertices the (unique) hypercube median, the bitwise
+// majority word, is also a vertex. For a negative answer the witness triple
+// is returned. Proposition 6.4 proves this holds exactly when |f| = 2
+// (paths and Fibonacci cubes), for d >= |f|.
+//
+// The check is exact and enumerates all triples; it is meant for the
+// moderate cube sizes of the experiments (the cost is O(|V|^3) median
+// lookups with early exit).
+func (c *Cube) IsMedianClosed() (bool, MedianWitness) {
+	n := c.N()
+	for i := 0; i < n; i++ {
+		wi := c.Word(i)
+		for j := i + 1; j < n; j++ {
+			wj := c.Word(j)
+			for k := j + 1; k < n; k++ {
+				wk := c.Word(k)
+				m := hypercube.Median(wi, wj, wk)
+				if !c.Contains(m) {
+					return false, MedianWitness{U: wi, V: wj, W: wk, Median: m}
+				}
+			}
+		}
+	}
+	return true, MedianWitness{}
+}
+
+// Prop64Witness constructs the non-median triple used in the proof of
+// Proposition 6.4 for |f| >= 3 and d >= |f|. With g the complement of the
+// last bit of f, the three words are obtained from f by complementing
+// exactly one of its last three positions and appending d-|f| copies of g.
+// They avoid f, are pairwise at distance 2, and their unique hypercube
+// median (the bitwise majority) is f g...g, which contains f; the triple
+// therefore certifies that Q_d(f) is not median closed.
+func Prop64Witness(f bitstr.Word, d int) (x, y, z, median bitstr.Word) {
+	n := f.Len()
+	if n < 3 {
+		panic("core: Prop64Witness needs |f| >= 3")
+	}
+	if d < n {
+		panic("core: Prop64Witness needs d >= |f|")
+	}
+	g := f.Bit(n-1) ^ 1
+	tail := bitstr.Zeros(0)
+	for i := 0; i < d-n; i++ {
+		tail = tail.Concat(bitstr.New(g, 1))
+	}
+	x = f.Flip(n - 1).Concat(tail)
+	y = f.Flip(n - 2).Concat(tail)
+	z = f.Flip(n - 3).Concat(tail)
+	median = f.Concat(tail)
+	return x, y, z, median
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/hypercube"
+)
+
+// E7 / Proposition 6.4: among generalized Fibonacci cubes with d >= |f|,
+// exactly the |f| = 2 cases (paths and Fibonacci cubes) are median closed.
+func TestE7Prop64MedianClosedLength2(t *testing.T) {
+	for _, fs := range []string{"11", "10", "01", "00"} {
+		f := w(fs)
+		for d := 2; d <= 7; d++ {
+			if ok, wit := New(d, f).IsMedianClosed(); !ok {
+				t.Errorf("Q_%d(%s) should be median closed; witness (%s,%s,%s) -> %s",
+					d, fs, wit.U, wit.V, wit.W, wit.Median)
+			}
+		}
+	}
+}
+
+func TestE7Prop64NotMedianClosedLonger(t *testing.T) {
+	for _, fs := range []string{"111", "110", "101", "1100", "1010", "1111", "11010"} {
+		f := w(fs)
+		for d := f.Len(); d <= f.Len()+2 && d <= 7; d++ {
+			ok, wit := New(d, f).IsMedianClosed()
+			if ok {
+				t.Errorf("Q_%d(%s) should not be median closed", d, fs)
+				continue
+			}
+			// The witness must be genuine.
+			c := New(d, f)
+			if !c.Contains(wit.U) || !c.Contains(wit.V) || !c.Contains(wit.W) {
+				t.Error("witness vertices not in cube")
+			}
+			if c.Contains(wit.Median) {
+				t.Error("witness median is in the cube")
+			}
+			if hypercube.Median(wit.U, wit.V, wit.W) != wit.Median {
+				t.Error("witness median is not the majority word")
+			}
+		}
+	}
+}
+
+// The constructive witness triple from the proof of Proposition 6.4.
+func TestProp64WitnessConstruction(t *testing.T) {
+	for _, fs := range []string{"111", "110", "101", "1100", "11010", "101010"} {
+		f := w(fs)
+		for d := f.Len(); d <= f.Len()+3 && d <= 12; d++ {
+			x, y, z, m := Prop64Witness(f, d)
+			c := New(d, f)
+			for _, v := range []bitstr.Word{x, y, z} {
+				if !c.Contains(v) {
+					t.Errorf("f=%s d=%d: witness %s not a vertex", fs, d, v)
+				}
+			}
+			if c.Contains(m) {
+				t.Errorf("f=%s d=%d: median %s is a vertex, should contain f", fs, d, m)
+			}
+			if hypercube.Median(x, y, z) != m {
+				t.Errorf("f=%s d=%d: majority of witnesses != claimed median", fs, d)
+			}
+			if x.HammingDistance(y) != 2 || y.HammingDistance(z) != 2 || x.HammingDistance(z) != 2 {
+				t.Errorf("f=%s d=%d: witnesses not pairwise at distance 2", fs, d)
+			}
+		}
+	}
+}
+
+func TestProp64WitnessPanics(t *testing.T) {
+	assert := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assert("short factor", func() { Prop64Witness(w("11"), 5) })
+	assert("d too small", func() { Prop64Witness(w("111"), 2) })
+}
+
+// Fibonacci cubes are median graphs ([12]); spot-check the stronger local
+// property that the median of every triple of Γ_d vertices is a vertex.
+func TestFibonacciCubesMedianClosed(t *testing.T) {
+	for d := 1; d <= 8; d++ {
+		if ok, _ := Fibonacci(d).IsMedianClosed(); !ok {
+			t.Errorf("Γ_%d not median closed", d)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gfcube/internal/automaton"
+	"gfcube/internal/bitstr"
+)
+
+// smallFactor draws a random nonempty factor of length 2..5 and a dimension
+// 1..9 for randomized structural properties.
+func smallFactor(rng *rand.Rand) (bitstr.Word, int) {
+	n := 2 + rng.Intn(4)
+	f := bitstr.Random(rng, n)
+	return f, 1 + rng.Intn(9)
+}
+
+func TestQuickCountsInvariantUnderSymmetry(t *testing.T) {
+	// |V|, |E|, |S| of Q_d(f) are invariant under complementing and
+	// reversing f (Lemmas 2.2, 2.3 via isomorphism).
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 60; iter++ {
+		f, d := smallFactor(rng)
+		base := Count(d, f)
+		for _, g := range []bitstr.Word{f.Complement(), f.Reverse(), f.Complement().Reverse()} {
+			other := Count(d, g)
+			if base.V.Cmp(other.V) != 0 || base.E.Cmp(other.E) != 0 || base.S.Cmp(other.S) != 0 {
+				t.Fatalf("counts differ between %s and %s at d=%d", f, g, d)
+			}
+		}
+	}
+}
+
+func TestQuickIsometryInvariantUnderSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for iter := 0; iter < 25; iter++ {
+		f, d := smallFactor(rng)
+		if d > 8 {
+			d = 8
+		}
+		base := New(d, f).IsIsometric().Isometric
+		for _, g := range []bitstr.Word{f.Complement(), f.Reverse()} {
+			if got := New(d, g).IsIsometric().Isometric; got != base {
+				t.Fatalf("isometry differs between %s (%v) and %s (%v) at d=%d", f, base, g, got, d)
+			}
+		}
+	}
+}
+
+func TestQuickDPMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for iter := 0; iter < 60; iter++ {
+		f, d := smallFactor(rng)
+		c := New(d, f)
+		explicit := c.CountsExplicit()
+		dp := Count(d, f)
+		if dp.V.Int64() != explicit.V || dp.E.Int64() != explicit.E || dp.S.Int64() != explicit.S {
+			t.Fatalf("DP vs explicit mismatch for f=%s d=%d", f, d)
+		}
+	}
+}
+
+func TestQuickVertexMonotonicity(t *testing.T) {
+	// Adding a dimension never shrinks the vertex set: |V(Q_{d+1}(f))| >=
+	// |V(Q_d(f))| (append a bit that extends some vertex).
+	prop := func(f bitstr.Word) bool {
+		if f.Len() < 2 {
+			return true
+		}
+		a := automaton.New(f)
+		seq := a.CountVerticesSeq(12)
+		for d := 1; d <= 12; d++ {
+			if seq[d].Cmp(seq[d-1]) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(34))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubcubeInclusion(t *testing.T) {
+	// If g is a factor of f then avoiding g is stricter than avoiding f:
+	// V(Q_d(g)) is a subset of V(Q_d(f)).
+	rng := rand.New(rand.NewSource(35))
+	for iter := 0; iter < 50; iter++ {
+		f := bitstr.Random(rng, 3+rng.Intn(3))
+		// Take g = a proper factor of f.
+		glen := 1 + rng.Intn(f.Len()-1)
+		start := rng.Intn(f.Len() - glen + 1)
+		g := f.Factor(start, glen)
+		d := 1 + rng.Intn(9)
+		cg := New(d, g)
+		cf := New(d, f)
+		for i := 0; i < cg.N(); i++ {
+			if !cf.Contains(cg.Word(i)) {
+				t.Fatalf("V(Q_%d(%s)) not contained in V(Q_%d(%s)): %s", d, g, d, f, cg.Word(i))
+			}
+		}
+		if cg.N() > cf.N() {
+			t.Fatalf("|V(Q_%d(%s))| > |V(Q_%d(%s))|", d, g, d, f)
+		}
+	}
+}
+
+func TestQuickDegreeBound(t *testing.T) {
+	// Every vertex of Q_d(f) has degree at most d, and the number of edges
+	// satisfies the handshake bound |E| <= d|V|/2.
+	rng := rand.New(rand.NewSource(36))
+	for iter := 0; iter < 40; iter++ {
+		f, d := smallFactor(rng)
+		c := New(d, f)
+		if c.Graph().MaxDegree() > d {
+			t.Fatalf("degree exceeds d for f=%s d=%d", f, d)
+		}
+		if 2*c.M() > d*c.N() {
+			t.Fatalf("handshake bound violated for f=%s d=%d", f, d)
+		}
+	}
+}
+
+func TestQuickIsometricImpliesDiameterD(t *testing.T) {
+	// Proposition 6.1 on random instances: if Q_d(f) is isometric, nontrivial
+	// and f is not 10/01-like, diameter = max degree = d.
+	rng := rand.New(rand.NewSource(37))
+	checked := 0
+	for iter := 0; iter < 120 && checked < 25; iter++ {
+		f, d := smallFactor(rng)
+		if d <= f.Len() || f.OnesCount() == 0 || f.OnesCount() == f.Len() {
+			// Need f with both symbols for the "two 1s" hypothesis to have
+			// a chance; skip trivial dimensions.
+			continue
+		}
+		if f.Len() == 2 {
+			continue // 10/01 are the excluded path cases
+		}
+		c := New(d, f)
+		if !c.IsIsometric().Isometric {
+			continue
+		}
+		checked++
+		st := c.Graph().Stats()
+		if int(st.Diameter) != d || c.Graph().MaxDegree() != d {
+			t.Fatalf("Prop 6.1 violated for f=%s d=%d: diam=%d maxdeg=%d",
+				f, d, st.Diameter, c.Graph().MaxDegree())
+		}
+	}
+	if checked == 0 {
+		t.Skip("no isometric instances drawn")
+	}
+}
+
+func TestQuickCriticalScreenSoundOnRandom(t *testing.T) {
+	// Lemma 2.4 on random instances: a critical pair implies non-isometry.
+	rng := rand.New(rand.NewSource(38))
+	for iter := 0; iter < 30; iter++ {
+		f, d := smallFactor(rng)
+		if d > 8 {
+			d = 8
+		}
+		c := New(d, f)
+		if _, found := c.HasCriticalPair(3); found {
+			if c.IsIsometric().Isometric {
+				t.Fatalf("critical pair on isometric cube f=%s d=%d", f, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+
+	"gfcube/internal/bitstr"
+)
+
+// Verdict is the embeddability status of Q_d(f) in Q_d predicted by the
+// paper's theory.
+type Verdict int
+
+const (
+	// Isometric: the paper proves Q_d(f) is an isometric subgraph of Q_d.
+	Isometric Verdict = iota
+	// NotIsometric: the paper proves it is not.
+	NotIsometric
+	// Unknown: the paper's results do not decide this (d, f) pair.
+	Unknown
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Isometric:
+		return "isometric"
+	case NotIsometric:
+		return "not isometric"
+	default:
+		return "unknown"
+	}
+}
+
+// Classification is a verdict together with the result of the paper that
+// yields it.
+type Classification struct {
+	Verdict Verdict
+	Reason  string
+}
+
+// Classify returns the embeddability of Q_d(f) in Q_d as predicted by the
+// paper's theory: Lemma 2.1, Propositions 3.1, 3.2, 4.1, 4.2, 5.1 and
+// Theorems 3.3, 4.3, 4.4, including the in-text computer-checked cases, all
+// applied up to the complement/reversal symmetries of Lemmas 2.2 and 2.3.
+// For factor/dimension pairs outside the paper's results the verdict is
+// Unknown.
+func Classify(f bitstr.Word, d int) Classification {
+	if f.Len() == 0 {
+		panic("core: empty forbidden factor")
+	}
+	if d <= f.Len() {
+		return Classification{Isometric, "Lemma 2.1 (d <= |f|)"}
+	}
+	variants := []bitstr.Word{f, f.Complement(), f.Reverse(), f.Complement().Reverse()}
+	best := Classification{Unknown, "not covered by the paper's results"}
+	for _, g := range variants {
+		if cl, ok := classifyVariant(g, d); ok {
+			if cl.Verdict != Unknown {
+				return cl
+			}
+			best = cl
+		}
+	}
+	return best
+}
+
+// classifyVariant matches g against the families of Sections 3-5 in their
+// stated orientation (leading 1s). ok reports whether any family matched.
+func classifyVariant(g bitstr.Word, d int) (Classification, bool) {
+	blocks := g.Blocks()
+	switch len(blocks) {
+	case 1:
+		if blocks[0].Bit == 1 {
+			return Classification{Isometric, "Proposition 3.1 (f = 1^s)"}, true
+		}
+	case 2:
+		if blocks[0].Bit != 1 {
+			break
+		}
+		r, s := blocks[0].Len, blocks[1].Len
+		if s == 1 {
+			return Classification{Isometric, "Theorem 3.3(i) (f = 1^r 0)"}, true
+		}
+		if r == 1 {
+			// 1 0^s: the reverse-complement is 1^s 0, Theorem 3.3(i); this
+			// orientation is matched when the caller passes that variant.
+			break
+		}
+		if r == 2 {
+			if d <= s+4 {
+				return Classification{Isometric, "Theorem 3.3(ii) (f = 1^2 0^s, d <= s+4)"}, true
+			}
+			return Classification{NotIsometric, "Theorem 3.3(ii) (f = 1^2 0^s, d > s+4)"}, true
+		}
+		if s == 2 {
+			// 1^r 0^2 with r >= 3: symmetric to 1^2 0^r via complement and
+			// reversal; apply Theorem 3.3(ii) with s' = r.
+			if d <= r+4 {
+				return Classification{Isometric, "Theorem 3.3(ii) via Lemmas 2.2/2.3 (f ~ 1^2 0^r, d <= r+4)"}, true
+			}
+			return Classification{NotIsometric, "Theorem 3.3(ii) via Lemmas 2.2/2.3 (f ~ 1^2 0^r, d > r+4)"}, true
+		}
+		// r, s >= 3.
+		if d <= 2*r+2*s-3 {
+			return Classification{Isometric, "Theorem 3.3(iii) (f = 1^r 0^s, d <= 2r+2s-3)"}, true
+		}
+		return Classification{NotIsometric, "Theorem 3.3(iii) (f = 1^r 0^s, d > 2r+2s-3)"}, true
+	case 3:
+		if blocks[0].Bit == 1 && blocks[2].Bit == 1 {
+			// 1^r 0^s 1^t is non-embeddable for every d >= r+s+t+1 = |f|+1
+			// (Proposition 3.2); the d <= |f| case was already handled.
+			return Classification{NotIsometric, "Proposition 3.2 (f = 1^r 0^s 1^t, d > |f|)"}, true
+		}
+	}
+
+	// Special string of Proposition 5.1.
+	if g == bitstr.MustParse("11010") {
+		return Classification{Isometric, "Proposition 5.1 (f = 11010)"}, true
+	}
+
+	// 1^s 0 1^s 0 (Theorem 4.3), s >= 2.
+	if n := g.Len(); n >= 6 && n%2 == 0 {
+		s := n/2 - 1
+		if s >= 2 && g == bitstr.TwoOnesBlocks(s) {
+			return Classification{Isometric, "Theorem 4.3 (f = 1^s 0 1^s 0)"}, true
+		}
+	}
+
+	// (10)^s (Theorem 4.4).
+	if n := g.Len(); n%2 == 0 && n >= 2 && g == bitstr.Alternating(n/2) {
+		return Classification{Isometric, "Theorem 4.4 (f = (10)^s)"}, true
+	}
+
+	// (10)^s 1 (Proposition 4.1), s >= 2; s = 1 is 101, Proposition 3.2.
+	if n := g.Len(); n%2 == 1 && n >= 5 && g == bitstr.AlternatingOne((n-1)/2) {
+		s := (n - 1) / 2
+		if d >= 4*s {
+			return Classification{NotIsometric, "Proposition 4.1 (f = (10)^s 1, d >= 4s)"}, true
+		}
+		if s == 2 {
+			// 10101: computer check of Table 1 for d = 6, 7.
+			return Classification{Isometric, "Table 1 computer check (f = 10101, d <= 7)"}, true
+		}
+		return Classification{Unknown, "gap |f| < d < 4s of Proposition 4.1"}, true
+	}
+
+	// (10)^r 1 (10)^s (Proposition 4.2), r, s >= 1.
+	if n := g.Len(); n%2 == 1 && n >= 5 {
+		for r := 1; 2*r+1 < n; r++ {
+			s := (n - 2*r - 1) / 2
+			if s < 1 || 2*r+1+2*s != n {
+				continue
+			}
+			if g == bitstr.AlternatingMid(r, s) {
+				if d >= 2*r+2*s+3 {
+					return Classification{NotIsometric, "Proposition 4.2 (f = (10)^r 1 (10)^s, d >= 2r+2s+3)"}, true
+				}
+				if r == 1 && s == 1 {
+					// 10110: computer check of Table 1 for d = 6.
+					return Classification{Isometric, "Table 1 computer check (f = 10110, d = 6)"}, true
+				}
+				return Classification{Unknown, "gap d = 2r+2s+2 of Proposition 4.2"}, true
+			}
+		}
+	}
+
+	return Classification{}, false
+}
+
+// Witness pairs used in the paper's non-embeddability proofs. Each function
+// returns the two words for the base dimension stated in the proof, padded
+// with leading 1s up to dimension d as the proofs prescribe. The tests
+// verify that the pairs are indeed p-critical for Q_d(f), reproducing the
+// proofs computationally.
+
+// pad1 prepends 1s to bring w up to length d.
+func pad1(w bitstr.Word, d int) bitstr.Word {
+	if w.Len() > d {
+		panic(fmt.Sprintf("core: witness longer (%d) than dimension %d", w.Len(), d))
+	}
+	return bitstr.Ones(d - w.Len()).Concat(w)
+}
+
+// WitnessProp32 returns the 2-critical words of Proposition 3.2 for
+// f = 1^r 0^s 1^t in dimension d >= r+s+t+1:
+// b = 1^r 1 0^{s-1} 1 1^t, c = 1^r 0 0^{s-1} 0 1^t.
+func WitnessProp32(r, s, t, d int) (b, c bitstr.Word) {
+	b = bitstr.ConcatAll(bitstr.Ones(r), bitstr.Ones(1), bitstr.Zeros(s-1), bitstr.Ones(1), bitstr.Ones(t))
+	c = bitstr.ConcatAll(bitstr.Ones(r), bitstr.Zeros(1), bitstr.Zeros(s-1), bitstr.Zeros(1), bitstr.Ones(t))
+	return pad1(b, d), pad1(c, d)
+}
+
+// WitnessThm33Case1 returns the 3-critical words used for f = 1^2 0^2 in
+// dimension d >= 7: b = 1^2 10 10^2, c = 1^2 01 00^2.
+func WitnessThm33Case1(d int) (b, c bitstr.Word) {
+	b = bitstr.MustParse("1110100")
+	c = bitstr.MustParse("1101000")
+	return pad1(b, d), pad1(c, d)
+}
+
+// WitnessThm33Case2 returns the 2-critical words used for f = 1^r 0^s
+// (r > 2 or s > 2) in dimension d >= 2r+2s-2:
+// b = 1^r 0^{s-2} 1 0 1^{r-2} 0^s, c = 1^r 0^{s-2} 0 1 1^{r-2} 0^s.
+func WitnessThm33Case2(r, s, d int) (b, c bitstr.Word) {
+	b = bitstr.ConcatAll(bitstr.Ones(r), bitstr.Zeros(s-2), bitstr.MustParse("10"), bitstr.Ones(r-2), bitstr.Zeros(s))
+	c = bitstr.ConcatAll(bitstr.Ones(r), bitstr.Zeros(s-2), bitstr.MustParse("01"), bitstr.Ones(r-2), bitstr.Zeros(s))
+	return pad1(b, d), pad1(c, d)
+}
+
+// WitnessThm33Case1Inner returns the 2-critical words used inside the claim
+// of Theorem 3.3 for f = 1^2 0^s (s >= 4, d > s+4) with k = d-s-4:
+// b = 1^2 0^k 1 0 0^s, c = 1^2 0^k 0 1 0^s.
+func WitnessThm33Case1Inner(s, d int) (b, c bitstr.Word) {
+	k := d - s - 4
+	b = bitstr.ConcatAll(bitstr.Ones(2), bitstr.Zeros(k), bitstr.MustParse("10"), bitstr.Zeros(s))
+	c = bitstr.ConcatAll(bitstr.Ones(2), bitstr.Zeros(k), bitstr.MustParse("01"), bitstr.Zeros(s))
+	return b, c
+}
+
+// WitnessProp41 returns the 2-critical words of Proposition 4.1 for
+// f = (10)^s 1 (s >= 2) in dimension d >= 4s:
+// b = (10)^{s-1} 100 (10)^{s-1} 1, c = (10)^{s-1} 111 (10)^{s-1} 1.
+func WitnessProp41(s, d int) (b, c bitstr.Word) {
+	b = bitstr.ConcatAll(bitstr.Alternating(s-1), bitstr.MustParse("100"), bitstr.Alternating(s-1), bitstr.Ones(1))
+	c = bitstr.ConcatAll(bitstr.Alternating(s-1), bitstr.MustParse("111"), bitstr.Alternating(s-1), bitstr.Ones(1))
+	return pad1(b, d), pad1(c, d)
+}
+
+// WitnessProp42 returns the 2-critical words of Proposition 4.2 for
+// f = (10)^r 1 (10)^s in dimension d >= 2r+2s+3:
+// b = (10)^r 100 (10)^s, c = (10)^r 111 (10)^s.
+func WitnessProp42(r, s, d int) (b, c bitstr.Word) {
+	b = bitstr.ConcatAll(bitstr.Alternating(r), bitstr.MustParse("100"), bitstr.Alternating(s))
+	c = bitstr.ConcatAll(bitstr.Alternating(r), bitstr.MustParse("111"), bitstr.Alternating(s))
+	return pad1(b, d), pad1(c, d)
+}
+
+// IsCriticalPair checks the Section 2 definition directly: b and c are
+// vertices at Hamming distance p >= 2 such that all neighbors of b inside
+// I(b,c), or all neighbors of c inside I(b,c), are missing from the cube.
+func (c *Cube) IsCriticalPair(b, cc bitstr.Word) bool {
+	if !c.Contains(b) || !c.Contains(cc) {
+		return false
+	}
+	diff := b.Bits ^ cc.Bits
+	if p := b.HammingDistance(cc); p < 2 {
+		return false
+	}
+	blocked := func(x uint64) bool {
+		for m := diff; m != 0; m &= m - 1 {
+			if _, ok := c.rank(x ^ (m & -m)); ok {
+				return false
+			}
+		}
+		return true
+	}
+	return blocked(b.Bits) || blocked(cc.Bits)
+}

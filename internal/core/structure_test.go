@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"gfcube/internal/bitstr"
+)
+
+// Eccentricity structure of Fibonacci cubes: 0^d is a center with
+// eccentricity ⌈d/2⌉ (its farthest vertices are the maximum-weight
+// alternating words), and the radius equals ⌈d/2⌉.
+func TestFibonacciEccentricityStructure(t *testing.T) {
+	for d := 1; d <= 10; d++ {
+		c := Fibonacci(d)
+		st := c.Graph().Stats()
+		want := (d + 1) / 2
+		zero, ok := c.Rank(bitstr.Zeros(d))
+		if !ok {
+			t.Fatalf("0^%d missing", d)
+		}
+		if int(st.Ecc[zero]) != want {
+			t.Errorf("ecc(0^%d) = %d, want %d", d, st.Ecc[zero], want)
+		}
+		if int(st.Radius) != want {
+			t.Errorf("radius(Γ_%d) = %d, want %d", d, st.Radius, want)
+		}
+		if int(st.Diameter) != d {
+			t.Errorf("diameter(Γ_%d) = %d, want %d", d, st.Diameter, d)
+		}
+	}
+}
+
+// In an isometric Q_d(f), the eccentricity of 0^d equals the maximum weight
+// of a vertex (distances are Hamming distances from 0).
+func TestEccOfZeroIsMaxWeight(t *testing.T) {
+	for _, fs := range []string{"11", "111", "110", "1010", "11010"} {
+		f := bitstr.MustParse(fs)
+		for d := 2; d <= 9; d++ {
+			c := New(d, f)
+			if !c.IsIsometric().Isometric {
+				continue
+			}
+			zero, ok := c.Rank(bitstr.Zeros(d))
+			if !ok {
+				continue
+			}
+			maxW := 0
+			for i := 0; i < c.N(); i++ {
+				if w := c.Word(i).OnesCount(); w > maxW {
+					maxW = w
+				}
+			}
+			st := c.Graph().Stats()
+			if int(st.Ecc[zero]) != maxW {
+				t.Errorf("f=%s d=%d: ecc(0^d) = %d, max weight = %d", fs, d, st.Ecc[zero], maxW)
+			}
+		}
+	}
+}
+
+// The average distance of Γ_d grows sublinearly relative to Q_d's d/2: the
+// Fibonacci cube is "denser" metrically than the hypercube of equal
+// dimension, one of the topology selling points.
+func TestFibonacciAvgDistanceBelowHypercube(t *testing.T) {
+	for d := 3; d <= 11; d++ {
+		avg := Fibonacci(d).Graph().AvgDistance()
+		n := float64(int(1) << uint(d))
+		hyper := float64(d) / 2 * n / (n - 1) // exact Q_d mean over pairs
+		if avg >= hyper {
+			t.Errorf("Γ_%d avg distance %.3f not below Q_%d's %.3f", d, avg, d, hyper)
+		}
+	}
+}
+
+// Degree distribution invariants: the histogram sums to |V|, is supported
+// on [min degree, d], and its first moment is 2|E|.
+func TestDegreeDistribution(t *testing.T) {
+	for _, fs := range []string{"11", "110", "101", "1010"} {
+		f := bitstr.MustParse(fs)
+		for d := 1; d <= 10; d++ {
+			c := New(d, f)
+			dist := c.DegreeDistribution()
+			if len(dist) != d+1 {
+				t.Fatalf("f=%s d=%d: histogram length %d", fs, d, len(dist))
+			}
+			total, moment := 0, 0
+			for deg, n := range dist {
+				total += n
+				moment += deg * n
+			}
+			if total != c.N() {
+				t.Errorf("f=%s d=%d: histogram sums to %d, |V| = %d", fs, d, total, c.N())
+			}
+			if moment != 2*c.M() {
+				t.Errorf("f=%s d=%d: first moment %d, 2|E| = %d", fs, d, moment, 2*c.M())
+			}
+		}
+	}
+	// Γ_4 concretely: five degree-2, two degree-3 and one degree-4 vertex
+	// (first moment 20 = 2|E(Γ_4)| = 2·10).
+	dist := Fibonacci(4).DegreeDistribution()
+	want := []int{0, 0, 5, 2, 1}
+	for k := range want {
+		if dist[k] != want[k] {
+			t.Errorf("Γ_4 degree %d count = %d, want %d (full: %v)", k, dist[k], want[k], dist)
+		}
+	}
+}
+
+// Vertex weights partition Γ_d into levels of sizes C(d-k+1, k) (the
+// Fibonacci-diagonal binomials); check the total and the extreme levels.
+func TestFibonacciWeightLevels(t *testing.T) {
+	binom := func(n, k int) int {
+		if k < 0 || k > n {
+			return 0
+		}
+		out := 1
+		for i := 0; i < k; i++ {
+			out = out * (n - i) / (i + 1)
+		}
+		return out
+	}
+	for d := 1; d <= 12; d++ {
+		c := Fibonacci(d)
+		levels := make(map[int]int)
+		for i := 0; i < c.N(); i++ {
+			levels[c.Word(i).OnesCount()]++
+		}
+		total := 0
+		for k, n := range levels {
+			want := binom(d-k+1, k)
+			if n != want {
+				t.Errorf("Γ_%d: level %d has %d vertices, want C(%d,%d) = %d", d, k, n, d-k+1, k, want)
+			}
+			total += n
+		}
+		if total != c.N() {
+			t.Errorf("levels do not partition Γ_%d", d)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"gfcube/internal/bitstr"
+)
+
+// E13 (extension experiment): the Table 1 census continued to length 6.
+// For each complement/reversal class, the first dimension where Q_d(f)
+// stops being isometric in Q_d, computed exactly. This extends the paper's
+// classification with new data and exposes two classes (001101, 011001 in
+// canonical form) that are good through d = 11 but are not covered by the
+// paper's theory.
+func TestE13SurveyLength6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive survey")
+	}
+	const maxD = 11
+	firstFail := map[string]int{} // canonical factor -> first failing d (0 = good)
+	for _, f := range bitstr.CanonicalOfLen(6) {
+		fail := 0
+		for d := 7; d <= maxD; d++ {
+			if !New(d, f).IsIsometric().Isometric {
+				fail = d
+				break
+			}
+		}
+		firstFail[f.String()] = fail
+	}
+	if len(firstFail) != 20 {
+		t.Fatalf("length-6 classes: %d, want 20", len(firstFail))
+	}
+	good := 0
+	hist := map[int]int{}
+	for _, fail := range firstFail {
+		if fail == 0 {
+			good++
+		} else {
+			hist[fail]++
+		}
+	}
+	if good != 6 {
+		t.Errorf("good classes: %d, want 6", good)
+	}
+	wantHist := map[int]int{7: 6, 8: 4, 9: 3, 10: 1}
+	for d, n := range wantHist {
+		if hist[d] != n {
+			t.Errorf("first failures at d=%d: %d, want %d", d, hist[d], n)
+		}
+	}
+	// The six good classes, including the two not covered by the theory.
+	wantGood := []string{"000000", "000001", "001001", "001101", "010101", "011001"}
+	for _, s := range wantGood {
+		if firstFail[s] != 0 {
+			t.Errorf("class %s should be good up to d=%d, first fail %d", s, maxD, firstFail[s])
+		}
+	}
+	// Wherever the theory speaks it must agree with the census.
+	for s, fail := range firstFail {
+		f := bitstr.MustParse(s)
+		for d := 7; d <= maxD; d++ {
+			cl := Classify(f, d)
+			if cl.Verdict == Unknown {
+				continue
+			}
+			computed := fail == 0 || d < fail
+			if computed != (cl.Verdict == Isometric) {
+				t.Errorf("f=%s d=%d: census %v, theory %v (%s)", s, d, computed, cl.Verdict, cl.Reason)
+			}
+		}
+	}
+}
+
+// The critical-word screen agrees with the exact census on all of length 6.
+func TestE13SurveyScreenAgrees(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive survey")
+	}
+	for _, f := range bitstr.CanonicalOfLen(6) {
+		for d := 7; d <= 10; d++ {
+			c := New(d, f)
+			_, hasCrit := c.HasCriticalPair(3)
+			exact := c.IsIsometric().Isometric
+			if hasCrit == exact {
+				t.Errorf("f=%s d=%d: screen %v vs exact %v disagree", f, d, !hasCrit, exact)
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import "gfcube/internal/bitstr"
+
+// AllD marks a Table 1 row whose factor yields an isometric subgraph for
+// every dimension d.
+const AllD = -1
+
+// Table1Row is one row of the paper's Table 1: the classification of
+// embeddability of Q_d(f) for a forbidden factor of length at most 5, up to
+// complement and reversal.
+type Table1Row struct {
+	// Factor is the representative string as printed in the paper.
+	Factor string
+	// UpTo is the largest d for which Q_d(f) is an isometric subgraph of
+	// Q_d; AllD means isometric for every d.
+	UpTo int
+	// Citation is the result of the paper that settles the row.
+	Citation string
+}
+
+// VerdictFor returns the row's verdict for dimension d.
+func (r Table1Row) VerdictFor(d int) Verdict {
+	if r.UpTo == AllD || d <= r.UpTo {
+		return Isometric
+	}
+	return NotIsometric
+}
+
+// Word returns the row's factor as a parsed word.
+func (r Table1Row) Word() bitstr.Word { return bitstr.MustParse(r.Factor) }
+
+// Table1 is the full content of Table 1 ("Classification of embeddability of
+// generalized Fibonacci cubes with forbidden factors of length at most 5"),
+// one entry per complement/reversal class, transcribed from the paper.
+var Table1 = []Table1Row{
+	// Length 1.
+	{"1", AllD, "Proposition 3.1"},
+	// Length 2.
+	{"11", AllD, "Proposition 3.1"},
+	{"10", AllD, "Theorem 3.3(i)"},
+	// Length 3.
+	{"111", AllD, "Proposition 3.1"},
+	{"110", AllD, "Theorem 3.3(i)"},
+	{"101", 3, "Proposition 3.2"},
+	// Length 4.
+	{"1111", AllD, "Proposition 3.1"},
+	{"1110", AllD, "Theorem 3.3(i)"},
+	{"1100", 6, "Theorem 3.3(ii)"},
+	{"1010", AllD, "Theorem 4.4"},
+	{"1101", 4, "Proposition 3.2"},
+	{"1001", 4, "Proposition 3.2"},
+	// Length 5.
+	{"11111", AllD, "Proposition 3.1"},
+	{"11110", AllD, "Theorem 3.3(i)"},
+	{"11100", 7, "Theorem 3.3(ii)"},
+	{"11001", 5, "Proposition 3.2"},
+	{"11101", 5, "Proposition 3.2"},
+	{"11011", 5, "Proposition 3.2"},
+	{"10001", 5, "Proposition 3.2"},
+	{"10110", 6, "Lemma 2.1 + computer check (d = 6); Proposition 4.2 (d >= 7)"},
+	{"10101", 7, "Lemma 2.1 + computer check (d = 6, 7); Proposition 4.1 (d >= 8)"},
+	{"11010", AllD, "Proposition 5.1"},
+}
+
+// Table1Lookup returns the Table 1 row whose complement/reversal class
+// contains f, and whether one exists (it does for every nonempty f with
+// |f| <= 5).
+func Table1Lookup(f bitstr.Word) (Table1Row, bool) {
+	canon := bitstr.CanonicalRepresentative(f)
+	for _, row := range Table1 {
+		if bitstr.CanonicalRepresentative(row.Word()) == canon {
+			return row, true
+		}
+	}
+	return Table1Row{}, false
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/big"
+
+	"gfcube/internal/automaton"
+	"gfcube/internal/bitstr"
+)
+
+// WienerHamming returns the sum over unordered vertex pairs of Q_d(f) of
+// their HAMMING distance, computed exactly for any d: it equals
+// sum over positions i of n_i(0) * n_i(1), where n_i(b) counts vertices
+// with bit b at position i (each such pair differs at position i,
+// contributing exactly 1 there).
+//
+// When Q_d(f) is an isometric subgraph of Q_d (graph distance = Hamming
+// distance), this is the Wiener index of the cube and the mean distance is
+// WienerHamming / C(|V|, 2). For non-isometric cubes it is a strict lower
+// bound on the Wiener index.
+func WienerHamming(d int, f bitstr.Word) *big.Int {
+	a := automaton.New(f)
+	total := new(big.Int)
+	tmp := new(big.Int)
+	for i := 0; i < d; i++ {
+		n0 := countWithBit(a, d, i, 0)
+		n1 := countWithBit(a, d, i, 1)
+		tmp.Mul(n0, n1)
+		total.Add(total, tmp)
+	}
+	return total
+}
+
+// countWithBit counts the f-free words of length d whose bit at position i
+// (0-based from the left) is b, by the usual automaton DP with the choice
+// pinned at position i.
+func countWithBit(a *automaton.DFA, d, i int, b uint64) *big.Int {
+	m := a.States()
+	dp := make([]*big.Int, m)
+	next := make([]*big.Int, m)
+	for s := range dp {
+		dp[s] = new(big.Int)
+		next[s] = new(big.Int)
+	}
+	dp[0].SetInt64(1)
+	for pos := 0; pos < d; pos++ {
+		for s := range next {
+			next[s].SetInt64(0)
+		}
+		for s := 0; s < m; s++ {
+			if dp[s].Sign() == 0 {
+				continue
+			}
+			for c := uint64(0); c < 2; c++ {
+				if pos == i && c != b {
+					continue
+				}
+				t := a.Step(s, c)
+				if t == m {
+					continue
+				}
+				next[t].Add(next[t], dp[s])
+			}
+		}
+		dp, next = next, dp
+	}
+	total := new(big.Int)
+	for _, v := range dp {
+		total.Add(total, v)
+	}
+	return total
+}
+
+// MeanHammingDistance returns WienerHamming normalized by the number of
+// unordered pairs, as an exact rational. For isometric cubes this is the
+// mean shortest-path distance of the network (the "avg dist" column of the
+// interconnection tables), computable at dimensions far beyond explicit
+// construction.
+func MeanHammingDistance(d int, f bitstr.Word) *big.Rat {
+	wiener := WienerHamming(d, f)
+	n := automaton.New(f).CountVertices(d)
+	pairs := new(big.Int).Mul(n, new(big.Int).Sub(n, big.NewInt(1)))
+	pairs.Div(pairs, big.NewInt(2))
+	if pairs.Sign() == 0 {
+		return new(big.Rat)
+	}
+	return new(big.Rat).SetFrac(wiener, pairs)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"gfcube/internal/bitstr"
+)
+
+func TestWienerHammingMatchesExplicit(t *testing.T) {
+	// On isometric cubes the Hamming-Wiener index equals the graph Wiener
+	// index (sum of BFS distances over pairs).
+	for _, fs := range []string{"11", "111", "110", "1010", "11010"} {
+		f := bitstr.MustParse(fs)
+		for d := 1; d <= 9; d++ {
+			c := New(d, f)
+			if !c.IsIsometric().Isometric {
+				continue
+			}
+			st := c.Graph().Stats()
+			got := WienerHamming(d, f)
+			if got.Cmp(new(big.Int).SetUint64(st.SumDist)) != 0 {
+				t.Errorf("f=%s d=%d: Wiener DP %s, BFS sum %d", fs, d, got, st.SumDist)
+			}
+		}
+	}
+}
+
+func TestWienerHammingLowerBoundNonIsometric(t *testing.T) {
+	// On non-isometric cubes graph distances exceed Hamming distances for
+	// some pair, so the DP is a strict lower bound.
+	f := bitstr.MustParse("101")
+	for d := 4; d <= 8; d++ {
+		c := New(d, f)
+		st := c.Graph().Stats()
+		got := WienerHamming(d, f)
+		if got.Cmp(new(big.Int).SetUint64(st.SumDist)) >= 0 {
+			t.Errorf("d=%d: Hamming-Wiener %s not strictly below graph Wiener %d", d, got, st.SumDist)
+		}
+	}
+}
+
+func TestMeanHammingDistanceMatchesAvg(t *testing.T) {
+	for d := 2; d <= 10; d++ {
+		c := Fibonacci(d)
+		exact := MeanHammingDistance(d, bitstr.Ones(2))
+		approx, _ := exact.Float64()
+		avg := c.Graph().AvgDistance()
+		if diff := approx - avg; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("Γ_%d: exact mean %f, BFS mean %f", d, approx, avg)
+		}
+	}
+}
+
+func TestMeanHammingDistanceLargeD(t *testing.T) {
+	// The mean distance of Γ_d grows linearly with slope below 1/2 (the
+	// hypercube's): check the d = 100 value lies in a sane window and that
+	// the normalized mean is decreasing relative to d/2.
+	mean100, _ := MeanHammingDistance(100, bitstr.Ones(2)).Float64()
+	if mean100 <= 0 || mean100 >= 50 {
+		t.Fatalf("mean distance of Γ_100 = %f out of range (0, 50)", mean100)
+	}
+	mean50, _ := MeanHammingDistance(50, bitstr.Ones(2)).Float64()
+	if mean100/100 >= 0.5 || mean50/50 >= 0.5 {
+		t.Error("normalized mean distance should stay below the hypercube's 1/2")
+	}
+}
+
+func TestMeanHammingDegenerate(t *testing.T) {
+	// A single-vertex cube has no pairs.
+	if MeanHammingDistance(5, bitstr.MustParse("1")).Sign() != 0 {
+		t.Error("mean distance of K_1 should be 0")
+	}
+}
+
+func BenchmarkWienerD100(b *testing.B) {
+	f := bitstr.Ones(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WienerHamming(100, f)
+	}
+}

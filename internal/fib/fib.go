@@ -1,0 +1,163 @@
+// Package fib provides Fibonacci, k-step Fibonacci (k-bonacci) and Lucas
+// numbers in both uint64 and big.Int arithmetic, together with the
+// convolution identities used by the enumeration results of the paper
+// (Propositions 6.2 and 6.3).
+//
+// Convention: F_1 = F_2 = 1, matching the paper ("|V(H_d)| = F_{d+3} - 1,
+// where F_d are the Fibonacci numbers"). F_0 = 0.
+package fib
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// MaxUint64Index is the largest n for which F_n fits in a uint64 (F_93).
+const MaxUint64Index = 93
+
+// F returns the n-th Fibonacci number F_n with F_0 = 0, F_1 = F_2 = 1.
+// It panics if n is negative or F_n overflows uint64 (n > MaxUint64Index).
+func F(n int) uint64 {
+	if n < 0 {
+		panic(fmt.Sprintf("fib: negative index %d", n))
+	}
+	if n > MaxUint64Index {
+		panic(fmt.Sprintf("fib: F(%d) overflows uint64; use Big", n))
+	}
+	a, b := uint64(0), uint64(1)
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+// Big returns F_n as a big.Int, valid for any n >= 0.
+func Big(n int) *big.Int {
+	if n < 0 {
+		panic(fmt.Sprintf("fib: negative index %d", n))
+	}
+	a, b := big.NewInt(0), big.NewInt(1)
+	for i := 0; i < n; i++ {
+		a.Add(a, b)
+		a, b = b, a
+	}
+	return a
+}
+
+// Seq returns F_0..F_n as a slice of big.Ints.
+func Seq(n int) []*big.Int {
+	out := make([]*big.Int, n+1)
+	a, b := big.NewInt(0), big.NewInt(1)
+	for i := 0; i <= n; i++ {
+		out[i] = new(big.Int).Set(a)
+		a.Add(a, b)
+		a, b = b, a
+	}
+	return out
+}
+
+// Lucas returns the n-th Lucas number L_n with L_0 = 2, L_1 = 1.
+func Lucas(n int) *big.Int {
+	if n < 0 {
+		panic(fmt.Sprintf("fib: negative index %d", n))
+	}
+	a, b := big.NewInt(2), big.NewInt(1)
+	for i := 0; i < n; i++ {
+		a.Add(a, b)
+		a, b = b, a
+	}
+	return a
+}
+
+// KBonacci returns the n-th k-step Fibonacci number T^{(k)}_n with the
+// standard seed T_0 = ... = T_{k-2} = 0, T_{k-1} = 1 and
+// T_n = sum_{i=1..k} T_{n-i}. For k = 2 this is the ordinary Fibonacci
+// sequence with T_n = F_n.
+//
+// The order of the ICPP'93 generalized Fibonacci cube of order k is
+// |V(Q_d(1^k))| = T^{(k)}_{d+k}: for k = 2 this recovers F_{d+2}, and for
+// k = 3 the tribonacci counts 1, 2, 4, 7, 13, ... of Section 6, Eq. (1).
+func KBonacci(k, n int) *big.Int {
+	if k < 1 {
+		panic(fmt.Sprintf("fib: k-bonacci needs k >= 1, got %d", k))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("fib: negative index %d", n))
+	}
+	window := make([]*big.Int, k)
+	for i := range window {
+		window[i] = new(big.Int)
+	}
+	window[k-1].SetInt64(1)
+	if n < k {
+		// T_n is directly one of the seed values.
+		return new(big.Int).Set(window[n])
+	}
+	for i := k; i <= n; i++ {
+		next := new(big.Int)
+		for _, w := range window {
+			next.Add(next, w)
+		}
+		copy(window, window[1:])
+		window[k-1] = next
+	}
+	return window[k-1]
+}
+
+// Convolution returns sum_{i=1}^{n} F_i * F_{m-i} for the given n and m,
+// the Fibonacci convolution appearing in Proposition 6.2:
+// |E(Q_d(110))| = -1 + sum_{i=1}^{d+1} F_i F_{d+2-i}.
+func Convolution(n, m int) *big.Int {
+	seq := Seq(m)
+	total := new(big.Int)
+	tmp := new(big.Int)
+	for i := 1; i <= n; i++ {
+		if m-i < 0 {
+			break
+		}
+		tmp.Mul(seq[i], seq[m-i])
+		total.Add(total, tmp)
+	}
+	return total
+}
+
+// EdgesH returns the closed form of Proposition 6.2 evaluated via
+// [12, Corollary 4]: |E(H_d)| = -1 + ((d+1) F_{d+2} + 2(d+2) F_{d+1}) / 5.
+func EdgesH(d int) *big.Int {
+	seq := Seq(d + 2)
+	t1 := new(big.Int).Mul(big.NewInt(int64(d+1)), seq[d+2])
+	t2 := new(big.Int).Mul(big.NewInt(int64(2*(d+2))), seq[d+1])
+	t1.Add(t1, t2)
+	q, r := new(big.Int).QuoRem(t1, big.NewInt(5), new(big.Int))
+	if r.Sign() != 0 {
+		panic(fmt.Sprintf("fib: EdgesH(%d) not divisible by 5; identity violated", d))
+	}
+	return q.Sub(q, big.NewInt(1))
+}
+
+// SquaresH returns the closed form of Proposition 6.3:
+//
+//	|S(H_d)| = -(3(d+1)/25) F_{d+2} + ((d+1)^2/10 + 3(d+1)/50 - 1/25) F_{d+1}.
+//
+// All arithmetic is carried out over the rationals; the result is exact.
+func SquaresH(d int) *big.Int {
+	seq := Seq(d + 2)
+	n := big.NewRat(int64(d+1), 1)
+	f2 := new(big.Rat).SetInt(seq[d+2])
+	f1 := new(big.Rat).SetInt(seq[d+1])
+
+	termA := new(big.Rat).Mul(big.NewRat(-3, 25), n)
+	termA.Mul(termA, f2)
+
+	nSq := new(big.Rat).Mul(n, n)
+	coefB := new(big.Rat).Mul(nSq, big.NewRat(1, 10))
+	coefB.Add(coefB, new(big.Rat).Mul(n, big.NewRat(3, 50)))
+	coefB.Sub(coefB, big.NewRat(1, 25))
+	termB := new(big.Rat).Mul(coefB, f1)
+
+	sum := new(big.Rat).Add(termA, termB)
+	if !sum.IsInt() {
+		panic(fmt.Sprintf("fib: SquaresH(%d) is not an integer; identity violated", d))
+	}
+	return new(big.Int).Set(sum.Num())
+}

@@ -1,0 +1,194 @@
+package fib
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestFSmall(t *testing.T) {
+	want := []uint64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144}
+	for n, w := range want {
+		if got := F(n); got != w {
+			t.Errorf("F(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestFMaxIndex(t *testing.T) {
+	// F_93 = 12200160415121876738 fits in uint64; check against big.Int.
+	if got, want := F(MaxUint64Index), Big(MaxUint64Index); new(big.Int).SetUint64(got).Cmp(want) != 0 {
+		t.Errorf("F(93) = %d, big says %s", got, want)
+	}
+}
+
+func TestFPanics(t *testing.T) {
+	for _, n := range []int{-1, MaxUint64Index + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("F(%d) did not panic", n)
+				}
+			}()
+			F(n)
+		}()
+	}
+}
+
+func TestBigMatchesF(t *testing.T) {
+	for n := 0; n <= 90; n++ {
+		if Big(n).Uint64() != F(n) {
+			t.Fatalf("Big(%d) != F(%d)", n, n)
+		}
+	}
+}
+
+func TestSeq(t *testing.T) {
+	seq := Seq(20)
+	if len(seq) != 21 {
+		t.Fatalf("Seq(20) has %d entries", len(seq))
+	}
+	for n, v := range seq {
+		if v.Uint64() != F(n) {
+			t.Errorf("Seq[%d] = %s", n, v)
+		}
+	}
+}
+
+func TestLucas(t *testing.T) {
+	want := []int64{2, 1, 3, 4, 7, 11, 18, 29, 47, 76, 123}
+	for n, w := range want {
+		if got := Lucas(n); got.Int64() != w {
+			t.Errorf("Lucas(%d) = %s, want %d", n, got, w)
+		}
+	}
+}
+
+func TestLucasFibonacciIdentity(t *testing.T) {
+	// L_n = F_{n-1} + F_{n+1}.
+	for n := 1; n <= 30; n++ {
+		want := new(big.Int).Add(Big(n-1), Big(n+1))
+		if Lucas(n).Cmp(want) != 0 {
+			t.Errorf("L_%d != F_%d + F_%d", n, n-1, n+1)
+		}
+	}
+}
+
+func TestKBonacciK2IsFibonacci(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		if KBonacci(2, n).Cmp(Big(n)) != 0 {
+			t.Errorf("T^(2)_%d = %s != F_%d = %s", n, KBonacci(2, n), n, Big(n))
+		}
+	}
+}
+
+func TestKBonacciTribonacci(t *testing.T) {
+	// T^(3): 0, 0, 1, 1, 2, 4, 7, 13, 24, 44, 81.
+	want := []int64{0, 0, 1, 1, 2, 4, 7, 13, 24, 44, 81}
+	for n, w := range want {
+		if got := KBonacci(3, n); got.Int64() != w {
+			t.Errorf("T^(3)_%d = %s, want %d", n, got, w)
+		}
+	}
+}
+
+func TestKBonacciRecurrence(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		for n := k; n <= 25; n++ {
+			sum := new(big.Int)
+			for i := 1; i <= k; i++ {
+				sum.Add(sum, KBonacci(k, n-i))
+			}
+			if KBonacci(k, n).Cmp(sum) != 0 {
+				t.Errorf("k=%d n=%d: recurrence violated", k, n)
+			}
+		}
+	}
+}
+
+func TestKBonacciSeed(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		for n := 0; n < k-1; n++ {
+			if KBonacci(k, n).Sign() != 0 {
+				t.Errorf("T^(%d)_%d should be 0", k, n)
+			}
+		}
+		if KBonacci(k, k-1).Int64() != 1 {
+			t.Errorf("T^(%d)_%d should be 1", k, k-1)
+		}
+	}
+}
+
+func TestConvolutionSmall(t *testing.T) {
+	// sum_{i=1}^{2} F_i F_{3-i} = F_1 F_2 + F_2 F_1 = 2.
+	if got := Convolution(2, 3); got.Int64() != 2 {
+		t.Errorf("Convolution(2,3) = %s", got)
+	}
+	// Proposition 6.2 base cases: |E(H_0)| = -1 + sum_{i=1}^{1} F_i F_{2-i} = 0;
+	// |E(H_1)| = -1 + F_1 F_2 + F_2 F_1 = 1.
+	e0 := new(big.Int).Sub(Convolution(1, 2), big.NewInt(1))
+	e1 := new(big.Int).Sub(Convolution(2, 3), big.NewInt(1))
+	if e0.Int64() != 0 || e1.Int64() != 1 {
+		t.Errorf("Prop 6.2 base cases: %s, %s", e0, e1)
+	}
+}
+
+func TestEdgesHMatchesConvolution(t *testing.T) {
+	// The closed form of [12, Corollary 4] equals the convolution form of
+	// Proposition 6.2 for all d.
+	for d := 0; d <= 60; d++ {
+		conv := new(big.Int).Sub(Convolution(d+1, d+2), big.NewInt(1))
+		if EdgesH(d).Cmp(conv) != 0 {
+			t.Errorf("d=%d: EdgesH=%s convolution=%s", d, EdgesH(d), conv)
+		}
+	}
+}
+
+func TestSquaresHSmall(t *testing.T) {
+	// Hand-computed from recurrence (6): S_0=0, S_1=0, S_2=1, and
+	// S_d = S_{d-1} + S_{d-2} + E_{d-2} + 1.
+	e := func(d int) *big.Int { return EdgesH(d) }
+	want := []*big.Int{big.NewInt(0), big.NewInt(0), big.NewInt(1)}
+	for d := 3; d <= 30; d++ {
+		s := new(big.Int).Add(want[d-1], want[d-2])
+		s.Add(s, e(d-2))
+		s.Add(s, big.NewInt(1))
+		want = append(want, s)
+	}
+	for d := 0; d <= 30; d++ {
+		if SquaresH(d).Cmp(want[d]) != 0 {
+			t.Errorf("SquaresH(%d) = %s, want %s", d, SquaresH(d), want[d])
+		}
+	}
+}
+
+func TestQuickFibonacciAddition(t *testing.T) {
+	// F_{m+n} = F_m F_{n+1} + F_{m-1} F_n.
+	prop := func(m, n uint8) bool {
+		mi, ni := int(m%50)+1, int(n%50)
+		lhs := Big(mi + ni)
+		rhs := new(big.Int).Mul(Big(mi), Big(ni+1))
+		rhs.Add(rhs, new(big.Int).Mul(Big(mi-1), Big(ni)))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCassini(t *testing.T) {
+	// F_{n-1} F_{n+1} - F_n^2 = (-1)^n.
+	prop := func(n uint8) bool {
+		ni := int(n%60) + 1
+		lhs := new(big.Int).Mul(Big(ni-1), Big(ni+1))
+		lhs.Sub(lhs, new(big.Int).Mul(Big(ni), Big(ni)))
+		want := int64(1)
+		if ni%2 == 1 {
+			want = -1
+		}
+		return lhs.Int64() == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

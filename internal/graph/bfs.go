@@ -1,0 +1,164 @@
+package graph
+
+// Unreachable is the distance value reported for vertices in a different
+// component.
+const Unreachable = int32(-1)
+
+// BFS computes single-source shortest-path distances from src into dist,
+// which must have length g.N(). Unreachable vertices get Unreachable. The
+// queue buffer is allocated internally; use a Traverser to amortize
+// allocations across many searches.
+func (g *Graph) BFS(src int, dist []int32) {
+	t := NewTraverser(g)
+	t.BFS(src, dist)
+}
+
+// Distances returns a freshly allocated distance vector from src.
+func (g *Graph) Distances(src int) []int32 {
+	dist := make([]int32, g.N())
+	g.BFS(src, dist)
+	return dist
+}
+
+// Dist returns the shortest-path distance between u and v, or Unreachable.
+func (g *Graph) Dist(u, v int) int32 {
+	return g.Distances(u)[v]
+}
+
+// Traverser owns the scratch buffers for repeated BFS runs on one graph.
+// It is not safe for concurrent use; allocate one per goroutine.
+type Traverser struct {
+	g     *Graph
+	queue []int32
+}
+
+// NewTraverser returns a Traverser for g.
+func NewTraverser(g *Graph) *Traverser {
+	return &Traverser{g: g, queue: make([]int32, 0, g.N())}
+}
+
+// BFS computes distances from src into dist (length g.N()).
+func (t *Traverser) BFS(src int, dist []int32) {
+	g := t.g
+	if len(dist) != g.N() {
+		panic("graph: distance buffer has wrong length")
+	}
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	q := t.queue[:0]
+	dist[src] = 0
+	q = append(q, int32(src))
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		du := dist[u]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreachable {
+				dist[v] = du + 1
+				q = append(q, v)
+			}
+		}
+	}
+	t.queue = q
+}
+
+// BFSTree computes distances and BFS-tree parents from src. parent[src] = -1,
+// and parent[v] = -1 for unreachable v.
+func (t *Traverser) BFSTree(src int, dist, parent []int32) {
+	g := t.g
+	if len(dist) != g.N() || len(parent) != g.N() {
+		panic("graph: buffer has wrong length")
+	}
+	for i := range dist {
+		dist[i] = Unreachable
+		parent[i] = -1
+	}
+	q := t.queue[:0]
+	dist[src] = 0
+	q = append(q, int32(src))
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		du := dist[u]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreachable {
+				dist[v] = du + 1
+				parent[v] = u
+				q = append(q, v)
+			}
+		}
+	}
+	t.queue = q
+}
+
+// IsConnected reports whether the graph is connected. The empty graph and
+// the one-vertex graph are connected.
+func (g *Graph) IsConnected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	dist := make([]int32, g.N())
+	g.BFS(0, dist)
+	for _, d := range dist {
+		if d == Unreachable {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the component id of every vertex (ids are 0-based,
+// assigned in order of discovery) and the number of components.
+func (g *Graph) Components() ([]int32, int) {
+	comp := make([]int32, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	dist := make([]int32, g.N())
+	t := NewTraverser(g)
+	next := int32(0)
+	for v := range comp {
+		if comp[v] != -1 {
+			continue
+		}
+		t.BFS(v, dist)
+		for u, d := range dist {
+			if d != Unreachable {
+				comp[u] = next
+			}
+		}
+		next++
+	}
+	return comp, int(next)
+}
+
+// IsBipartite reports whether the graph is bipartite, and returns a valid
+// 2-coloring when it is. All generalized Fibonacci cubes are bipartite
+// (they are subgraphs of hypercubes); this is used as a sanity check and by
+// the partial-cube recognizer.
+func (g *Graph) IsBipartite() (bool, []int8) {
+	color := make([]int8, g.N())
+	for i := range color {
+		color[i] = -1
+	}
+	queue := make([]int32, 0, g.N())
+	for s := 0; s < g.N(); s++ {
+		if color[s] != -1 {
+			continue
+		}
+		color[s] = 0
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.adj[u] {
+				if color[v] == -1 {
+					color[v] = 1 - color[u]
+					queue = append(queue, v)
+				} else if color[v] == color[u] {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, color
+}

@@ -1,0 +1,174 @@
+package graph
+
+// ArticulationPoints returns the vertices whose removal disconnects their
+// component, via Tarjan's low-link DFS in O(n + m). Used by the
+// fault-tolerance experiments as the exact linear-time complement to
+// trial-based fault injection.
+func (g *Graph) ArticulationPoints() []int {
+	n := g.N()
+	disc := make([]int32, n)
+	low := make([]int32, n)
+	parent := make([]int32, n)
+	isCut := make([]bool, n)
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	timer := int32(0)
+
+	// Iterative DFS to avoid deep recursion on path-like graphs.
+	type frame struct {
+		v    int32
+		next int // index into adjacency list
+	}
+	stack := make([]frame, 0, n)
+	for root := 0; root < n; root++ {
+		if disc[root] != -1 {
+			continue
+		}
+		rootChildren := 0
+		disc[root] = timer
+		low[root] = timer
+		timer++
+		stack = append(stack, frame{v: int32(root)})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			adj := g.adj[f.v]
+			if f.next < len(adj) {
+				u := adj[f.next]
+				f.next++
+				if disc[u] == -1 {
+					parent[u] = f.v
+					if int(f.v) == root {
+						rootChildren++
+					}
+					disc[u] = timer
+					low[u] = timer
+					timer++
+					stack = append(stack, frame{v: u})
+				} else if u != parent[f.v] {
+					if disc[u] < low[f.v] {
+						low[f.v] = disc[u]
+					}
+				}
+				continue
+			}
+			// Post-order: propagate low-link to the parent.
+			stack = stack[:len(stack)-1]
+			p := parent[f.v]
+			if p != -1 {
+				if low[f.v] < low[p] {
+					low[p] = low[f.v]
+				}
+				if int(p) != root && low[f.v] >= disc[p] {
+					isCut[p] = true
+				}
+			}
+		}
+		if rootChildren > 1 {
+			isCut[root] = true
+		}
+	}
+	var out []int
+	for v, c := range isCut {
+		if c {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Bridges returns the edges whose removal disconnects their component
+// (low-link criterion low[child] > disc[parent]), each as {u, v} with u < v.
+func (g *Graph) Bridges() [][2]int32 {
+	n := g.N()
+	disc := make([]int32, n)
+	low := make([]int32, n)
+	parent := make([]int32, n)
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	timer := int32(0)
+	var out [][2]int32
+
+	type frame struct {
+		v    int32
+		next int
+		// skippedParallel tracks whether one edge back to the parent was
+		// already ignored (multigraphs are not built here, but a single
+		// parent edge must be skipped exactly once).
+		skippedParent bool
+	}
+	stack := make([]frame, 0, n)
+	for root := 0; root < n; root++ {
+		if disc[root] != -1 {
+			continue
+		}
+		disc[root] = timer
+		low[root] = timer
+		timer++
+		stack = append(stack, frame{v: int32(root)})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			adj := g.adj[f.v]
+			if f.next < len(adj) {
+				u := adj[f.next]
+				f.next++
+				if u == parent[f.v] && !f.skippedParent {
+					f.skippedParent = true
+					continue
+				}
+				if disc[u] == -1 {
+					parent[u] = f.v
+					disc[u] = timer
+					low[u] = timer
+					timer++
+					stack = append(stack, frame{v: u})
+				} else if disc[u] < low[f.v] {
+					low[f.v] = disc[u]
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			p := parent[f.v]
+			if p != -1 {
+				if low[f.v] < low[p] {
+					low[p] = low[f.v]
+				}
+				if low[f.v] > disc[p] {
+					a, b := p, f.v
+					if a > b {
+						a, b = b, a
+					}
+					out = append(out, [2]int32{a, b})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DistanceHistogram returns hist where hist[k] is the number of unordered
+// vertex pairs at distance k, and the count of unreachable pairs. The
+// histogram length is diameter+1 for connected graphs.
+func (g *Graph) DistanceHistogram() (hist []uint64, unreachable uint64) {
+	n := g.N()
+	t := NewTraverser(g)
+	dist := make([]int32, n)
+	for src := 0; src < n; src++ {
+		t.BFS(src, dist)
+		for v := src + 1; v < n; v++ {
+			d := dist[v]
+			if d == Unreachable {
+				unreachable++
+				continue
+			}
+			for int(d) >= len(hist) {
+				hist = append(hist, 0)
+			}
+			hist[d]++
+		}
+	}
+	return hist, unreachable
+}

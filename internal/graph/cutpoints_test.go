@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestArticulationPointsPath(t *testing.T) {
+	// Interior vertices of a path are articulation points.
+	cuts := Path(5).ArticulationPoints()
+	if len(cuts) != 3 {
+		t.Fatalf("P_5 cuts = %v", cuts)
+	}
+	for _, v := range cuts {
+		if v == 0 || v == 4 {
+			t.Errorf("endpoint %d reported as cut", v)
+		}
+	}
+}
+
+func TestArticulationPointsCycleAndComplete(t *testing.T) {
+	if cuts := Cycle(6).ArticulationPoints(); len(cuts) != 0 {
+		t.Errorf("C_6 cuts = %v", cuts)
+	}
+	if cuts := Complete(5).ArticulationPoints(); len(cuts) != 0 {
+		t.Errorf("K_5 cuts = %v", cuts)
+	}
+}
+
+func TestArticulationPointsStar(t *testing.T) {
+	cuts := Star(4).ArticulationPoints()
+	if len(cuts) != 1 || cuts[0] != 0 {
+		t.Errorf("K_{1,4} cuts = %v", cuts)
+	}
+}
+
+func TestBridgesPathAndCycle(t *testing.T) {
+	if br := Path(4).Bridges(); len(br) != 3 {
+		t.Errorf("P_4 bridges = %v", br)
+	}
+	if br := Cycle(5).Bridges(); len(br) != 0 {
+		t.Errorf("C_5 bridges = %v", br)
+	}
+}
+
+func TestBridgesTwoTriangles(t *testing.T) {
+	// Two triangles joined by one edge: exactly that edge is a bridge.
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(3, 5)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	br := g.Bridges()
+	if len(br) != 1 || br[0] != [2]int32{2, 3} {
+		t.Errorf("bridges = %v", br)
+	}
+	cuts := g.ArticulationPoints()
+	if len(cuts) != 2 {
+		t.Errorf("cuts = %v, want {2, 3}", cuts)
+	}
+}
+
+// Cross-check Tarjan against brute-force deletion on random graphs.
+func TestArticulationAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 30; iter++ {
+		n := 3 + rng.Intn(12)
+		b := NewBuilder(n)
+		for i := 0; i < n+rng.Intn(2*n); i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		_, baseComponents := g.Components()
+		want := map[int]bool{}
+		for v := 0; v < n; v++ {
+			keep := make([]int, 0, n-1)
+			for u := 0; u < n; u++ {
+				if u != v {
+					keep = append(keep, u)
+				}
+			}
+			sub, _ := g.Subgraph(keep)
+			_, k := sub.Components()
+			// v is a cut vertex iff removing it increases the number of
+			// components (accounting for the removal of an isolated v).
+			delta := k - baseComponents
+			if g.Degree(v) == 0 {
+				delta++ // removing an isolated vertex removes its component
+			}
+			if delta > 0 {
+				want[v] = true
+			}
+		}
+		got := map[int]bool{}
+		for _, v := range g.ArticulationPoints() {
+			got[v] = true
+		}
+		for v := 0; v < n; v++ {
+			if got[v] != want[v] {
+				t.Fatalf("iter %d: vertex %d: tarjan %v, brute %v (graph %v)",
+					iter, v, got[v], want[v], g.EdgeList())
+			}
+		}
+	}
+}
+
+func TestBridgesAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 30; iter++ {
+		n := 3 + rng.Intn(10)
+		b := NewBuilder(n)
+		for i := 0; i < n+rng.Intn(n); i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		_, baseComponents := g.Components()
+		want := map[[2]int32]bool{}
+		for _, e := range g.EdgeList() {
+			nb := NewBuilder(n)
+			g.Edges(func(u, v int) {
+				if !(int32(u) == e[0] && int32(v) == e[1]) {
+					nb.AddEdge(u, v)
+				}
+			})
+			_, k := nb.Build().Components()
+			if k > baseComponents {
+				want[e] = true
+			}
+		}
+		got := map[[2]int32]bool{}
+		for _, e := range g.Bridges() {
+			got[e] = true
+		}
+		for _, e := range g.EdgeList() {
+			if got[e] != want[e] {
+				t.Fatalf("iter %d: edge %v: tarjan %v, brute %v", iter, e, got[e], want[e])
+			}
+		}
+	}
+}
+
+func TestDistanceHistogram(t *testing.T) {
+	hist, unreachable := Path(4).DistanceHistogram()
+	// P_4 pair distances: 1x3 pairs at d=1, 2 at d=2, 1 at d=3.
+	want := []uint64{0, 3, 2, 1}
+	if unreachable != 0 || len(hist) != len(want) {
+		t.Fatalf("hist=%v unreachable=%d", hist, unreachable)
+	}
+	for i := range want {
+		if hist[i] != want[i] {
+			t.Errorf("hist[%d] = %d, want %d", i, hist[i], want[i])
+		}
+	}
+	// Disconnected pairs are counted separately.
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	_, unreachable = b.Build().DistanceHistogram()
+	if unreachable != 2 {
+		t.Errorf("unreachable = %d, want 2", unreachable)
+	}
+}

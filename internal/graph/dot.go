@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format. label(v) supplies the
+// node label for vertex v; pass nil to label vertices by index. Used to
+// regenerate the paper's Figures 1 and 2.
+func (g *Graph) WriteDOT(w io.Writer, name string, label func(int) string) error {
+	bw := bufio.NewWriter(w)
+	if label == nil {
+		label = func(v int) string { return fmt.Sprintf("%d", v) }
+	}
+	if _, err := fmt.Fprintf(bw, "graph %q {\n  node [shape=circle fontsize=10];\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		if _, err := fmt.Fprintf(bw, "  v%d [label=%q];\n", v, label(v)); err != nil {
+			return err
+		}
+	}
+	var werr error
+	g.Edges(func(u, v int) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(bw, "  v%d -- v%d;\n", u, v)
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Path returns the path graph P_n on n vertices (n-1 edges).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph C_n (n >= 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: cycle needs at least 3 vertices")
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+// Star returns the star K_{1,n}: vertex 0 joined to 1..n.
+func Star(n int) *Graph {
+	b := NewBuilder(n + 1)
+	for i := 1; i <= n; i++ {
+		b.AddEdge(0, i)
+	}
+	return b.Build()
+}
+
+// Grid returns the p x q grid graph (Cartesian product of paths).
+func Grid(p, q int) *Graph {
+	b := NewBuilder(p * q)
+	id := func(i, j int) int { return i*q + j }
+	for i := 0; i < p; i++ {
+		for j := 0; j < q; j++ {
+			if i+1 < p {
+				b.AddEdge(id(i, j), id(i+1, j))
+			}
+			if j+1 < q {
+				b.AddEdge(id(i, j), id(i, j+1))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+// Tree builds a tree from a parent vector: parent[0] is ignored (root), and
+// for v > 0 the edge {v, parent[v]} is added.
+func Tree(parent []int) *Graph {
+	b := NewBuilder(len(parent))
+	for v := 1; v < len(parent); v++ {
+		b.AddEdge(v, parent[v])
+	}
+	return b.Build()
+}

@@ -1,0 +1,328 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBuilderDedup(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	if g.M() != 2 {
+		t.Errorf("M = %d, want 2 after dedup", g.M())
+	}
+	if g.Degree(1) != 2 || g.Degree(0) != 1 {
+		t.Error("degrees wrong")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	assert := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assert("self loop", func() { NewBuilder(2).AddEdge(1, 1) })
+	assert("out of range", func() { NewBuilder(2).AddEdge(0, 2) })
+	assert("negative n", func() { NewBuilder(-1) })
+}
+
+func TestHasEdgeAndNeighborsSorted(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 4)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	nb := g.Neighbors(0)
+	for i := 1; i < len(nb); i++ {
+		if nb[i-1] >= nb[i] {
+			t.Fatal("neighbors not sorted")
+		}
+	}
+	if !g.HasEdge(0, 2) || g.HasEdge(0, 3) || !g.HasEdge(2, 0) {
+		t.Error("HasEdge wrong")
+	}
+}
+
+func TestEdgeList(t *testing.T) {
+	g := Cycle(4)
+	el := g.EdgeList()
+	if len(el) != 4 {
+		t.Fatalf("edge list %v", el)
+	}
+	for _, e := range el {
+		if e[0] >= e[1] {
+			t.Errorf("edge %v not ordered", e)
+		}
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	g := Path(5)
+	dist := g.Distances(0)
+	for v := 0; v < 5; v++ {
+		if dist[v] != int32(v) {
+			t.Errorf("dist[%d] = %d", v, dist[v])
+		}
+	}
+	if g.Dist(1, 4) != 3 {
+		t.Error("Dist wrong")
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	dist := g.Distances(0)
+	if dist[2] != Unreachable || dist[3] != Unreachable {
+		t.Error("unreachable not marked")
+	}
+	if g.IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+	comp, k := g.Components()
+	if k != 2 || comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] {
+		t.Errorf("components %v (%d)", comp, k)
+	}
+}
+
+func TestBFSTreeParents(t *testing.T) {
+	g := Path(4)
+	tr := NewTraverser(g)
+	dist := make([]int32, 4)
+	parent := make([]int32, 4)
+	tr.BFSTree(1, dist, parent)
+	if parent[1] != -1 || parent[0] != 1 || parent[2] != 1 || parent[3] != 2 {
+		t.Errorf("parents %v", parent)
+	}
+}
+
+func TestStatsPathAndCycle(t *testing.T) {
+	st := Path(5).Stats()
+	if st.Diameter != 4 || st.Radius != 2 || !st.Connected {
+		t.Errorf("path stats %+v", st)
+	}
+	// Sum over pairs for P5: distances 1..4 from ends etc. = 20.
+	if st.SumDist != 20 {
+		t.Errorf("P5 SumDist = %d, want 20", st.SumDist)
+	}
+	st = Cycle(6).Stats()
+	if st.Diameter != 3 || st.Radius != 3 {
+		t.Errorf("cycle stats %+v", st)
+	}
+}
+
+func TestStatsSingletonAndEmpty(t *testing.T) {
+	st := NewBuilder(1).Build().Stats()
+	if st.Diameter != 0 || st.Radius != 0 || !st.Connected {
+		t.Errorf("singleton stats %+v", st)
+	}
+	st = NewBuilder(0).Build().Stats()
+	if !st.Connected {
+		t.Error("empty graph should be connected by convention")
+	}
+}
+
+func TestStatsDisconnected(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	st := b.Build().Stats()
+	if st.Connected || st.Diameter != -1 || st.Radius != -1 {
+		t.Errorf("disconnected stats %+v", st)
+	}
+}
+
+func TestAvgDistance(t *testing.T) {
+	// K4: every pair at distance 1.
+	if got := Complete(4).AvgDistance(); got != 1 {
+		t.Errorf("K4 avg distance %f", got)
+	}
+	// P3: distances 1,1,2 -> 4/3.
+	if got := Path(3).AvgDistance(); got < 1.33 || got > 1.34 {
+		t.Errorf("P3 avg distance %f", got)
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := Star(5)
+	if g.MaxDegree() != 5 || g.MinDegree() != 1 {
+		t.Error("star degrees wrong")
+	}
+	seq := g.DegreeSequence()
+	if seq[0] != 5 || seq[5] != 1 || len(seq) != 6 {
+		t.Errorf("degree sequence %v", seq)
+	}
+}
+
+func TestIsBipartite(t *testing.T) {
+	if ok, _ := Cycle(4).IsBipartite(); !ok {
+		t.Error("C4 is bipartite")
+	}
+	if ok, _ := Cycle(5).IsBipartite(); ok {
+		t.Error("C5 is not bipartite")
+	}
+	ok, color := Path(6).IsBipartite()
+	if !ok {
+		t.Fatal("path is bipartite")
+	}
+	Path(6).Edges(func(u, v int) {
+		if color[u] == color[v] {
+			t.Errorf("coloring invalid on edge {%d,%d}", u, v)
+		}
+	})
+}
+
+func TestCountSquares(t *testing.T) {
+	if got := Cycle(4).CountSquares(); got != 1 {
+		t.Errorf("C4 squares = %d", got)
+	}
+	if got := Cycle(6).CountSquares(); got != 0 {
+		t.Errorf("C6 squares = %d", got)
+	}
+	// K4 contains 3 four-cycles.
+	if got := Complete(4).CountSquares(); got != 3 {
+		t.Errorf("K4 squares = %d", got)
+	}
+	// 2x3 grid: two unit squares.
+	if got := Grid(2, 3).CountSquares(); got != 2 {
+		t.Errorf("grid squares = %d", got)
+	}
+	// Q3: 6 faces.
+	b := NewBuilder(8)
+	for u := 0; u < 8; u++ {
+		for i := 0; i < 3; i++ {
+			v := u ^ (1 << i)
+			if v > u {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	if got := b.Build().CountSquares(); got != 6 {
+		t.Errorf("Q3 squares = %d", got)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := Cycle(5)
+	sub, old := g.Subgraph([]int{0, 1, 2})
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Errorf("subgraph n=%d m=%d", sub.N(), sub.M())
+	}
+	if old[0] != 0 || old[2] != 2 {
+		t.Errorf("old mapping %v", old)
+	}
+}
+
+func TestStatsMatchesSerialOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 20; iter++ {
+		n := 2 + rng.Intn(40)
+		b := NewBuilder(n)
+		for i := 0; i < n*2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		st := g.Stats()
+		// Serial recomputation.
+		dist := make([]int32, n)
+		tr := NewTraverser(g)
+		var sum uint64
+		conn := true
+		maxEcc, minEcc := int32(0), int32(1<<30)
+		for src := 0; src < n; src++ {
+			tr.BFS(src, dist)
+			ecc := int32(0)
+			for v, d := range dist {
+				if d == Unreachable {
+					conn = false
+					continue
+				}
+				if v > src {
+					sum += uint64(d)
+				}
+				if d > ecc {
+					ecc = d
+				}
+			}
+			if ecc > maxEcc {
+				maxEcc = ecc
+			}
+			if ecc < minEcc {
+				minEcc = ecc
+			}
+		}
+		if st.Connected != conn || st.SumDist != sum {
+			t.Fatalf("iter %d: parallel stats disagree: %+v vs conn=%v sum=%d", iter, st, conn, sum)
+		}
+		if conn && (st.Diameter != maxEcc || st.Radius != minEcc) {
+			t.Fatalf("iter %d: diameter/radius disagree", iter)
+		}
+	}
+}
+
+func TestIsIsometricSubgraphOf(t *testing.T) {
+	// P3 inside C6: vertices 0,1,2 of the cycle form an isometric path.
+	c6 := Cycle(6)
+	p3 := Path(3)
+	hostDist := func(a, b int) int32 { return c6.Dist(a, b) }
+	if ok, _, _ := p3.IsIsometricSubgraphOf(hostDist, []int{0, 1, 2}); !ok {
+		t.Error("P3 should be isometric in C6")
+	}
+	// P4 on vertices 0,1,2,3 of C6 is not isometric: d_C6(0,3) = 3 = d_P4;
+	// actually it is isometric. Use C4 instead: P4 0..3 in C4 means ends at
+	// distance 3 in the path but 1 in the cycle.
+	c4 := Cycle(4)
+	p4 := Path(4)
+	hostDist4 := func(a, b int) int32 { return c4.Dist(a, b) }
+	ok, u, v := p4.IsIsometricSubgraphOf(hostDist4, []int{0, 1, 2, 3})
+	if ok {
+		t.Error("P4 should not be isometric in C4")
+	}
+	if u == v {
+		t.Error("violating pair not reported")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	var sb strings.Builder
+	if err := Path(3).WriteDOT(&sb, "P3", func(v int) string { return string(rune('a' + v)) }); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"graph \"P3\"", "v0 [label=\"a\"]", "v0 -- v1", "v1 -- v2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if g := Grid(3, 4); g.N() != 12 || g.M() != 17 {
+		t.Errorf("grid 3x4: n=%d m=%d", g.N(), g.M())
+	}
+	if g := Complete(5); g.M() != 10 {
+		t.Errorf("K5 m=%d", g.M())
+	}
+	if g := Tree([]int{0, 0, 0, 1, 1}); g.N() != 5 || g.M() != 4 || g.Degree(0) != 2 {
+		t.Error("tree generator wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Cycle(2) did not panic")
+		}
+	}()
+	Cycle(2)
+}

@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DistanceStats aggregates the all-pairs distance information reported in
+// the evaluation tables: eccentricities (hence diameter and radius), the sum
+// of pairwise distances, and connectivity.
+type DistanceStats struct {
+	Ecc       []int32 // per-vertex eccentricity; -1 if graph disconnected
+	Diameter  int32
+	Radius    int32
+	SumDist   uint64 // sum of d(u,v) over unordered pairs
+	Connected bool
+}
+
+// Stats runs a BFS from every vertex, in parallel across
+// runtime.GOMAXPROCS(0) workers, and aggregates distance statistics. For a
+// disconnected graph Connected is false, Diameter and Radius are -1 and
+// SumDist counts only reachable pairs.
+func (g *Graph) Stats() DistanceStats {
+	n := g.N()
+	st := DistanceStats{Ecc: make([]int32, n), Diameter: -1, Radius: -1, Connected: true}
+	if n == 0 {
+		return st
+	}
+	if n == 1 {
+		st.Diameter, st.Radius = 0, 0
+		return st
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		next     = make(chan int, workers)
+		sumTotal uint64
+		conn     = true
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := NewTraverser(g)
+			dist := make([]int32, n)
+			var localSum uint64
+			localConn := true
+			for src := range next {
+				t.BFS(src, dist)
+				ecc := int32(0)
+				for v, d := range dist {
+					if d == Unreachable {
+						localConn = false
+						continue
+					}
+					if v > src {
+						localSum += uint64(d)
+					}
+					if d > ecc {
+						ecc = d
+					}
+				}
+				st.Ecc[src] = ecc // each src written by exactly one worker
+			}
+			mu.Lock()
+			sumTotal += localSum
+			conn = conn && localConn
+			mu.Unlock()
+		}()
+	}
+	for src := 0; src < n; src++ {
+		next <- src
+	}
+	close(next)
+	wg.Wait()
+	st.SumDist = sumTotal
+	st.Connected = conn
+	if conn {
+		st.Diameter, st.Radius = 0, st.Ecc[0]
+		for _, e := range st.Ecc {
+			if e > st.Diameter {
+				st.Diameter = e
+			}
+			if e < st.Radius {
+				st.Radius = e
+			}
+		}
+	} else {
+		for i := range st.Ecc {
+			st.Ecc[i] = -1
+		}
+	}
+	return st
+}
+
+// Diameter returns the diameter of a connected graph, or -1 if disconnected.
+func (g *Graph) Diameter() int32 { return g.Stats().Diameter }
+
+// AvgDistance returns the mean distance over unordered pairs of distinct
+// vertices of a connected graph. It returns 0 for graphs with fewer than two
+// vertices and -1 for disconnected graphs.
+func (g *Graph) AvgDistance() float64 {
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	st := g.Stats()
+	if !st.Connected {
+		return -1
+	}
+	return float64(st.SumDist) / float64(n*(n-1)/2)
+}
+
+// CountSquares returns the number of 4-cycles. Each square is counted once.
+// The method counts, for every ordered pair u < v, the number c of common
+// neighbors and accumulates C(c,2); every square has exactly two diagonal
+// pairs, so the total is halved.
+func (g *Graph) CountSquares() uint64 {
+	n := g.N()
+	counts := make(map[int32]uint32)
+	var total uint64
+	for u := 0; u < n; u++ {
+		clear(counts)
+		for _, w := range g.adj[u] {
+			for _, v := range g.adj[w] {
+				if v > int32(u) {
+					counts[v]++
+				}
+			}
+		}
+		for _, c := range counts {
+			total += uint64(c) * uint64(c-1) / 2
+		}
+	}
+	return total / 2
+}
+
+// IsIsometricSubgraphOf reports whether this graph, whose vertices are
+// identified with vertices of the host via the injection hostID, has the
+// same pairwise distances as the host on that vertex subset. dist(host) is
+// computed by BFS per source; the check is parallelized across sources and
+// exits early on the first violating pair, which it returns.
+func (g *Graph) IsIsometricSubgraphOf(hostDist func(a, b int) int32, hostID []int) (ok bool, badU, badV int) {
+	n := g.N()
+	if len(hostID) != n {
+		panic("graph: hostID length mismatch")
+	}
+	type violation struct{ u, v int }
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		found   *violation
+		sources = make(chan int, n)
+	)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := NewTraverser(g)
+			dist := make([]int32, n)
+			for src := range sources {
+				mu.Lock()
+				stop := found != nil
+				mu.Unlock()
+				if stop {
+					continue // drain
+				}
+				t.BFS(src, dist)
+				for v := 0; v < n; v++ {
+					if v == src {
+						continue
+					}
+					if dist[v] != hostDist(hostID[src], hostID[v]) {
+						mu.Lock()
+						if found == nil {
+							found = &violation{src, v}
+						}
+						mu.Unlock()
+						break
+					}
+				}
+			}
+		}()
+	}
+	for src := 0; src < n; src++ {
+		sources <- src
+	}
+	close(sources)
+	wg.Wait()
+	if found != nil {
+		return false, found.u, found.v
+	}
+	return true, -1, -1
+}

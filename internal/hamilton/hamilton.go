@@ -1,0 +1,196 @@
+// Package hamilton implements Hamiltonian path and cycle search for
+// generalized Fibonacci cubes. The companion ICPP-era result (paper
+// reference [15], "Generalized Fibonacci cubes are mostly Hamiltonian")
+// concerns exactly these questions for Q_d(1^s); the experiments reproduce
+// its claims on explicitly built cubes.
+//
+// The search is exact backtracking with a Warnsdorff-style ordering (fewest
+// onward moves first) and an explicit node budget, so callers can
+// distinguish "no Hamiltonian path exists" from "search gave up".
+package hamilton
+
+import (
+	"sort"
+
+	"gfcube/internal/graph"
+)
+
+// Result classifies the outcome of a bounded search.
+type Result int
+
+const (
+	// Found: a Hamiltonian path/cycle was found (returned explicitly).
+	Found Result = iota
+	// None: the exhaustive search proved none exists.
+	None
+	// Inconclusive: the node budget was exhausted before the search
+	// completed.
+	Inconclusive
+)
+
+func (r Result) String() string {
+	switch r {
+	case Found:
+		return "found"
+	case None:
+		return "none"
+	default:
+		return "inconclusive"
+	}
+}
+
+// Path searches for a Hamiltonian path. budget bounds the number of
+// backtracking node expansions (0 means a generous default of 4 million).
+// When the result is Found, the returned slice is a permutation of the
+// vertices with consecutive entries adjacent.
+func Path(g *graph.Graph, budget int64) ([]int32, Result) {
+	return search(g, budget, false)
+}
+
+// Cycle searches for a Hamiltonian cycle; the returned order additionally
+// has its last vertex adjacent to its first.
+func Cycle(g *graph.Graph, budget int64) ([]int32, Result) {
+	return search(g, budget, true)
+}
+
+func search(g *graph.Graph, budget int64, cycle bool) ([]int32, Result) {
+	n := g.N()
+	if n == 0 {
+		return nil, None
+	}
+	if n == 1 {
+		if cycle {
+			return nil, None
+		}
+		return []int32{0}, Found
+	}
+	if budget <= 0 {
+		budget = 4_000_000
+	}
+	// Quick refutations. A bipartite graph with part sizes differing by
+	// more than one has no Hamiltonian path (and by more than zero, no
+	// cycle).
+	if bip, color := g.IsBipartite(); bip {
+		a := 0
+		for _, c := range color {
+			if c == 0 {
+				a++
+			}
+		}
+		b := n - a
+		diff := a - b
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1 {
+			return nil, None
+		}
+		if cycle && diff != 0 {
+			return nil, None
+		}
+	}
+	if !g.IsConnected() {
+		return nil, None
+	}
+
+	visited := make([]bool, n)
+	path := make([]int32, 0, n)
+	var expansions int64
+	exhausted := false
+
+	unvisitedDeg := func(v int32) int {
+		d := 0
+		for _, u := range g.Neighbors(int(v)) {
+			if !visited[u] {
+				d++
+			}
+		}
+		return d
+	}
+
+	var rec func(v int32) bool
+	rec = func(v int32) bool {
+		expansions++
+		if expansions > budget {
+			exhausted = true
+			return false
+		}
+		visited[v] = true
+		path = append(path, v)
+		if len(path) == n {
+			if !cycle || g.HasEdge(int(path[0]), int(v)) {
+				return true
+			}
+			visited[v] = false
+			path = path[:len(path)-1]
+			return false
+		}
+		// Warnsdorff ordering: fewest onward moves first.
+		nbrs := append([]int32(nil), g.Neighbors(int(v))...)
+		sort.Slice(nbrs, func(i, j int) bool {
+			return unvisitedDeg(nbrs[i]) < unvisitedDeg(nbrs[j])
+		})
+		for _, u := range nbrs {
+			if visited[u] {
+				continue
+			}
+			if rec(u) {
+				return true
+			}
+			if exhausted {
+				break
+			}
+		}
+		visited[v] = false
+		path = path[:len(path)-1]
+		return false
+	}
+
+	starts := make([]int32, n)
+	for i := range starts {
+		starts[i] = int32(i)
+	}
+	if cycle {
+		// A cycle through all vertices can be rooted anywhere.
+		starts = starts[:1]
+	} else {
+		// Prefer low-degree starts: endpoints of a Hamiltonian path are
+		// often forced to be degree-deficient vertices.
+		sort.Slice(starts, func(i, j int) bool {
+			return g.Degree(int(starts[i])) < g.Degree(int(starts[j]))
+		})
+	}
+	for _, s := range starts {
+		if rec(s) {
+			return path, Found
+		}
+		if exhausted {
+			return nil, Inconclusive
+		}
+	}
+	return nil, None
+}
+
+// Verify checks that order is a Hamiltonian path (or cycle) of g.
+func Verify(g *graph.Graph, order []int32, cycle bool) bool {
+	n := g.N()
+	if len(order) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range order {
+		if v < 0 || int(v) >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	for i := 1; i < n; i++ {
+		if !g.HasEdge(int(order[i-1]), int(order[i])) {
+			return false
+		}
+	}
+	if cycle && n > 1 && !g.HasEdge(int(order[n-1]), int(order[0])) {
+		return false
+	}
+	return true
+}

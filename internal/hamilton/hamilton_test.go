@@ -1,0 +1,133 @@
+package hamilton
+
+import (
+	"testing"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+	"gfcube/internal/graph"
+	"gfcube/internal/hypercube"
+)
+
+func TestPathOnPathGraph(t *testing.T) {
+	g := graph.Path(6)
+	order, res := Path(g, 0)
+	if res != Found || !Verify(g, order, false) {
+		t.Fatalf("path graph: %v %v", order, res)
+	}
+	if _, res := Cycle(g, 0); res != None {
+		t.Error("path graph has no Hamiltonian cycle")
+	}
+}
+
+func TestCycleOnCycleGraph(t *testing.T) {
+	g := graph.Cycle(8)
+	order, res := Cycle(g, 0)
+	if res != Found || !Verify(g, order, true) {
+		t.Fatalf("cycle graph: %v %v", order, res)
+	}
+}
+
+func TestHypercubeHamiltonian(t *testing.T) {
+	// Q_d is Hamiltonian for d >= 2 (Gray codes).
+	for d := 2; d <= 5; d++ {
+		g := hypercube.Build(d)
+		order, res := Cycle(g, 0)
+		if res != Found || !Verify(g, order, true) {
+			t.Fatalf("Q_%d: no Hamiltonian cycle found (%v)", d, res)
+		}
+	}
+}
+
+func TestStarHasNoHamiltonianPath(t *testing.T) {
+	if _, res := Path(graph.Star(3), 0); res != None {
+		t.Error("K_{1,3} has no Hamiltonian path")
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	if _, res := Path(b.Build(), 0); res != None {
+		t.Error("disconnected graph has no Hamiltonian path")
+	}
+}
+
+func TestTinyGraphs(t *testing.T) {
+	if order, res := Path(graph.NewBuilder(1).Build(), 0); res != Found || len(order) != 1 {
+		t.Error("K_1 has the trivial Hamiltonian path")
+	}
+	if _, res := Cycle(graph.NewBuilder(1).Build(), 0); res != None {
+		t.Error("K_1 has no Hamiltonian cycle")
+	}
+	if _, res := Path(graph.NewBuilder(0).Build(), 0); res != None {
+		t.Error("empty graph: no path")
+	}
+}
+
+// Fibonacci cubes contain a Hamiltonian path for every d (ICPP-era result;
+// reference [15] of the paper).
+func TestFibonacciCubesHavePaths(t *testing.T) {
+	for d := 1; d <= 9; d++ {
+		g := core.Fibonacci(d).Graph()
+		order, res := Path(g, 0)
+		if res != Found || !Verify(g, order, false) {
+			t.Errorf("Γ_%d: Hamiltonian path not found (%v)", d, res)
+		}
+	}
+}
+
+// "Mostly Hamiltonian": Q_d(1^s) for s >= 3 has a Hamiltonian path in every
+// tested dimension.
+func TestThirdOrderCubesHavePaths(t *testing.T) {
+	for _, s := range []int{3, 4} {
+		f := bitstr.Ones(s)
+		for d := 1; d <= 8; d++ {
+			g := core.New(d, f).Graph()
+			order, res := Path(g, 0)
+			if res != Found || !Verify(g, order, false) {
+				t.Errorf("Q_%d(1^%d): Hamiltonian path not found (%v)", d, s, res)
+			}
+		}
+	}
+}
+
+// Γ_d has a Hamiltonian cycle only when its two partition classes are equal
+// in size; verify the parity refutation engages (e.g. Γ_2 = P_3: |A|-|B|=1).
+func TestFibonacciCycleParity(t *testing.T) {
+	g := core.Fibonacci(2).Graph()
+	if _, res := Cycle(g, 0); res != None {
+		t.Error("Γ_2 = P_3 has no Hamiltonian cycle")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	// A tiny budget on a large instance must return Inconclusive, not block.
+	g := core.Fibonacci(12).Graph()
+	if _, res := Path(g, 3); res != Inconclusive {
+		t.Errorf("budget 3 gave %v", res)
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	g := graph.Path(4)
+	if Verify(g, []int32{0, 1, 2}, false) {
+		t.Error("short order accepted")
+	}
+	if Verify(g, []int32{0, 1, 1, 2}, false) {
+		t.Error("duplicate vertex accepted")
+	}
+	if Verify(g, []int32{0, 2, 1, 3}, false) {
+		t.Error("non-adjacent consecutive pair accepted")
+	}
+	if Verify(g, []int32{0, 1, 2, 3}, true) {
+		t.Error("open path accepted as cycle")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if Found.String() != "found" || None.String() != "none" || Inconclusive.String() != "inconclusive" {
+		t.Error("result strings wrong")
+	}
+}

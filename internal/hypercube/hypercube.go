@@ -1,0 +1,114 @@
+// Package hypercube implements the d-cube Q_d substrate: Hamming distances,
+// hypercube intervals I(b,c), canonical b,c-paths (Section 2 of the paper),
+// bitwise medians, and explicit construction of Q_d as a graph.
+package hypercube
+
+import (
+	"math/bits"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/graph"
+)
+
+// Dist returns the hypercube distance between two words of equal length,
+// i.e. their Hamming distance.
+func Dist(b, c bitstr.Word) int { return b.HammingDistance(c) }
+
+// InInterval reports whether w lies on some shortest b,c-path in Q_d;
+// equivalently, whether w agrees with b and c on every position where b and
+// c agree.
+func InInterval(w, b, c bitstr.Word) bool {
+	return (b.Bits^w.Bits)&(w.Bits^c.Bits) == 0 && w.N == b.N && b.N == c.N
+}
+
+// Interval returns all vertices of I(b,c), the union of shortest b,c-paths,
+// in increasing packed order. Its size is 2^{d(b,c)}.
+func Interval(b, c bitstr.Word) []bitstr.Word {
+	diff := b.Bits ^ c.Bits
+	k := bits.OnesCount64(diff)
+	// Positions (as single-bit masks) where b and c differ.
+	masks := make([]uint64, 0, k)
+	for m := diff; m != 0; m &= m - 1 {
+		masks = append(masks, m&-m)
+	}
+	out := make([]bitstr.Word, 0, 1<<uint(k))
+	base := b.Bits &^ diff
+	for sub := uint64(0); sub < 1<<uint(k); sub++ {
+		v := base
+		for i, m := range masks {
+			if sub&(1<<uint(i)) != 0 {
+				v |= m
+			}
+		}
+		out = append(out, bitstr.Word{Bits: v, N: b.N})
+	}
+	return out
+}
+
+// Median returns the bitwise majority of three words of equal length. In a
+// hypercube the median of any triple is unique and equals the majority word.
+func Median(u, v, w bitstr.Word) bitstr.Word {
+	return bitstr.Word{Bits: (u.Bits & v.Bits) | (u.Bits & w.Bits) | (v.Bits & w.Bits), N: u.N}
+}
+
+// CanonicalPath returns the canonical b,c-path of Section 2: starting from b,
+// first reverse (left to right) each bit where b has 1 and c has 0, then
+// reverse (left to right) each bit where b has 0 and c has 1. The result has
+// d(b,c)+1 vertices, starts at b and ends at c, and consecutive vertices are
+// adjacent in Q_d.
+func CanonicalPath(b, c bitstr.Word) []bitstr.Word {
+	path := []bitstr.Word{b}
+	cur := b
+	for i := 0; i < b.N; i++ {
+		if cur.Bit(i) == 1 && c.Bit(i) == 0 {
+			cur = cur.Flip(i)
+			path = append(path, cur)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		if cur.Bit(i) == 0 && c.Bit(i) == 1 {
+			cur = cur.Flip(i)
+			path = append(path, cur)
+		}
+	}
+	return path
+}
+
+// Build returns the explicit hypercube Q_d as a graph; vertex v corresponds
+// to the word whose packed value is v.
+func Build(d int) *graph.Graph {
+	if d < 0 || d > 26 {
+		panic("hypercube: explicit construction limited to d <= 26")
+	}
+	n := 1 << uint(d)
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for i := 0; i < d; i++ {
+			v := u ^ (1 << uint(i))
+			if v > u {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Word converts an explicit-vertex id back into a bitstr.Word of length d.
+func Word(v uint64, d int) bitstr.Word { return bitstr.Word{Bits: v, N: d} }
+
+// GrayCode returns the binary reflected Gray code of length 2^d: a
+// Hamiltonian cycle of Q_d (for d >= 2) in which consecutive words, and the
+// last and first, differ in exactly one bit. It is the constructive
+// counterpart to the search-based Hamiltonicity results on the generalized
+// cubes.
+func GrayCode(d int) []bitstr.Word {
+	if d < 0 || d > 26 {
+		panic("hypercube: Gray code limited to d <= 26")
+	}
+	out := make([]bitstr.Word, 1<<uint(d))
+	for i := range out {
+		v := uint64(i) ^ (uint64(i) >> 1)
+		out[i] = bitstr.Word{Bits: v, N: d}
+	}
+	return out
+}

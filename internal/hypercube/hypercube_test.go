@@ -1,0 +1,214 @@
+package hypercube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gfcube/internal/bitstr"
+)
+
+func w(s string) bitstr.Word { return bitstr.MustParse(s) }
+
+func TestDist(t *testing.T) {
+	if Dist(w("1010"), w("0110")) != 2 {
+		t.Error("distance wrong")
+	}
+}
+
+func TestInInterval(t *testing.T) {
+	b, c := w("1100"), w("1010")
+	// I(b,c) = {1100, 1110, 1000, 1010}.
+	for _, s := range []string{"1100", "1110", "1000", "1010"} {
+		if !InInterval(w(s), b, c) {
+			t.Errorf("%s should be in I(%s,%s)", s, b, c)
+		}
+	}
+	for _, s := range []string{"0100", "1111", "0000", "1011"} {
+		if InInterval(w(s), b, c) {
+			t.Errorf("%s should not be in I(%s,%s)", s, b, c)
+		}
+	}
+}
+
+func TestIntervalEnumeration(t *testing.T) {
+	b, c := w("1100"), w("0110")
+	iv := Interval(b, c)
+	if len(iv) != 4 {
+		t.Fatalf("interval size %d", len(iv))
+	}
+	for _, x := range iv {
+		if !InInterval(x, b, c) {
+			t.Errorf("%s not in interval", x)
+		}
+	}
+	// Degenerate: b = c.
+	if got := Interval(b, b); len(got) != 1 || got[0] != b {
+		t.Error("I(b,b) != {b}")
+	}
+}
+
+func TestQuickIntervalConsistency(t *testing.T) {
+	prop := func(b, c bitstr.Word) bool {
+		if c.N != b.N {
+			c = bitstr.Word{Bits: c.Bits & (^uint64(0) >> uint(64-b.N)), N: b.N}
+		}
+		iv := Interval(b, c)
+		if len(iv) != 1<<uint(Dist(b, c)) {
+			return false
+		}
+		// Every enumerated vertex passes the membership predicate, and the
+		// triangle equality d(b,x)+d(x,c) = d(b,c) holds.
+		for _, x := range iv {
+			if !InInterval(x, b, c) || Dist(b, x)+Dist(x, c) != Dist(b, c) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	m := Median(w("110"), w("101"), w("011"))
+	if m != w("111") {
+		t.Errorf("median = %s", m)
+	}
+	// The median lies in all three pairwise intervals.
+	u, v, x := w("1100"), w("1010"), w("0110")
+	m = Median(u, v, x)
+	if !InInterval(m, u, v) || !InInterval(m, u, x) || !InInterval(m, v, x) {
+		t.Error("median not in pairwise intervals")
+	}
+}
+
+func TestQuickMedianProperties(t *testing.T) {
+	prop := func(a, b, c bitstr.Word) bool {
+		n := a.N
+		mask := ^uint64(0) >> uint(64-n)
+		b = bitstr.Word{Bits: b.Bits & mask, N: n}
+		c = bitstr.Word{Bits: c.Bits & mask, N: n}
+		m := Median(a, b, c)
+		// Symmetric, idempotent on duplicates, in all intervals.
+		return m == Median(b, a, c) && m == Median(c, b, a) &&
+			Median(a, a, c) == a &&
+			InInterval(m, a, b) && InInterval(m, a, c) && InInterval(m, b, c)
+	}
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalPath(t *testing.T) {
+	b, c := w("1100"), w("0011")
+	path := CanonicalPath(b, c)
+	if len(path) != 5 {
+		t.Fatalf("path length %d", len(path))
+	}
+	if path[0] != b || path[len(path)-1] != c {
+		t.Error("endpoints wrong")
+	}
+	for i := 1; i < len(path); i++ {
+		if Dist(path[i-1], path[i]) != 1 {
+			t.Error("consecutive vertices not adjacent")
+		}
+	}
+	// The canonical path goes through 0-heavy words first: 1100 -> 0100 ->
+	// 0000 -> 0010 -> 0011 (1s dropped left to right, then 1s added).
+	want := []string{"1100", "0100", "0000", "0010", "0011"}
+	for i, s := range want {
+		if path[i] != w(s) {
+			t.Errorf("path[%d] = %s, want %s", i, path[i], s)
+		}
+	}
+}
+
+func TestQuickCanonicalPathIsGeodesic(t *testing.T) {
+	prop := func(b, c bitstr.Word) bool {
+		if c.N != b.N {
+			c = bitstr.Word{Bits: c.Bits & (^uint64(0) >> uint(64-b.N)), N: b.N}
+		}
+		path := CanonicalPath(b, c)
+		if len(path) != Dist(b, c)+1 {
+			return false
+		}
+		for i := 1; i < len(path); i++ {
+			if Dist(path[i-1], path[i]) != 1 {
+				return false
+			}
+		}
+		// Every vertex of a canonical path lies in I(b,c).
+		for _, x := range path {
+			if !InInterval(x, b, c) {
+				return false
+			}
+		}
+		return path[0] == b && path[len(path)-1] == c
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildQd(t *testing.T) {
+	for d := 0; d <= 6; d++ {
+		g := Build(d)
+		if g.N() != 1<<uint(d) {
+			t.Fatalf("Q%d has %d vertices", d, g.N())
+		}
+		wantM := 0
+		if d > 0 {
+			wantM = d << uint(d-1)
+		}
+		if g.M() != wantM {
+			t.Errorf("Q%d has %d edges, want %d", d, g.M(), wantM)
+		}
+		if d >= 1 {
+			st := g.Stats()
+			if int(st.Diameter) != d {
+				t.Errorf("Q%d diameter %d", d, st.Diameter)
+			}
+		}
+	}
+}
+
+func TestGrayCodeIsHamiltonianCycle(t *testing.T) {
+	for d := 0; d <= 8; d++ {
+		code := GrayCode(d)
+		if len(code) != 1<<uint(d) {
+			t.Fatalf("d=%d: %d words", d, len(code))
+		}
+		seen := make(map[uint64]bool, len(code))
+		for i, w := range code {
+			if w.Len() != d || seen[w.Bits] {
+				t.Fatalf("d=%d: invalid or repeated word at %d", d, i)
+			}
+			seen[w.Bits] = true
+			if i > 0 && Dist(code[i-1], w) != 1 {
+				t.Fatalf("d=%d: consecutive words not adjacent at %d", d, i)
+			}
+		}
+		if d >= 2 && Dist(code[len(code)-1], code[0]) != 1 {
+			t.Errorf("d=%d: Gray code does not close into a cycle", d)
+		}
+	}
+}
+
+func TestBuildDistMatchesHamming(t *testing.T) {
+	d := 5
+	g := Build(d)
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 50; iter++ {
+		u := rng.Intn(g.N())
+		v := rng.Intn(g.N())
+		want := Dist(Word(uint64(u), d), Word(uint64(v), d))
+		if got := int(g.Dist(u, v)); got != want {
+			t.Fatalf("graph dist(%d,%d) = %d, Hamming = %d", u, v, got, want)
+		}
+	}
+}

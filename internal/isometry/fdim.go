@@ -1,0 +1,233 @@
+package isometry
+
+import (
+	"fmt"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+	"gfcube/internal/graph"
+	"gfcube/internal/hypercube"
+)
+
+// FDimResult reports an f-dimension computation: the smallest d such that G
+// embeds isometrically into Q_d(f) (Section 7), together with a witnessing
+// embedding.
+type FDimResult struct {
+	Dim       int
+	Embedding []bitstr.Word // image of vertex i in Q_Dim(f)
+	Found     bool
+}
+
+// FDim computes dim_f(G) exactly by searching dimensions lowerBound..maxD
+// for an isometric embedding of g into Q_d(f). The embedding search is a
+// backtracking placement in BFS order with full pairwise distance checking
+// against the host cube's true distances (so it remains correct even for
+// factors f where Q_d(f) is not isometric in Q_d).
+//
+// The search is exponential in the worst case and is intended for the small
+// graphs of the Section 7 experiments (paths, cycles, stars, grids).
+func FDim(g *graph.Graph, f bitstr.Word, maxD int) FDimResult {
+	if g.N() == 0 {
+		return FDimResult{Dim: 0, Found: true}
+	}
+	lower := 0
+	if g.N() > 1 {
+		lower = 1
+	}
+	for d := lower; d <= maxD; d++ {
+		host := core.New(d, f)
+		if host.N() < g.N() {
+			continue
+		}
+		if emb, ok := embed(g, host); ok {
+			return FDimResult{Dim: d, Embedding: emb, Found: true}
+		}
+	}
+	return FDimResult{Found: false}
+}
+
+// embed searches for an isometric embedding of g into the host cube.
+func embed(g *graph.Graph, host *core.Cube) ([]bitstr.Word, bool) {
+	n := g.N()
+	hn := host.N()
+	// Distances inside g.
+	gd := make([][]int32, n)
+	t := graph.NewTraverser(g)
+	for v := 0; v < n; v++ {
+		gd[v] = make([]int32, n)
+		t.BFS(v, gd[v])
+		for _, dd := range gd[v] {
+			if dd == graph.Unreachable {
+				return nil, false // disconnected guests never embed isometrically
+			}
+		}
+	}
+	// Distances inside the host.
+	hd := make([][]int32, hn)
+	ht := graph.NewTraverser(host.Graph())
+	for v := 0; v < hn; v++ {
+		hd[v] = make([]int32, hn)
+		ht.BFS(v, hd[v])
+	}
+	// Place guest vertices in BFS order from vertex 0 so every new vertex
+	// has an already-placed neighbor: strong pruning.
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	queue := []int{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, u := range g.Neighbors(v) {
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, int(u))
+			}
+		}
+	}
+	img := make([]int, n)
+	for i := range img {
+		img[i] = -1
+	}
+	used := make([]bool, hn)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			return true
+		}
+		v := order[k]
+		for cand := 0; cand < hn; cand++ {
+			if used[cand] {
+				continue
+			}
+			ok := true
+			for _, placed := range order[:k] {
+				if hd[img[placed]][cand] != gd[placed][v] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			img[v] = cand
+			used[cand] = true
+			if rec(k + 1) {
+				return true
+			}
+			used[cand] = false
+			img[v] = -1
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil, false
+	}
+	out := make([]bitstr.Word, n)
+	for v := 0; v < n; v++ {
+		out[v] = host.Word(img[v])
+	}
+	return out, true
+}
+
+// Prop71Expand implements the constructive embedding of Proposition 7.1:
+// given hypercube coordinates of an isometric embedding of G into Q_k, it
+// produces an isometric embedding into Q_{d'}(f) where
+//
+//   - d' = 2k-1 when 11 is a factor of f (insert 0 between consecutive bits),
+//   - d' = 2k-1 when 00 is a factor of f (insert 1 between consecutive bits),
+//   - d' = 3k-2 otherwise, for alternating f with |f| >= 3, f != 010, 101
+//     as required by the proposition (insert 00 between consecutive bits).
+//
+// It returns the expanded coordinates and the target dimension d'.
+func Prop71Expand(coords []bitstr.Word, f bitstr.Word) ([]bitstr.Word, int, error) {
+	if len(coords) == 0 {
+		return nil, 0, fmt.Errorf("isometry: empty embedding")
+	}
+	k := coords[0].Len()
+	switch {
+	case f.HasFactor(bitstr.MustParse("11")):
+		return expandWith(coords, k, bitstr.Zeros(1)), 2*k - 1, nil
+	case f.HasFactor(bitstr.MustParse("00")):
+		return expandWith(coords, k, bitstr.Ones(1)), 2*k - 1, nil
+	default:
+		// f alternates; Proposition 7.1 requires |f| >= 3 and f != 010
+		// (and by symmetry != 101): those cases have no valid dim_f.
+		if f.Len() < 3 {
+			return nil, 0, fmt.Errorf("isometry: Proposition 7.1 excludes f = %s", f)
+		}
+		return expandWith(coords, k, bitstr.Zeros(2)), 3*k - 2, nil
+	}
+}
+
+func expandWith(coords []bitstr.Word, k int, sep bitstr.Word) []bitstr.Word {
+	out := make([]bitstr.Word, len(coords))
+	for i, c := range coords {
+		var e bitstr.Word
+		for j := 0; j < k; j++ {
+			e = e.Concat(bitstr.New(c.Bit(j), 1))
+			if j+1 < k {
+				e = e.Concat(sep)
+			}
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// LargestHypercube returns the largest k <= maxK such that the hypercube
+// Q_k embeds isometrically into the host cube. For Fibonacci cubes this is
+// the "subcube capacity" claim of the interconnection-network line of work:
+// Γ_d hosts Q_{⌊(d+1)/2⌋} (the 0-interleaving embedding of Proposition 7.1)
+// and nothing larger.
+func LargestHypercube(host *core.Cube, maxK int) int {
+	best := 0
+	for k := 1; k <= maxK; k++ {
+		if 1<<uint(k) > host.N() {
+			break
+		}
+		if _, ok := embed(hypercube.Build(k), host); !ok {
+			break
+		}
+		best = k
+	}
+	return best
+}
+
+// VerifyEmbedding checks that the given words form an isometric embedding of
+// g into Q_d(f): all words are vertices of the cube and the pairwise cube
+// distances equal the guest distances.
+func VerifyEmbedding(g *graph.Graph, f bitstr.Word, words []bitstr.Word) error {
+	if len(words) != g.N() {
+		return fmt.Errorf("isometry: embedding has %d words for %d vertices", len(words), g.N())
+	}
+	if g.N() == 0 {
+		return nil
+	}
+	d := words[0].Len()
+	host := core.New(d, f)
+	idx := make([]int, len(words))
+	for i, w := range words {
+		j, ok := host.Rank(w)
+		if !ok {
+			return fmt.Errorf("isometry: word %s is not a vertex of Q_%d(%s)", w, d, f)
+		}
+		idx[i] = j
+	}
+	t := graph.NewTraverser(g)
+	gd := make([]int32, g.N())
+	for u := 0; u < g.N(); u++ {
+		t.BFS(u, gd)
+		for v := 0; v < g.N(); v++ {
+			if u == v {
+				continue
+			}
+			if host.Dist(idx[u], idx[v]) != gd[v] {
+				return fmt.Errorf("isometry: pair (%d,%d) maps to cube distance %d, guest distance %d",
+					u, v, host.Dist(idx[u], idx[v]), gd[v])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package isometry
+
+import (
+	"testing"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/graph"
+)
+
+func f11() bitstr.Word { return bitstr.MustParse("11") }
+
+func TestFDimPathsFibonacci(t *testing.T) {
+	// dim_11(P_2) = 1 (Γ_1 = K_2); dim_11(P_3) = 2 (Γ_2 = P_3); P_4 needs
+	// Γ_3 (diameter 3); P_5 needs diameter 4, hence Γ_4.
+	cases := []struct {
+		n, want int
+	}{
+		{2, 1}, {3, 2}, {4, 3}, {5, 4},
+	}
+	for _, cs := range cases {
+		res := FDim(graph.Path(cs.n), f11(), 6)
+		if !res.Found || res.Dim != cs.want {
+			t.Errorf("dim_11(P_%d) = %v (found %v), want %d", cs.n, res.Dim, res.Found, cs.want)
+		}
+		if err := VerifyEmbedding(graph.Path(cs.n), f11(), res.Embedding); err != nil {
+			t.Errorf("P_%d embedding invalid: %v", cs.n, err)
+		}
+	}
+}
+
+func TestFDimCycleAndStar(t *testing.T) {
+	// C_4 first appears isometrically in Γ_3; K_{1,3} too (center 000).
+	res := FDim(graph.Cycle(4), f11(), 6)
+	if !res.Found || res.Dim != 3 {
+		t.Errorf("dim_11(C_4) = %d, want 3", res.Dim)
+	}
+	res = FDim(graph.Star(3), f11(), 6)
+	if !res.Found || res.Dim != 3 {
+		t.Errorf("dim_11(K_{1,3}) = %d, want 3", res.Dim)
+	}
+}
+
+func TestFDimOddCycleNotFound(t *testing.T) {
+	// Odd cycles embed in no hypercube, hence in no Q_d(f).
+	res := FDim(graph.Cycle(5), f11(), 6)
+	if res.Found {
+		t.Error("C_5 should have no f-dimension")
+	}
+}
+
+// E9 / Proposition 7.1: idim(G) <= dim_f(G) <= 3 idim(G) - 2, with the
+// sharper 2 idim - 1 upper bound when f contains 11 or 00.
+func TestE9Prop71Bounds(t *testing.T) {
+	guests := map[string]*graph.Graph{
+		"P3":   graph.Path(3),
+		"P4":   graph.Path(4),
+		"C4":   graph.Cycle(4),
+		"K1_3": graph.Star(3),
+	}
+	factors := []string{"11", "111", "110"}
+	for name, g := range guests {
+		idim := Analyze(g).Idim()
+		if idim <= 0 {
+			t.Fatalf("%s: bad idim %d", name, idim)
+		}
+		for _, fs := range factors {
+			f := bitstr.MustParse(fs)
+			upper := 2*idim - 1 // all test factors contain 11
+			res := FDim(g, f, upper)
+			if !res.Found {
+				t.Errorf("dim_%s(%s) not found within Prop 7.1 bound %d", fs, name, upper)
+				continue
+			}
+			if res.Dim < idim {
+				t.Errorf("dim_%s(%s) = %d below idim = %d", fs, name, res.Dim, idim)
+			}
+			if err := VerifyEmbedding(g, f, res.Embedding); err != nil {
+				t.Errorf("%s into Q(%s): %v", name, fs, err)
+			}
+		}
+	}
+}
+
+// The constructive expansion of Proposition 7.1 produces valid (if not
+// minimal) embeddings.
+func TestProp71ExpandElevenFactor(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"P5": graph.Path(5),
+		"C6": graph.Cycle(6),
+	} {
+		a := Analyze(g)
+		coords, err := a.Coordinates()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		k := a.Idim()
+		for _, fs := range []string{"11", "111", "1101"} {
+			f := bitstr.MustParse(fs)
+			exp, dim, err := Prop71Expand(coords, f)
+			if err != nil {
+				t.Fatalf("%s f=%s: %v", name, fs, err)
+			}
+			if dim != 2*k-1 {
+				t.Errorf("%s f=%s: dim %d, want %d", name, fs, dim, 2*k-1)
+			}
+			if err := VerifyEmbedding(g, f, exp); err != nil {
+				t.Errorf("%s f=%s: expanded embedding invalid: %v", name, fs, err)
+			}
+		}
+	}
+}
+
+func TestProp71ExpandZeroZeroFactor(t *testing.T) {
+	g := graph.Path(4)
+	a := Analyze(g)
+	coords, _ := a.Coordinates()
+	f := bitstr.MustParse("100") // contains 00
+	exp, dim, err := Prop71Expand(coords, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dim != 2*a.Idim()-1 {
+		t.Errorf("dim = %d", dim)
+	}
+	if err := VerifyEmbedding(g, f, exp); err != nil {
+		t.Errorf("00-factor expansion invalid: %v", err)
+	}
+}
+
+func TestProp71ExpandAlternatingFactor(t *testing.T) {
+	g := graph.Path(4)
+	a := Analyze(g)
+	coords, _ := a.Coordinates()
+	// f = 1010 alternates and contains neither 11 nor 00: the 3k-2 case.
+	f := bitstr.MustParse("1010")
+	exp, dim, err := Prop71Expand(coords, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dim != 3*a.Idim()-2 {
+		t.Errorf("dim = %d, want %d", dim, 3*a.Idim()-2)
+	}
+	if err := VerifyEmbedding(g, f, exp); err != nil {
+		t.Errorf("alternating expansion invalid: %v", err)
+	}
+}
+
+func TestProp71ExpandExcluded(t *testing.T) {
+	g := graph.Path(3)
+	coords, _ := Analyze(g).Coordinates()
+	if _, _, err := Prop71Expand(coords, bitstr.MustParse("10")); err == nil {
+		t.Error("f = 10 should be rejected (excluded by Proposition 7.1)")
+	}
+	if _, _, err := Prop71Expand(nil, bitstr.MustParse("11")); err == nil {
+		t.Error("empty embedding should be rejected")
+	}
+}
+
+func TestVerifyEmbeddingRejectsBad(t *testing.T) {
+	g := graph.Path(3)
+	// Wrong count.
+	if err := VerifyEmbedding(g, f11(), []bitstr.Word{bitstr.MustParse("00")}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// Word containing the factor.
+	bad := []bitstr.Word{bitstr.MustParse("11"), bitstr.MustParse("01"), bitstr.MustParse("00")}
+	if err := VerifyEmbedding(g, f11(), bad); err == nil {
+		t.Error("factor-containing word accepted")
+	}
+	// Distances wrong: P3 mapped to three pairwise-adjacent... not possible
+	// in a cube; use non-geodesic placement instead.
+	bad = []bitstr.Word{bitstr.MustParse("00"), bitstr.MustParse("01"), bitstr.MustParse("00")}
+	if err := VerifyEmbedding(g, f11(), bad); err == nil {
+		t.Error("distance-violating embedding accepted")
+	}
+}
+
+func TestFDimSingletonAndEmpty(t *testing.T) {
+	res := FDim(graph.NewBuilder(1).Build(), f11(), 3)
+	if !res.Found {
+		t.Error("K_1 should embed")
+	}
+	res = FDim(graph.NewBuilder(0).Build(), f11(), 3)
+	if !res.Found || res.Dim != 0 {
+		t.Error("empty graph should embed at dimension 0")
+	}
+}

@@ -1,0 +1,33 @@
+package isometry
+
+import (
+	"testing"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+)
+
+// E14: subcube capacity. Γ_d hosts Q_{⌊(d+1)/2⌋} isometrically (the
+// 0-interleaving embedding) and nothing larger - the hypercube-emulation
+// claim of the Fibonacci-cube interconnection papers, verified exactly.
+func TestE14LargestHypercubeInFibonacci(t *testing.T) {
+	for d := 1; d <= 7; d++ {
+		want := (d + 1) / 2
+		got := LargestHypercube(core.Fibonacci(d), want+1)
+		if got != want {
+			t.Errorf("largest Q_k in Γ_%d: k = %d, want %d", d, got, want)
+		}
+	}
+}
+
+// Sparser factors admit larger subcubes: Q_d(111) hosts Q_k with
+// k >= ⌊2(d+1)/3⌋ (interleave a 0 after every second coordinate).
+func TestE14LargestHypercubeInQ111(t *testing.T) {
+	for d := 2; d <= 6; d++ {
+		gamma := LargestHypercube(core.Fibonacci(d), d)
+		third := LargestHypercube(core.New(d, bitstr.Ones(3)), d)
+		if third < gamma {
+			t.Errorf("d=%d: Q_d(111) hosts Q_%d but Γ_d hosts Q_%d; order-3 cube should dominate", d, third, gamma)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package isometry implements the partial-cube machinery of Sections 7 and 8
+// of the paper: the Djoković-Winkler relation Θ on edges, its transitive
+// closure Θ*, Winkler's partial-cube recognition (a connected bipartite graph
+// embeds isometrically in a hypercube iff Θ is transitive), the isometric
+// dimension idim(G), hypercube coordinatization, and the f-dimension
+// dim_f(G) of Section 7 together with the constructive bounds of
+// Proposition 7.1.
+package isometry
+
+import (
+	"fmt"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/graph"
+)
+
+// Analysis is the result of the Θ-relation computation on a graph.
+type Analysis struct {
+	g     *graph.Graph
+	edges [][2]int32
+	dist  [][]int32
+
+	// Class[i] is the Θ*-class of edge i; classes are 0..NumClasses-1.
+	Class      []int
+	NumClasses int
+	// Bipartite and Connected are the preconditions of Winkler's theorem.
+	Bipartite bool
+	Connected bool
+	// ThetaTransitive reports whether Θ equals its transitive closure Θ*.
+	// By Winkler's theorem, a connected bipartite graph is a partial cube
+	// iff this holds.
+	ThetaTransitive bool
+	// If !ThetaTransitive, BadEdges is a pair of edge indices in the same
+	// Θ*-class that are not Θ-related.
+	BadEdges [2]int
+}
+
+// Analyze computes distances, the Θ relation, Θ*-classes and the Winkler
+// transitivity test for a connected graph. It panics on a disconnected
+// graph only when asked for coordinates; Analyze itself records the defect.
+func Analyze(g *graph.Graph) *Analysis {
+	n := g.N()
+	a := &Analysis{g: g, edges: g.EdgeList()}
+	a.dist = make([][]int32, n)
+	t := graph.NewTraverser(g)
+	a.Connected = true
+	for v := 0; v < n; v++ {
+		a.dist[v] = make([]int32, n)
+		t.BFS(v, a.dist[v])
+		for _, d := range a.dist[v] {
+			if d == graph.Unreachable {
+				a.Connected = false
+			}
+		}
+	}
+	a.Bipartite, _ = g.IsBipartite()
+
+	m := len(a.edges)
+	parent := make([]int, m)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(x, y int) {
+		rx, ry := find(x), find(y)
+		if rx != ry {
+			parent[rx] = ry
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if a.theta(i, j) {
+				union(i, j)
+			}
+		}
+	}
+	a.Class = make([]int, m)
+	next := 0
+	ids := make(map[int]int)
+	for i := 0; i < m; i++ {
+		r := find(i)
+		id, ok := ids[r]
+		if !ok {
+			id = next
+			ids[r] = id
+			next++
+		}
+		a.Class[i] = id
+	}
+	a.NumClasses = next
+
+	// Transitivity: every two edges in the same Θ*-class must be Θ-related.
+	a.ThetaTransitive = true
+	a.BadEdges = [2]int{-1, -1}
+outer:
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if a.Class[i] == a.Class[j] && !a.theta(i, j) {
+				a.ThetaTransitive = false
+				a.BadEdges = [2]int{i, j}
+				break outer
+			}
+		}
+	}
+	return a
+}
+
+// theta reports whether edges i and j are in relation Θ:
+// d(x,u) + d(y,v) != d(x,v) + d(y,u) for e_i = xy, e_j = uv.
+func (a *Analysis) theta(i, j int) bool {
+	if i == j {
+		return true
+	}
+	x, y := a.edges[i][0], a.edges[i][1]
+	u, v := a.edges[j][0], a.edges[j][1]
+	return a.dist[x][u]+a.dist[y][v] != a.dist[x][v]+a.dist[y][u]
+}
+
+// Theta exposes the Θ test on edge indices (after Analyze).
+func (a *Analysis) Theta(i, j int) bool { return a.theta(i, j) }
+
+// Edges returns the edge list the analysis indexes refer to.
+func (a *Analysis) Edges() [][2]int32 { return a.edges }
+
+// Dist returns the precomputed distance between two vertices.
+func (a *Analysis) Dist(u, v int) int32 { return a.dist[u][v] }
+
+// IsPartialCube applies Winkler's theorem: the graph embeds isometrically
+// into some hypercube iff it is connected, bipartite and Θ is transitive.
+func (a *Analysis) IsPartialCube() bool {
+	return a.Connected && a.Bipartite && a.ThetaTransitive
+}
+
+// Idim returns the isometric dimension of the graph: the number of
+// Θ*-classes if the graph is a partial cube, or -1 otherwise (the paper's
+// idim(G) = ∞ case).
+func (a *Analysis) Idim() int {
+	if !a.IsPartialCube() {
+		return -1
+	}
+	return a.NumClasses
+}
+
+// Coordinates returns an isometric embedding of a partial cube into
+// Q_{idim(G)}: one word per vertex, one coordinate per Θ*-class. The side of
+// each vertex relative to class k is determined by distance comparison with
+// the endpoints of a representative edge of k (the halfspaces of a partial
+// cube). The embedding is verified before being returned.
+func (a *Analysis) Coordinates() ([]bitstr.Word, error) {
+	if !a.IsPartialCube() {
+		return nil, fmt.Errorf("isometry: graph is not a partial cube")
+	}
+	n := a.g.N()
+	k := a.NumClasses
+	if k > bitstr.MaxLen {
+		return nil, fmt.Errorf("isometry: idim %d exceeds %d-bit words", k, bitstr.MaxLen)
+	}
+	// Representative edge per class.
+	rep := make([]int, k)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for e, cl := range a.Class {
+		if rep[cl] == -1 {
+			rep[cl] = e
+		}
+	}
+	coords := make([]bitstr.Word, n)
+	for v := 0; v < n; v++ {
+		var bits uint64
+		for cl := 0; cl < k; cl++ {
+			x, y := a.edges[rep[cl]][0], a.edges[rep[cl]][1]
+			// v is on the y-side iff it is closer to y than to x; in a
+			// partial cube every vertex is strictly closer to one endpoint.
+			switch {
+			case a.dist[v][x] < a.dist[v][y]:
+				// bit 0
+			case a.dist[v][x] > a.dist[v][y]:
+				bits |= 1 << uint(k-1-cl)
+			default:
+				return nil, fmt.Errorf("isometry: vertex %d equidistant from endpoints of class %d; not a partial cube", v, cl)
+			}
+		}
+		coords[v] = bitstr.Word{Bits: bits, N: k}
+	}
+	// Verify: graph distance must equal Hamming distance of coordinates.
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if int(a.dist[u][v]) != coords[u].HammingDistance(coords[v]) {
+				return nil, fmt.Errorf("isometry: coordinatization failed at pair (%d,%d)", u, v)
+			}
+		}
+	}
+	return coords, nil
+}

@@ -1,0 +1,211 @@
+package isometry
+
+import (
+	"testing"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+	"gfcube/internal/graph"
+	"gfcube/internal/hypercube"
+)
+
+func TestHypercubeThetaClasses(t *testing.T) {
+	// Q_d has exactly d Θ*-classes (one per direction) and is a partial cube
+	// of isometric dimension d.
+	for d := 1; d <= 5; d++ {
+		a := Analyze(hypercube.Build(d))
+		if !a.IsPartialCube() {
+			t.Fatalf("Q_%d not recognized as partial cube", d)
+		}
+		if a.Idim() != d {
+			t.Errorf("idim(Q_%d) = %d", d, a.Idim())
+		}
+		if !a.ThetaTransitive {
+			t.Errorf("Θ not transitive on Q_%d", d)
+		}
+	}
+}
+
+func TestFibonacciCubeIdim(t *testing.T) {
+	// Γ_d is isometric in Q_d and uses every direction: idim(Γ_d) = d.
+	for d := 1; d <= 8; d++ {
+		a := Analyze(core.Fibonacci(d).Graph())
+		if a.Idim() != d {
+			t.Errorf("idim(Γ_%d) = %d, want %d", d, a.Idim(), d)
+		}
+	}
+}
+
+func TestTreeIdim(t *testing.T) {
+	// In a tree every edge is its own Θ*-class: idim = number of edges.
+	p := graph.Path(7)
+	if a := Analyze(p); a.Idim() != 6 {
+		t.Errorf("idim(P_7) = %d, want 6", a.Idim())
+	}
+	star := graph.Star(5)
+	if a := Analyze(star); a.Idim() != 5 {
+		t.Errorf("idim(K_{1,5}) = %d, want 5", a.Idim())
+	}
+	tree := graph.Tree([]int{0, 0, 0, 1, 1, 2})
+	if a := Analyze(tree); a.Idim() != 5 {
+		t.Errorf("idim(tree) = %d, want 5", a.Idim())
+	}
+}
+
+func TestEvenCycleIdim(t *testing.T) {
+	// C_{2k} is a partial cube with idim = k.
+	for k := 2; k <= 5; k++ {
+		a := Analyze(graph.Cycle(2 * k))
+		if a.Idim() != k {
+			t.Errorf("idim(C_%d) = %d, want %d", 2*k, a.Idim(), k)
+		}
+	}
+}
+
+func TestOddCycleNotPartialCube(t *testing.T) {
+	a := Analyze(graph.Cycle(5))
+	if a.IsPartialCube() {
+		t.Error("C_5 is not bipartite, cannot be a partial cube")
+	}
+	if a.Bipartite {
+		t.Error("C_5 reported bipartite")
+	}
+	if a.Idim() != -1 {
+		t.Error("idim should be -1")
+	}
+}
+
+func TestCompleteGraphNotPartialCube(t *testing.T) {
+	if Analyze(graph.Complete(4)).IsPartialCube() {
+		t.Error("K_4 is not a partial cube")
+	}
+}
+
+// E8: the Section 8 remark. Q_d(101) for d >= 4 is connected and bipartite
+// but Θ is not transitive, so by Winkler's theorem it is not an isometric
+// subgraph of ANY hypercube Q_{d'}.
+func TestE8Q101NotPartialCube(t *testing.T) {
+	for d := 4; d <= 7; d++ {
+		a := Analyze(core.New(d, bitstr.MustParse("101")).Graph())
+		if !a.Connected || !a.Bipartite {
+			t.Fatalf("Q_%d(101) should be connected and bipartite", d)
+		}
+		if a.ThetaTransitive {
+			t.Errorf("Θ transitive on Q_%d(101); Section 8 argument predicts otherwise", d)
+		}
+		if a.IsPartialCube() {
+			t.Errorf("Q_%d(101) recognized as partial cube", d)
+		}
+		// The defect witness must be genuine: same Θ*-class, not Θ-related.
+		i, j := a.BadEdges[0], a.BadEdges[1]
+		if i < 0 || j < 0 || a.Class[i] != a.Class[j] || a.Theta(i, j) {
+			t.Errorf("bad-edge witness invalid for d=%d", d)
+		}
+	}
+}
+
+// By contrast, for d <= 3, Q_d(101) = Q_d (or Q_3 minus a vertex) and those
+// are partial cubes.
+func TestQ101SmallDimsArePartialCubes(t *testing.T) {
+	for d := 1; d <= 3; d++ {
+		a := Analyze(core.New(d, bitstr.MustParse("101")).Graph())
+		if !a.IsPartialCube() {
+			t.Errorf("Q_%d(101) should be a partial cube", d)
+		}
+	}
+}
+
+func TestCoordinatesRoundTrip(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"P6":     graph.Path(6),
+		"C6":     graph.Cycle(6),
+		"Γ5":     core.Fibonacci(5).Graph(),
+		"grid23": graph.Grid(2, 3),
+		"Q3":     hypercube.Build(3),
+	}
+	for name, g := range graphs {
+		a := Analyze(g)
+		coords, err := a.Coordinates()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for u := 0; u < g.N(); u++ {
+			for v := u + 1; v < g.N(); v++ {
+				if int(a.Dist(u, v)) != coords[u].HammingDistance(coords[v]) {
+					t.Fatalf("%s: coordinates not isometric at (%d,%d)", name, u, v)
+				}
+			}
+		}
+		if coords[0].Len() != a.Idim() {
+			t.Errorf("%s: coordinate length %d != idim %d", name, coords[0].Len(), a.Idim())
+		}
+	}
+}
+
+func TestCoordinatesFailsOnNonPartialCube(t *testing.T) {
+	a := Analyze(graph.Complete(3))
+	if _, err := a.Coordinates(); err == nil {
+		t.Error("Coordinates should fail for K_3")
+	}
+}
+
+func TestDisconnectedGraphDetected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	a := Analyze(b.Build())
+	if a.Connected {
+		t.Error("disconnected graph reported connected")
+	}
+	if a.IsPartialCube() {
+		t.Error("disconnected graph cannot be a partial cube")
+	}
+}
+
+// Every isometric Q_d(f) is a partial cube; its idim can be less than d when
+// directions are unused, but for the Table 1 isometric cases with d > |f|
+// all d directions appear.
+func TestIsometricCubesArePartialCubes(t *testing.T) {
+	for _, row := range core.Table1 {
+		f := row.Word()
+		for d := 1; d <= 7; d++ {
+			if row.VerdictFor(d) != core.Isometric {
+				continue
+			}
+			a := Analyze(core.New(d, f).Graph())
+			if !a.IsPartialCube() {
+				t.Errorf("isometric Q_%d(%s) not recognized as partial cube", d, row.Factor)
+			}
+		}
+	}
+}
+
+// For isometric Q_d(f) with d > |f| and f containing at least two 1s (or two
+// 0s, by symmetry), every hypercube direction carries at least one edge:
+// the Θ*-class count recovers exactly d, and the Winkler coordinatization
+// reconstructs words equivalent to the natural ones up to relabeling.
+func TestIsometricCubesFullIdim(t *testing.T) {
+	for _, row := range core.Table1 {
+		f := row.Word()
+		if f.Len() < 2 {
+			continue
+		}
+		for d := f.Len() + 1; d <= 7; d++ {
+			if row.VerdictFor(d) != core.Isometric {
+				continue
+			}
+			a := Analyze(core.New(d, f).Graph())
+			if got := a.Idim(); got != d {
+				t.Errorf("idim(Q_%d(%s)) = %d, want %d", d, row.Factor, got, d)
+			}
+			coords, err := a.Coordinates()
+			if err != nil {
+				t.Errorf("Q_%d(%s): coordinatization failed: %v", d, row.Factor, err)
+				continue
+			}
+			if coords[0].Len() != d {
+				t.Errorf("Q_%d(%s): coordinate width %d", d, row.Factor, coords[0].Len())
+			}
+		}
+	}
+}

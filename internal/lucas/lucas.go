@@ -1,0 +1,195 @@
+// Package lucas implements Lucas cubes, the cyclic siblings of Fibonacci
+// cubes (paper reference [4]): Λ_d is the subgraph of Q_d induced by the
+// binary strings with no two consecutive 1s *circularly* (no 11 factor, and
+// not 1 in both the first and last position). |V(Λ_d)| is the Lucas number
+// L_d. Lucas cubes are induced subgraphs of Fibonacci cubes and isometric
+// subgraphs of hypercubes, which the package's tests verify computationally.
+package lucas
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"gfcube/internal/automaton"
+	"gfcube/internal/bitstr"
+	"gfcube/internal/fib"
+	"gfcube/internal/graph"
+)
+
+// Cube is an explicitly constructed Lucas cube Λ_d.
+type Cube struct {
+	d     int
+	verts []uint64
+	g     *graph.Graph
+}
+
+// Admissible reports whether w is a Lucas-cube vertex: no 11 factor and not
+// 1 at both ends (the cyclic adjacency).
+func Admissible(w bitstr.Word) bool {
+	if w.HasFactor(bitstr.Ones(2)) {
+		return false
+	}
+	if w.Len() >= 1 && w.Bit(0) == 1 && w.Bit(w.Len()-1) == 1 {
+		return false
+	}
+	return true
+}
+
+// New constructs Λ_d.
+func New(d int) *Cube {
+	if d < 0 || d > 30 {
+		panic(fmt.Sprintf("lucas: explicit construction limited to 0 <= d <= 30, got %d", d))
+	}
+	var verts []uint64
+	if d == 0 {
+		verts = []uint64{0}
+	} else {
+		dfa := automaton.New(bitstr.Ones(2))
+		dfa.Enumerate(d, func(w bitstr.Word) bool {
+			if Admissible(w) {
+				verts = append(verts, w.Bits)
+			}
+			return true
+		})
+	}
+	c := &Cube{d: d, verts: verts}
+	b := graph.NewBuilder(len(verts))
+	for i, v := range verts {
+		for bit := 0; bit < d; bit++ {
+			u := v ^ (uint64(1) << uint(bit))
+			if u <= v {
+				continue
+			}
+			if j, ok := c.rank(u); ok {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	c.g = b.Build()
+	return c
+}
+
+// D returns the dimension.
+func (c *Cube) D() int { return c.d }
+
+// N returns |V(Λ_d)|.
+func (c *Cube) N() int { return len(c.verts) }
+
+// M returns |E(Λ_d)|.
+func (c *Cube) M() int { return c.g.M() }
+
+// Graph returns the underlying graph.
+func (c *Cube) Graph() *graph.Graph { return c.g }
+
+// Word returns the i-th vertex word (increasing packed order).
+func (c *Cube) Word(i int) bitstr.Word { return bitstr.Word{Bits: c.verts[i], N: c.d} }
+
+// Rank returns the index of w and whether it is a vertex.
+func (c *Cube) Rank(w bitstr.Word) (int, bool) {
+	if w.Len() != c.d {
+		return 0, false
+	}
+	return c.rank(w.Bits)
+}
+
+func (c *Cube) rank(v uint64) (int, bool) {
+	i := sort.Search(len(c.verts), func(i int) bool { return c.verts[i] >= v })
+	if i < len(c.verts) && c.verts[i] == v {
+		return i, true
+	}
+	return 0, false
+}
+
+// Count returns |V(Λ_d)| without construction: L_d for d >= 1 (L_1 = 1,
+// L_2 = 3), and 1 for d = 0.
+func Count(d int) *big.Int {
+	if d == 0 {
+		return big.NewInt(1)
+	}
+	return fib.Lucas(d)
+}
+
+// CircularlyAvoids reports whether the cyclic word w avoids f: no window of
+// length |f| in the circular reading of w equals f. The circular reading
+// wraps as often as needed, so for |f| > len(w) the window passes over w
+// multiple times (e.g. the length-1 word 1 does NOT circularly avoid 11).
+func CircularlyAvoids(w, f bitstr.Word) bool {
+	if f.Len() == 0 {
+		return false
+	}
+	if w.Len() == 0 {
+		return true
+	}
+	need := w.Len() + f.Len() - 1
+	if need > bitstr.MaxLen {
+		panic("lucas: circular window exceeds word capacity")
+	}
+	ext := w
+	for ext.Len() < need {
+		take := need - ext.Len()
+		if take > w.Len() {
+			take = w.Len()
+		}
+		ext = ext.Concat(w.Prefix(take))
+	}
+	return !ext.HasFactor(f)
+}
+
+// NewGeneral constructs the generalized Lucas cube Λ_d(f): the subgraph of
+// Q_d induced by the words that avoid f circularly. Λ_d(11) is the classical
+// Lucas cube; this is the construction of the authors' companion paper
+// "Generalized Lucas cubes". Every Λ_d(f) is an induced subgraph of Q_d(f)
+// (circular avoidance implies linear avoidance).
+func NewGeneral(d int, f bitstr.Word) *Cube {
+	if f.Len() == 0 {
+		panic("lucas: empty forbidden factor")
+	}
+	if d < 0 || d > 30 {
+		panic(fmt.Sprintf("lucas: explicit construction limited to 0 <= d <= 30, got %d", d))
+	}
+	var verts []uint64
+	if d == 0 {
+		verts = []uint64{0}
+	} else {
+		// Linear avoidance is necessary for circular avoidance, so the DFA
+		// prunes the enumeration even when |f| > d (where it prunes nothing
+		// and every word is tested circularly).
+		dfa := automaton.New(f)
+		dfa.Enumerate(d, func(w bitstr.Word) bool {
+			if CircularlyAvoids(w, f) {
+				verts = append(verts, w.Bits)
+			}
+			return true
+		})
+	}
+	c := &Cube{d: d, verts: verts}
+	b := graph.NewBuilder(len(verts))
+	for i, v := range verts {
+		for bit := 0; bit < d; bit++ {
+			u := v ^ (uint64(1) << uint(bit))
+			if u <= v {
+				continue
+			}
+			if j, ok := c.rank(u); ok {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	c.g = b.Build()
+	return c
+}
+
+// IsIsometricInHypercube checks, exactly, that Λ_d has the hypercube metric
+// (distance equals Hamming distance for all vertex pairs).
+func (c *Cube) IsIsometricInHypercube() bool {
+	hostDist := func(a, b int) int32 {
+		return int32(bitstr.Word{Bits: c.verts[a], N: c.d}.HammingDistance(bitstr.Word{Bits: c.verts[b], N: c.d}))
+	}
+	ids := make([]int, c.N())
+	for i := range ids {
+		ids[i] = i
+	}
+	ok, _, _ := c.g.IsIsometricSubgraphOf(hostDist, ids)
+	return ok
+}

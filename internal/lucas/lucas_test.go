@@ -1,0 +1,154 @@
+package lucas
+
+import (
+	"testing"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+	"gfcube/internal/hypercube"
+	"gfcube/internal/isometry"
+)
+
+func TestOrderIsLucasNumber(t *testing.T) {
+	// |V(Λ_d)| = L_d: 1, 3, 4, 7, 11, 18, 29, 47, ...
+	want := []int{1, 1, 3, 4, 7, 11, 18, 29, 47, 76, 123}
+	for d := 0; d <= 10; d++ {
+		c := New(d)
+		if c.N() != want[d] {
+			t.Errorf("|V(Λ_%d)| = %d, want %d", d, c.N(), want[d])
+		}
+		if Count(d).Int64() != int64(want[d]) {
+			t.Errorf("Count(%d) = %s", d, Count(d))
+		}
+	}
+}
+
+func TestAdmissible(t *testing.T) {
+	cases := map[string]bool{
+		"0":     true,
+		"1":     false, // cyclic 11 with itself
+		"10":    true,  // no linear 11, ends are 1 and 0
+		"0110":  false, // linear 11
+		"1001":  false, // cyclic: last 1 and first 1 adjacent
+		"1000":  true,
+		"0101":  true,
+		"10101": false, // first and last both 1
+		"01010": true,
+	}
+	for s, want := range cases {
+		if got := Admissible(bitstr.MustParse(s)); got != want {
+			t.Errorf("Admissible(%s) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestLucasInsideFibonacci(t *testing.T) {
+	// Λ_d is the subgraph of Γ_d induced by the words not starting and
+	// ending with 1; every Λ edge is a Γ edge.
+	for d := 1; d <= 9; d++ {
+		l := New(d)
+		f := core.Fibonacci(d)
+		for i := 0; i < l.N(); i++ {
+			if !f.Contains(l.Word(i)) {
+				t.Fatalf("Λ_%d vertex %s not in Γ_%d", d, l.Word(i), d)
+			}
+		}
+		l.Graph().Edges(func(u, v int) {
+			iu, _ := f.Rank(l.Word(u))
+			iv, _ := f.Rank(l.Word(v))
+			if !f.Graph().HasEdge(iu, iv) {
+				t.Fatalf("Λ_%d edge missing in Γ_%d", d, d)
+			}
+		})
+	}
+}
+
+func TestLucasIsometricInHypercube(t *testing.T) {
+	for d := 1; d <= 10; d++ {
+		if !New(d).IsIsometricInHypercube() {
+			t.Errorf("Λ_%d should be isometric in Q_%d", d, d)
+		}
+	}
+}
+
+func TestLucasIsPartialCube(t *testing.T) {
+	for d := 2; d <= 7; d++ {
+		a := isometry.Analyze(New(d).Graph())
+		if !a.IsPartialCube() {
+			t.Errorf("Λ_%d not recognized as a partial cube", d)
+		}
+	}
+}
+
+func TestLucasMedianClosedInHypercube(t *testing.T) {
+	// Lucas cubes are median graphs; the defining embedding is median
+	// closed: the majority word of three admissible words is admissible
+	// (verified exhaustively for d <= 7).
+	for d := 1; d <= 7; d++ {
+		c := New(d)
+		n := c.N()
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				for k := j + 1; k < n; k++ {
+					m := hypercube.Median(c.Word(i), c.Word(j), c.Word(k))
+					if !Admissible(m) {
+						t.Fatalf("Λ_%d: median of (%s,%s,%s) = %s not admissible",
+							d, c.Word(i), c.Word(j), c.Word(k), m)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLucasDiameter(t *testing.T) {
+	// diam(Λ_d): for even d it is d (e.g. 1010...10 vs 0101...01); for odd
+	// d >= 3 no two admissible words differ everywhere, so it is < d.
+	// Check monotone growth and the even case exactly.
+	for d := 2; d <= 10; d += 2 {
+		st := New(d).Graph().Stats()
+		if int(st.Diameter) != d {
+			t.Errorf("diam(Λ_%d) = %d, want %d", d, st.Diameter, d)
+		}
+	}
+	for d := 3; d <= 9; d += 2 {
+		st := New(d).Graph().Stats()
+		if int(st.Diameter) >= d {
+			t.Errorf("diam(Λ_%d) = %d, want < %d", d, st.Diameter, d)
+		}
+	}
+}
+
+func TestLucasConnectedBipartite(t *testing.T) {
+	for d := 1; d <= 10; d++ {
+		g := New(d).Graph()
+		if !g.IsConnected() {
+			t.Errorf("Λ_%d disconnected", d)
+		}
+		if ok, _ := g.IsBipartite(); !ok {
+			t.Errorf("Λ_%d not bipartite", d)
+		}
+	}
+}
+
+func TestRankRoundTrip(t *testing.T) {
+	c := New(8)
+	for i := 0; i < c.N(); i++ {
+		j, ok := c.Rank(c.Word(i))
+		if !ok || j != i {
+			t.Fatalf("rank round trip failed at %d", i)
+		}
+	}
+	if _, ok := c.Rank(bitstr.MustParse("10000001")); ok {
+		t.Error("cyclically invalid word accepted")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}

@@ -1,0 +1,138 @@
+package network
+
+import (
+	"gfcube/internal/graph"
+)
+
+// DerouteRouter is the greedy bit-fixing router extended with misrouting:
+// when no productive hop exists (possible on non-isometric cubes, where
+// greedy routing strands packets at critical words), it takes a sideways or
+// backwards hop to the neighbor that minimizes the remaining Hamming
+// distance, avoiding the immediately preceding vertex to prevent 2-cycles.
+// The router is stateful per packet walk (it remembers the last vertex), so
+// NextHop carries the previous hop explicitly via SetPrev; the simulator
+// integration uses RouteDeroute instead.
+type DerouteRouter struct {
+	net    *Network
+	greedy *GreedyRouter
+}
+
+// NewDerouteRouter returns the misrouting-capable greedy router.
+func NewDerouteRouter(n *Network) *DerouteRouter {
+	return &DerouteRouter{net: n, greedy: NewGreedyRouter(n)}
+}
+
+// Name identifies the algorithm in reports.
+func (r *DerouteRouter) Name() string { return "greedy+deroute" }
+
+// RouteDeroute walks from src to dst, preferring productive greedy hops and
+// falling back to the best non-productive neighbor when stuck. A visited set
+// prevents livelock; maxHops (0 = 6·d) bounds the walk.
+func (r *DerouteRouter) RouteDeroute(src, dst, maxHops int) RouteResult {
+	if maxHops <= 0 {
+		maxHops = 6 * r.net.cube.D()
+		if maxHops == 0 {
+			maxHops = 6
+		}
+	}
+	cur := src
+	hops := 0
+	visited := map[int]bool{src: true}
+	g := r.net.g
+	for cur != dst {
+		if hops >= maxHops {
+			return RouteResult{Delivered: false, Hops: hops}
+		}
+		next, ok := r.greedy.NextHop(cur, dst)
+		if ok && next != cur && !visited[next] {
+			cur = next
+		} else {
+			// Misroute: the unvisited neighbor closest to dst in Hamming
+			// distance.
+			best, bestDist := -1, 1<<30
+			for _, nb := range g.Neighbors(cur) {
+				if visited[int(nb)] {
+					continue
+				}
+				hd := r.net.cube.HammingDist(int(nb), dst)
+				if hd < bestDist {
+					best, bestDist = int(nb), hd
+				}
+			}
+			if best < 0 {
+				return RouteResult{Delivered: false, Hops: hops}
+			}
+			cur = best
+		}
+		visited[cur] = true
+		hops++
+	}
+	res := RouteResult{Delivered: true, Hops: hops}
+	if h := r.net.cube.HammingDist(src, dst); h > 0 {
+		res.Stretch = float64(hops) / float64(h)
+	}
+	return res
+}
+
+// EvaluateDeroute aggregates RouteDeroute over the pairs, mirroring
+// EvaluateRouting.
+func (n *Network) EvaluateDeroute(pairs [][2]int) RoutingStats {
+	r := NewDerouteRouter(n)
+	var st RoutingStats
+	for _, p := range pairs {
+		res := r.RouteDeroute(p[0], p[1], 0)
+		st.Attempts++
+		if res.Delivered {
+			st.Delivered++
+			st.TotalHops += res.Hops
+			if res.Hops > st.MaxHops {
+				st.MaxHops = res.Hops
+			}
+			st.SumStretch += res.Stretch
+		}
+	}
+	return st
+}
+
+// FaultyRoute evaluates oracle re-routing on a degraded network: it rebuilds
+// shortest-path tables on the surviving subgraph and reports success over
+// the given pairs (pairs touching dead nodes count as failures). This is the
+// dynamic complement of the static FaultTrial metrics.
+func (n *Network) FaultyRoute(killed []int, pairs [][2]int) RoutingStats {
+	dead := make(map[int]bool, len(killed))
+	for _, v := range killed {
+		dead[v] = true
+	}
+	keep := make([]int, 0, n.Size()-len(dead))
+	for v := 0; v < n.Size(); v++ {
+		if !dead[v] {
+			keep = append(keep, v)
+		}
+	}
+	sub, old := n.g.Subgraph(keep)
+	newID := make(map[int]int, len(old))
+	for i, v := range old {
+		newID[v] = i
+	}
+	t := graph.NewTraverser(sub)
+	dist := make([]int32, sub.N())
+	var st RoutingStats
+	for _, p := range pairs {
+		st.Attempts++
+		s, okS := newID[p[0]]
+		d, okD := newID[p[1]]
+		if !okS || !okD {
+			continue // endpoint dead
+		}
+		t.BFS(s, dist)
+		if dist[d] == graph.Unreachable {
+			continue
+		}
+		st.Delivered++
+		st.TotalHops += int(dist[d])
+		if int(dist[d]) > st.MaxHops {
+			st.MaxHops = int(dist[d])
+		}
+	}
+	return st
+}

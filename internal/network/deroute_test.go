@@ -1,0 +1,86 @@
+package network
+
+import (
+	"testing"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+)
+
+func TestDerouteMatchesGreedyWhenUnneeded(t *testing.T) {
+	// On an isometric cube deroute never engages: hop counts equal Hamming
+	// distances, exactly like plain greedy.
+	n := New(core.Fibonacci(7))
+	r := NewDerouteRouter(n)
+	for _, pair := range n.AllPairs() {
+		res := r.RouteDeroute(pair[0], pair[1], 0)
+		if !res.Delivered {
+			t.Fatalf("deroute failed on %v", pair)
+		}
+		if res.Hops != n.Cube().HammingDist(pair[0], pair[1]) {
+			t.Fatalf("deroute took %d hops for Hamming %d", res.Hops, n.Cube().HammingDist(pair[0], pair[1]))
+		}
+	}
+}
+
+func TestDerouteRecoversStrandedPairs(t *testing.T) {
+	// On Q_6(101) plain greedy strands pairs; deroute must recover a strict
+	// superset of greedy's deliveries (the network is connected, so the
+	// oracle delivers 100%; deroute should close most of the gap).
+	n := New(core.New(6, bitstr.MustParse("101")))
+	pairs := n.AllPairs()
+	greedy := n.EvaluateRouting(NewGreedyRouter(n), pairs)
+	deroute := n.EvaluateDeroute(pairs)
+	if greedy.SuccessRate() >= 1 {
+		t.Skip("greedy unexpectedly perfect; nothing to recover")
+	}
+	if deroute.Delivered <= greedy.Delivered {
+		t.Errorf("deroute delivered %d, greedy %d; expected improvement",
+			deroute.Delivered, greedy.Delivered)
+	}
+	// Recovered routes pay with stretch: average stretch must be >= 1.
+	if deroute.AvgStretch() < 1 {
+		t.Errorf("avg stretch %f < 1", deroute.AvgStretch())
+	}
+}
+
+func TestDerouteName(t *testing.T) {
+	n := New(core.Fibonacci(3))
+	if NewDerouteRouter(n).Name() != "greedy+deroute" {
+		t.Error("name wrong")
+	}
+}
+
+func TestFaultyRoute(t *testing.T) {
+	n := New(core.Fibonacci(7))
+	pairs := n.UniformPairs(200, 5)
+	// No faults: everything routable at true shortest distance.
+	st := n.FaultyRoute(nil, pairs)
+	if st.Delivered != st.Attempts {
+		t.Fatalf("no-fault routing incomplete: %+v", st)
+	}
+	// Kill one hub: pairs touching it fail, the rest keep working (Γ_7
+	// minus a vertex stays connected).
+	zero, _ := n.Cube().Rank(bitstr.Zeros(7))
+	st = n.FaultyRoute([]int{zero}, pairs)
+	touching := 0
+	for _, p := range pairs {
+		if p[0] == zero || p[1] == zero {
+			touching++
+		}
+	}
+	if st.Delivered != st.Attempts-touching {
+		t.Errorf("faulty routing: delivered %d of %d with %d touching the dead node",
+			st.Delivered, st.Attempts, touching)
+	}
+}
+
+func TestFaultyRouteDisconnection(t *testing.T) {
+	// On a path network, killing an interior node separates the two sides.
+	n := New(core.New(6, bitstr.MustParse("10"))) // P_7
+	pairs := [][2]int{{0, 6}, {0, 2}, {4, 6}}
+	st := n.FaultyRoute([]int{3}, pairs)
+	if st.Delivered != 2 {
+		t.Errorf("expected exactly the same-side pairs to survive, got %d", st.Delivered)
+	}
+}

@@ -1,0 +1,218 @@
+package network
+
+import (
+	"math/rand"
+
+	"gfcube/internal/graph"
+)
+
+// FaultTrialResult describes one fault-injection trial: kill a set of nodes,
+// then measure what remains.
+type FaultTrialResult struct {
+	Killed             int
+	SurvivorsConnected bool
+	LargestComponent   int
+	// DiameterAfter is the diameter of the largest surviving component.
+	DiameterAfter int32
+	// RoutableFraction is the fraction of ordered survivor pairs that remain
+	// mutually reachable.
+	RoutableFraction float64
+}
+
+// FaultStats aggregates fault trials at a fixed kill count.
+type FaultStats struct {
+	Trials            int
+	Killed            int
+	ConnectedTrials   int
+	MeanLargest       float64
+	MeanRoutable      float64
+	WorstRoutable     float64
+	MeanDiameterAfter float64
+}
+
+// FaultTrial removes the given nodes and measures the surviving topology.
+func (n *Network) FaultTrial(killed []int) FaultTrialResult {
+	size := n.Size()
+	dead := make([]bool, size)
+	count := 0
+	for _, v := range killed {
+		if !dead[v] {
+			dead[v] = true
+			count++
+		}
+	}
+	keep := make([]int, 0, size-count)
+	for v := 0; v < size; v++ {
+		if !dead[v] {
+			keep = append(keep, v)
+		}
+	}
+	res := FaultTrialResult{Killed: count}
+	if len(keep) == 0 {
+		res.SurvivorsConnected = true
+		res.RoutableFraction = 1
+		return res
+	}
+	sub, _ := n.g.Subgraph(keep)
+	comp, k := sub.Components()
+	sizes := make([]int, k)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	largest, largestID := 0, 0
+	for id, s := range sizes {
+		if s > largest {
+			largest, largestID = s, id
+		}
+	}
+	res.LargestComponent = largest
+	res.SurvivorsConnected = k <= 1
+	// Routable pairs: within components.
+	var routable float64
+	for _, s := range sizes {
+		routable += float64(s) * float64(s-1)
+	}
+	total := float64(len(keep)) * float64(len(keep)-1)
+	if total > 0 {
+		res.RoutableFraction = routable / total
+	} else {
+		res.RoutableFraction = 1
+	}
+	// Diameter of the largest surviving component.
+	var members []int
+	for v, c := range comp {
+		if c == int32(largestID) {
+			members = append(members, v)
+		}
+	}
+	lg, _ := sub.Subgraph(members)
+	res.DiameterAfter = lg.Stats().Diameter
+	return res
+}
+
+// RandomFaults runs trials independent fault trials killing `kill` random
+// distinct nodes each, deterministic for a fixed seed.
+func (n *Network) RandomFaults(kill, trials int, seed int64) FaultStats {
+	rng := rand.New(rand.NewSource(seed))
+	st := FaultStats{Trials: trials, Killed: kill, WorstRoutable: 1}
+	size := n.Size()
+	for trial := 0; trial < trials; trial++ {
+		perm := rng.Perm(size)
+		res := n.FaultTrial(perm[:kill])
+		if res.SurvivorsConnected {
+			st.ConnectedTrials++
+		}
+		st.MeanLargest += float64(res.LargestComponent)
+		st.MeanRoutable += res.RoutableFraction
+		st.MeanDiameterAfter += float64(res.DiameterAfter)
+		if res.RoutableFraction < st.WorstRoutable {
+			st.WorstRoutable = res.RoutableFraction
+		}
+	}
+	if trials > 0 {
+		st.MeanLargest /= float64(trials)
+		st.MeanRoutable /= float64(trials)
+		st.MeanDiameterAfter /= float64(trials)
+	}
+	return st
+}
+
+// LinkFaultTrial removes the given links (edges, as index pairs into the
+// graph) and measures the surviving topology, mirroring FaultTrial for
+// edge failures.
+func (n *Network) LinkFaultTrial(killed [][2]int32) FaultTrialResult {
+	dead := make(map[[2]int32]bool, len(killed))
+	for _, e := range killed {
+		if e[0] > e[1] {
+			e[0], e[1] = e[1], e[0]
+		}
+		dead[e] = true
+	}
+	b := graph.NewBuilder(n.g.N())
+	count := 0
+	n.g.Edges(func(u, v int) {
+		key := [2]int32{int32(u), int32(v)}
+		if dead[key] {
+			count++
+			return
+		}
+		b.AddEdge(u, v)
+	})
+	sub := b.Build()
+	res := FaultTrialResult{Killed: count}
+	comp, k := sub.Components()
+	sizes := make([]int, k)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	largest := 0
+	for _, s := range sizes {
+		if s > largest {
+			largest = s
+		}
+	}
+	res.LargestComponent = largest
+	res.SurvivorsConnected = k <= 1
+	var routable float64
+	for _, s := range sizes {
+		routable += float64(s) * float64(s-1)
+	}
+	total := float64(sub.N()) * float64(sub.N()-1)
+	if total > 0 {
+		res.RoutableFraction = routable / total
+	} else {
+		res.RoutableFraction = 1
+	}
+	res.DiameterAfter = sub.Stats().Diameter
+	return res
+}
+
+// RandomLinkFaults runs trials independent link-fault trials killing `kill`
+// random distinct links each.
+func (n *Network) RandomLinkFaults(kill, trials int, seed int64) FaultStats {
+	rng := rand.New(rand.NewSource(seed))
+	st := FaultStats{Trials: trials, Killed: kill, WorstRoutable: 1}
+	edges := n.g.EdgeList()
+	for trial := 0; trial < trials; trial++ {
+		perm := rng.Perm(len(edges))
+		sel := make([][2]int32, 0, kill)
+		for _, i := range perm[:kill] {
+			sel = append(sel, edges[i])
+		}
+		res := n.LinkFaultTrial(sel)
+		if res.SurvivorsConnected {
+			st.ConnectedTrials++
+		}
+		st.MeanLargest += float64(res.LargestComponent)
+		st.MeanRoutable += res.RoutableFraction
+		st.MeanDiameterAfter += float64(res.DiameterAfter)
+		if res.RoutableFraction < st.WorstRoutable {
+			st.WorstRoutable = res.RoutableFraction
+		}
+	}
+	if trials > 0 {
+		st.MeanLargest /= float64(trials)
+		st.MeanRoutable /= float64(trials)
+		st.MeanDiameterAfter /= float64(trials)
+	}
+	return st
+}
+
+// ArticulationFreeFraction reports the fraction of single-node failures that
+// leave the network connected (1.0 means no articulation vertices). This is
+// the recursive fault-tolerance property studied for Fibonacci cubes
+// (paper reference [9]).
+func (n *Network) ArticulationFreeFraction() float64 {
+	size := n.Size()
+	if size <= 2 {
+		return 1
+	}
+	ok := 0
+	for v := 0; v < size; v++ {
+		res := n.FaultTrial([]int{v})
+		if res.SurvivorsConnected {
+			ok++
+		}
+	}
+	return float64(ok) / float64(size)
+}

@@ -1,0 +1,66 @@
+package network
+
+import (
+	"testing"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+)
+
+func TestLinkFaultTrial(t *testing.T) {
+	n := NewFibonacci(6)
+	// No faults.
+	res := n.LinkFaultTrial(nil)
+	if !res.SurvivorsConnected || res.LargestComponent != n.Size() {
+		t.Errorf("no-fault link trial: %+v", res)
+	}
+	// Kill a single arbitrary link: Γ_6 must stay connected (it has no
+	// bridges away from the small-d degenerate cases... verify computed).
+	edges := n.Cube().Graph().EdgeList()
+	res = n.LinkFaultTrial(edges[:1])
+	if res.Killed != 1 {
+		t.Errorf("killed %d", res.Killed)
+	}
+	if res.LargestComponent < n.Size()-1 {
+		t.Errorf("single link fault shattered the network: %+v", res)
+	}
+}
+
+func TestLinkFaultBridge(t *testing.T) {
+	// Every edge of a path network is a bridge.
+	n := New(core.New(5, bitstr.MustParse("10"))) // P_6
+	edges := n.Cube().Graph().EdgeList()
+	for _, e := range edges {
+		res := n.LinkFaultTrial([][2]int32{e})
+		if res.SurvivorsConnected {
+			t.Errorf("removing path edge %v left it connected", e)
+		}
+	}
+}
+
+func TestRandomLinkFaults(t *testing.T) {
+	n := NewFibonacci(8)
+	st := n.RandomLinkFaults(4, 15, 7)
+	if st.Trials != 15 || st.Killed != 4 {
+		t.Fatalf("header wrong: %+v", st)
+	}
+	if st.MeanRoutable <= 0 || st.MeanRoutable > 1 {
+		t.Errorf("mean routable %f", st.MeanRoutable)
+	}
+	// Node count is preserved under link faults.
+	if st.MeanLargest > float64(n.Size()) {
+		t.Errorf("largest component exceeds node count")
+	}
+}
+
+func TestLinkFaultOrderInsensitive(t *testing.T) {
+	// Edge pairs may arrive in either orientation.
+	n := NewFibonacci(5)
+	edges := n.Cube().Graph().EdgeList()
+	e := edges[0]
+	a := n.LinkFaultTrial([][2]int32{{e[0], e[1]}})
+	b := n.LinkFaultTrial([][2]int32{{e[1], e[0]}})
+	if a != b {
+		t.Errorf("orientation changed the result: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,82 @@
+// Package network implements the interconnection-network substrate for
+// generalized Fibonacci cubes. The Fibonacci cube was introduced as an
+// interconnection topology (Hsu, IEEE TPDS 1993; the ICPP'93 line of work
+// studied the Q_d(1^s) generalization), and this package provides what that
+// evaluation setting requires: routing algorithms (a distance-optimal oracle
+// and the greedy bit-fixing router implicit in the paper's isometry proofs),
+// a synchronous store-and-forward message simulator, broadcast trees,
+// standard traffic workloads, and fault injection.
+package network
+
+import (
+	"fmt"
+
+	"gfcube/internal/core"
+	"gfcube/internal/graph"
+)
+
+// Network is a generalized Fibonacci cube viewed as a message-passing
+// interconnection network. Nodes are cube vertices; links are cube edges;
+// every link is full-duplex with capacity one packet per direction per
+// round.
+type Network struct {
+	cube *core.Cube
+	g    *graph.Graph
+}
+
+// New wraps a constructed cube as a network.
+func New(cube *core.Cube) *Network {
+	return &Network{cube: cube, g: cube.Graph()}
+}
+
+// NewFibonacci builds the Fibonacci cube network Γ_d.
+func NewFibonacci(d int) *Network { return New(core.Fibonacci(d)) }
+
+// Cube returns the underlying cube.
+func (n *Network) Cube() *core.Cube { return n.cube }
+
+// Size returns the number of nodes.
+func (n *Network) Size() int { return n.g.N() }
+
+// Links returns the number of links.
+func (n *Network) Links() int { return n.g.M() }
+
+// Metrics summarizes the static topology properties reported in
+// interconnection-network evaluations.
+type Metrics struct {
+	Nodes       int
+	Links       int
+	MinDegree   int
+	MaxDegree   int
+	Diameter    int32
+	Radius      int32
+	AvgDistance float64
+	Connected   bool
+	Bipartite   bool
+}
+
+// Metrics computes the static topology metrics of the network.
+func (n *Network) Metrics() Metrics {
+	st := n.g.Stats()
+	bip, _ := n.g.IsBipartite()
+	m := Metrics{
+		Nodes:     n.g.N(),
+		Links:     n.g.M(),
+		MinDegree: n.g.MinDegree(),
+		MaxDegree: n.g.MaxDegree(),
+		Diameter:  st.Diameter,
+		Radius:    st.Radius,
+		Connected: st.Connected,
+		Bipartite: bip,
+	}
+	if st.Connected && m.Nodes > 1 {
+		m.AvgDistance = float64(st.SumDist) / float64(m.Nodes*(m.Nodes-1)/2)
+	}
+	return m
+}
+
+// String formats the metrics as a single table row.
+func (m Metrics) String() string {
+	return fmt.Sprintf("n=%d m=%d deg=[%d,%d] diam=%d rad=%d avgdist=%.3f",
+		m.Nodes, m.Links, m.MinDegree, m.MaxDegree, m.Diameter, m.Radius, m.AvgDistance)
+}

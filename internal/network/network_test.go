@@ -1,0 +1,293 @@
+package network
+
+import (
+	"testing"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+)
+
+func TestMetricsFibonacci(t *testing.T) {
+	// Γ_d: max degree d, diameter d (Proposition 6.1), connected, bipartite.
+	for d := 2; d <= 9; d++ {
+		n := NewFibonacci(d)
+		m := n.Metrics()
+		if m.MaxDegree != d || int(m.Diameter) != d {
+			t.Errorf("Γ_%d: degree %d diameter %d", d, m.MaxDegree, m.Diameter)
+		}
+		if !m.Connected || !m.Bipartite {
+			t.Errorf("Γ_%d: connected=%v bipartite=%v", d, m.Connected, m.Bipartite)
+		}
+		if m.AvgDistance <= 0 || m.AvgDistance > float64(d) {
+			t.Errorf("Γ_%d: avg distance %f out of range", d, m.AvgDistance)
+		}
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	if s := NewFibonacci(3).Metrics().String(); s == "" {
+		t.Error("empty metrics string")
+	}
+}
+
+func TestOracleRouterOptimal(t *testing.T) {
+	// Oracle hop counts equal true distances on every pair, including on a
+	// non-isometric cube.
+	for _, fs := range []string{"11", "101"} {
+		n := New(core.New(6, bitstr.MustParse(fs)))
+		r := NewOracleRouter(n)
+		g := n.Cube().Graph()
+		for _, pair := range n.AllPairs() {
+			res := n.Route(r, pair[0], pair[1], 0)
+			if !res.Delivered {
+				t.Fatalf("f=%s: oracle failed %v", fs, pair)
+			}
+			if int32(res.Hops) != g.Dist(pair[0], pair[1]) {
+				t.Fatalf("f=%s: oracle hops %d != dist %d for %v", fs, res.Hops, g.Dist(pair[0], pair[1]), pair)
+			}
+		}
+	}
+}
+
+func TestGreedyOptimalOnIsometricCubes(t *testing.T) {
+	// On isometric cubes greedy delivers every packet in exactly
+	// Hamming-distance many hops (stretch 1).
+	for _, fs := range []string{"11", "110", "1010", "11010"} {
+		n := New(core.New(7, bitstr.MustParse(fs)))
+		r := NewGreedyRouter(n)
+		for _, pair := range n.AllPairs() {
+			res := n.Route(r, pair[0], pair[1], 0)
+			if !res.Delivered {
+				t.Fatalf("f=%s: greedy failed on %v", fs, pair)
+			}
+			want := n.Cube().HammingDist(pair[0], pair[1])
+			if res.Hops != want {
+				t.Fatalf("f=%s: greedy hops %d, Hamming %d on %v", fs, res.Hops, want, pair)
+			}
+		}
+	}
+}
+
+func TestGreedyDegradesOnNonIsometricCube(t *testing.T) {
+	// Q_6(101) is not isometric: greedy must fail or stretch on some pair,
+	// while the oracle still succeeds everywhere.
+	n := New(core.New(6, bitstr.MustParse("101")))
+	greedy := n.EvaluateRouting(NewGreedyRouter(n), n.AllPairs())
+	oracle := n.EvaluateRouting(NewOracleRouter(n), n.AllPairs())
+	if oracle.SuccessRate() != 1 {
+		t.Fatalf("oracle success %f", oracle.SuccessRate())
+	}
+	if greedy.SuccessRate() == 1 && greedy.AvgStretch() <= 1 {
+		t.Error("greedy should degrade on a non-isometric cube")
+	}
+}
+
+func TestRouteSelfPair(t *testing.T) {
+	n := NewFibonacci(4)
+	res := n.Route(NewGreedyRouter(n), 3, 3, 0)
+	if !res.Delivered || res.Hops != 0 {
+		t.Error("self routing should deliver in 0 hops")
+	}
+}
+
+func TestSimulateUniformOnFibonacci(t *testing.T) {
+	n := NewFibonacci(7)
+	pairs := n.UniformPairs(200, 1)
+	packets := MakePackets(pairs)
+	res := n.Simulate(packets, NewGreedyRouter(n), SimConfig{})
+	if res.Delivered != 200 || res.Stuck != 0 || res.Undelivered != 0 {
+		t.Fatalf("simulation: %s", res.String())
+	}
+	// Conservation and sanity.
+	if res.Delivered+res.Stuck+res.Undelivered != res.Packets {
+		t.Error("packet conservation violated")
+	}
+	if res.AvgLatency < 1 {
+		t.Errorf("avg latency %f", res.AvgLatency)
+	}
+	// Each packet individually marked.
+	for _, p := range packets {
+		if !p.Delivered() {
+			t.Error("packet not marked delivered")
+		}
+		if p.Hops() < 1 {
+			t.Error("packet with zero hops")
+		}
+	}
+}
+
+func TestSimulatePermutationContention(t *testing.T) {
+	n := NewFibonacci(6)
+	pairs := n.PermutationPairs(7)
+	res := n.Simulate(MakePackets(pairs), NewOracleRouter(n), SimConfig{})
+	if res.Delivered != len(pairs) {
+		t.Fatalf("permutation: %s", res.String())
+	}
+	// With one packet per source the max queue can still exceed 1 at
+	// intermediate nodes, but must be at least 1.
+	if res.MaxQueue < 1 {
+		t.Error("max queue should be at least 1")
+	}
+}
+
+func TestSimulateStuckPackets(t *testing.T) {
+	// On Q_6(101) greedy strands some packets; the simulator must classify
+	// them as stuck, not leave them undelivered forever.
+	n := New(core.New(6, bitstr.MustParse("101")))
+	res := n.Simulate(MakePackets(n.AllPairs()), NewGreedyRouter(n), SimConfig{})
+	if res.Stuck == 0 {
+		t.Skip("greedy did not strand packets on this instance")
+	}
+	if res.Delivered+res.Stuck+res.Undelivered != res.Packets {
+		t.Error("packet conservation violated")
+	}
+}
+
+func TestSimulateDeterminism(t *testing.T) {
+	n := NewFibonacci(6)
+	pairs := n.UniformPairs(100, 99)
+	a := n.Simulate(MakePackets(pairs), NewGreedyRouter(n), SimConfig{})
+	b := n.Simulate(MakePackets(pairs), NewGreedyRouter(n), SimConfig{})
+	if a != b {
+		t.Errorf("simulation not deterministic:\n%s\n%s", a.String(), b.String())
+	}
+}
+
+func TestSimulateSelfTraffic(t *testing.T) {
+	n := NewFibonacci(4)
+	packets := []Packet{{ID: 0, Src: 2, Dst: 2}}
+	res := n.Simulate(packets, NewGreedyRouter(n), SimConfig{})
+	if res.Delivered != 1 || res.Rounds != 0 {
+		t.Errorf("self traffic: %s", res.String())
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	n := NewFibonacci(7)
+	zero, ok := n.Cube().Rank(bitstr.Zeros(7))
+	if !ok {
+		t.Fatal("0^7 should be a vertex")
+	}
+	res := n.Broadcast(zero)
+	if res.Reached != n.Size() {
+		t.Errorf("broadcast reached %d of %d", res.Reached, n.Size())
+	}
+	if res.Messages != n.Size()-1 {
+		t.Errorf("messages %d", res.Messages)
+	}
+	// From 0^d every vertex is within d hops, and the eccentricity of 0^d
+	// in Γ_d is at most d.
+	if res.Rounds > 7 {
+		t.Errorf("broadcast rounds %d > 7", res.Rounds)
+	}
+}
+
+func TestTrafficGenerators(t *testing.T) {
+	n := NewFibonacci(6)
+	pairs := n.UniformPairs(50, 3)
+	if len(pairs) != 50 {
+		t.Fatal("uniform count wrong")
+	}
+	for _, p := range pairs {
+		if p[0] == p[1] || p[0] < 0 || p[0] >= n.Size() {
+			t.Fatal("bad uniform pair")
+		}
+	}
+	perm := n.PermutationPairs(3)
+	seenSrc := map[int]bool{}
+	for _, p := range perm {
+		if seenSrc[p[0]] {
+			t.Fatal("duplicate source in permutation")
+		}
+		seenSrc[p[0]] = true
+	}
+	hot := n.HotspotPairs(100, 0, 0.8, 3)
+	hits := 0
+	for _, p := range hot {
+		if p[1] == 0 {
+			hits++
+		}
+	}
+	if hits < 50 {
+		t.Errorf("hotspot hits only %d/100", hits)
+	}
+	if got := len(n.AllPairs()); got != n.Size()*(n.Size()-1) {
+		t.Errorf("AllPairs %d", got)
+	}
+}
+
+func TestFaultTrial(t *testing.T) {
+	n := NewFibonacci(6)
+	// Killing nothing keeps everything connected.
+	res := n.FaultTrial(nil)
+	if !res.SurvivorsConnected || res.LargestComponent != n.Size() || res.RoutableFraction != 1 {
+		t.Errorf("no-fault trial: %+v", res)
+	}
+	// Killing 0^6 (the max-degree hub) must keep Γ_6 connected: Fibonacci
+	// cubes remain connected after one vertex deletion for d >= 2.
+	zero, _ := n.Cube().Rank(bitstr.Zeros(6))
+	res = n.FaultTrial([]int{zero})
+	if !res.SurvivorsConnected {
+		t.Error("Γ_6 minus hub should stay connected")
+	}
+	// Duplicate kills count once.
+	res = n.FaultTrial([]int{1, 1})
+	if res.Killed != 1 {
+		t.Errorf("duplicate kill counted: %+v", res)
+	}
+}
+
+func TestRandomFaults(t *testing.T) {
+	n := NewFibonacci(7)
+	st := n.RandomFaults(3, 20, 11)
+	if st.Trials != 20 || st.Killed != 3 {
+		t.Fatalf("stats header wrong: %+v", st)
+	}
+	if st.MeanRoutable <= 0 || st.MeanRoutable > 1 {
+		t.Errorf("mean routable %f", st.MeanRoutable)
+	}
+	if st.WorstRoutable > st.MeanRoutable {
+		t.Errorf("worst %f > mean %f", st.WorstRoutable, st.MeanRoutable)
+	}
+	if st.MeanLargest > float64(n.Size()-3) {
+		t.Errorf("largest component too large: %f", st.MeanLargest)
+	}
+}
+
+func TestArticulationFractionMatchesTarjan(t *testing.T) {
+	// The trial-based fraction must equal 1 - (#articulation points)/n on
+	// connected networks with at least 3 nodes (linear-time cross-check).
+	for _, d := range []int{4, 6, 8} {
+		n := NewFibonacci(d)
+		cuts := n.Cube().Graph().ArticulationPoints()
+		want := 1 - float64(len(cuts))/float64(n.Size())
+		got := n.ArticulationFreeFraction()
+		if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("Γ_%d: trial fraction %f, Tarjan fraction %f", d, got, want)
+		}
+	}
+	// And the bridge set must match the link-fault bridge scan on a path.
+	p := New(core.New(5, bitstr.MustParse("10")))
+	if got := len(p.Cube().Graph().Bridges()); got != p.Cube().M() {
+		t.Errorf("path bridges = %d, want all %d edges", got, p.Cube().M())
+	}
+}
+
+func TestArticulationFreeFraction(t *testing.T) {
+	// Γ_2 = P_3 and Γ_3 have articulation points (removing 0^d isolates a
+	// leaf); from d = 4 on, deleting any single vertex keeps Γ_d connected.
+	if got := NewFibonacci(2).ArticulationFreeFraction(); got >= 1 {
+		t.Errorf("Γ_2 articulation-free fraction %f, expected < 1", got)
+	}
+	for d := 4; d <= 7; d++ {
+		n := NewFibonacci(d)
+		if got := n.ArticulationFreeFraction(); got != 1 {
+			t.Errorf("Γ_%d articulation-free fraction %f", d, got)
+		}
+	}
+	// A path network has interior articulation points.
+	p := New(core.New(4, bitstr.MustParse("10"))) // P_5
+	if got := p.ArticulationFreeFraction(); got >= 1 {
+		t.Errorf("path articulation-free fraction %f", got)
+	}
+}

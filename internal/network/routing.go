@@ -1,0 +1,186 @@
+package network
+
+import (
+	"math/bits"
+
+	"gfcube/internal/graph"
+)
+
+// Router decides, at each intermediate node, the next hop toward a
+// destination. ok is false when the router has no productive move (possible
+// for greedy routing on non-isometric cubes).
+type Router interface {
+	// NextHop returns the neighbor of cur to forward to on the way to dst.
+	NextHop(cur, dst int) (next int, ok bool)
+	// Name identifies the algorithm in reports.
+	Name() string
+}
+
+// OracleRouter forwards along true shortest paths, using per-destination
+// BFS trees precomputed over the actual cube graph. It is distance-optimal
+// on any topology and serves as the baseline.
+type OracleRouter struct {
+	// toward[dst][cur] is the parent of cur in the BFS tree rooted at dst,
+	// i.e. the next hop from cur toward dst; -1 when unreachable.
+	toward [][]int32
+}
+
+// NewOracleRouter precomputes shortest-path next hops for all destinations.
+func NewOracleRouter(n *Network) *OracleRouter {
+	size := n.Size()
+	r := &OracleRouter{toward: make([][]int32, size)}
+	t := graph.NewTraverser(n.g)
+	dist := make([]int32, size)
+	parent := make([]int32, size)
+	for dst := 0; dst < size; dst++ {
+		t.BFSTree(dst, dist, parent)
+		row := make([]int32, size)
+		copy(row, parent)
+		r.toward[dst] = row
+	}
+	return r
+}
+
+// NextHop implements Router.
+func (r *OracleRouter) NextHop(cur, dst int) (int, bool) {
+	if cur == dst {
+		return cur, true
+	}
+	p := r.toward[dst][cur]
+	if p < 0 {
+		return 0, false
+	}
+	return int(p), true
+}
+
+// Name implements Router.
+func (r *OracleRouter) Name() string { return "oracle" }
+
+// GreedyRouter is the bit-fixing router implicit in the paper's isometry
+// proofs: at each node it flips a bit in which the current address differs
+// from the destination, preferring 1->0 corrections left to right, then
+// 0->1 (the canonical-path order of Section 2), always requiring the
+// intermediate word to be a cube vertex. On an isometric Q_d(f) it always
+// finds a productive hop and delivers in exactly Hamming-distance many hops;
+// on non-isometric cubes it can get stuck, which the experiments measure.
+type GreedyRouter struct {
+	net *Network
+}
+
+// NewGreedyRouter returns the greedy bit-fixing router for a network.
+func NewGreedyRouter(n *Network) *GreedyRouter { return &GreedyRouter{net: n} }
+
+// NextHop implements Router.
+func (r *GreedyRouter) NextHop(cur, dst int) (int, bool) {
+	if cur == dst {
+		return cur, true
+	}
+	c := r.net.cube
+	cw := c.Word(cur)
+	dw := c.Word(dst)
+	diff := cw.Bits ^ dw.Bits
+	d := cw.Len()
+	// Pass 1: clear 1-bits of cur that should be 0 (left to right).
+	for i := 0; i < d; i++ {
+		mask := uint64(1) << uint(d-1-i)
+		if diff&mask != 0 && cw.Bits&mask != 0 {
+			if j, ok := c.Rank(cw.Flip(i)); ok {
+				return j, true
+			}
+		}
+	}
+	// Pass 2: set 0-bits that should be 1.
+	for i := 0; i < d; i++ {
+		mask := uint64(1) << uint(d-1-i)
+		if diff&mask != 0 && cw.Bits&mask == 0 {
+			if j, ok := c.Rank(cw.Flip(i)); ok {
+				return j, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Name implements Router.
+func (r *GreedyRouter) Name() string { return "greedy" }
+
+// RouteResult describes a single source-destination routing attempt.
+type RouteResult struct {
+	Delivered bool
+	Hops      int
+	// Stretch is Hops divided by the Hamming distance (1.0 = optimal);
+	// 0 when not delivered or src = dst.
+	Stretch float64
+}
+
+// Route walks a packet from src to dst with the given router, bounded by
+// maxHops (pass 0 for 4*d, a generous default).
+func (n *Network) Route(r Router, src, dst, maxHops int) RouteResult {
+	if maxHops <= 0 {
+		maxHops = 4 * n.cube.D()
+		if maxHops == 0 {
+			maxHops = 4
+		}
+	}
+	cur := src
+	hops := 0
+	for cur != dst {
+		next, ok := r.NextHop(cur, dst)
+		if !ok || next == cur {
+			return RouteResult{Delivered: false, Hops: hops}
+		}
+		cur = next
+		hops++
+		if hops > maxHops {
+			return RouteResult{Delivered: false, Hops: hops}
+		}
+	}
+	res := RouteResult{Delivered: true, Hops: hops}
+	if h := bits.OnesCount64(n.cube.Word(src).Bits ^ n.cube.Word(dst).Bits); h > 0 {
+		res.Stretch = float64(hops) / float64(h)
+	}
+	return res
+}
+
+// RoutingStats aggregates Route over a set of (src, dst) pairs.
+type RoutingStats struct {
+	Attempts   int
+	Delivered  int
+	TotalHops  int
+	MaxHops    int
+	SumStretch float64
+}
+
+// SuccessRate returns the fraction of delivered packets.
+func (s RoutingStats) SuccessRate() float64 {
+	if s.Attempts == 0 {
+		return 0
+	}
+	return float64(s.Delivered) / float64(s.Attempts)
+}
+
+// AvgStretch returns the mean stretch over delivered packets with src != dst.
+func (s RoutingStats) AvgStretch() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return s.SumStretch / float64(s.Delivered)
+}
+
+// EvaluateRouting routes every given pair and aggregates.
+func (n *Network) EvaluateRouting(r Router, pairs [][2]int) RoutingStats {
+	var st RoutingStats
+	for _, p := range pairs {
+		res := n.Route(r, p[0], p[1], 0)
+		st.Attempts++
+		if res.Delivered {
+			st.Delivered++
+			st.TotalHops += res.Hops
+			if res.Hops > st.MaxHops {
+				st.MaxHops = res.Hops
+			}
+			st.SumStretch += res.Stretch
+		}
+	}
+	return st
+}

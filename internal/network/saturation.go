@@ -1,0 +1,41 @@
+package network
+
+// SaturationPoint is one row of a load sweep: injecting load×n uniform
+// packets into the synchronous simulator and draining them completely.
+type SaturationPoint struct {
+	// Load is the number of packets per node injected at round zero.
+	Load int
+	// Packets is the total injected (Load × nodes).
+	Packets int
+	// Rounds is the time to drain everything.
+	Rounds int
+	// AvgLatency is the mean delivery round.
+	AvgLatency float64
+	// MaxQueue is the worst per-node queue observed.
+	MaxQueue int
+	// Delivered counts completions (equals Packets unless the router
+	// strands traffic).
+	Delivered int
+}
+
+// Saturation sweeps injection load and reports how the network saturates:
+// as offered load grows, link contention stretches both drain time and
+// queue depth. This is the classic throughput-vs-load curve of the
+// interconnection-network literature, driven here by any Router.
+func (n *Network) Saturation(loads []int, r Router, seed int64) []SaturationPoint {
+	out := make([]SaturationPoint, 0, len(loads))
+	for i, load := range loads {
+		count := load * n.Size()
+		pairs := n.UniformPairs(count, seed+int64(i))
+		res := n.Simulate(MakePackets(pairs), r, SimConfig{MaxRounds: 64 * (load + 1) * n.Cube().D()})
+		out = append(out, SaturationPoint{
+			Load:       load,
+			Packets:    count,
+			Rounds:     res.Rounds,
+			AvgLatency: res.AvgLatency,
+			MaxQueue:   res.MaxQueue,
+			Delivered:  res.Delivered,
+		})
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package network
+
+import (
+	"testing"
+)
+
+func TestSaturationSweep(t *testing.T) {
+	n := NewFibonacci(8)
+	points := n.Saturation([]int{1, 2, 4, 8}, NewGreedyRouter(n), 3)
+	if len(points) != 4 {
+		t.Fatalf("%d points", len(points))
+	}
+	for i, p := range points {
+		if p.Delivered != p.Packets {
+			t.Errorf("load %d: delivered %d of %d", p.Load, p.Delivered, p.Packets)
+		}
+		if p.Packets != p.Load*n.Size() {
+			t.Errorf("load %d: wrong packet count", p.Load)
+		}
+		if i > 0 && p.Rounds < points[i-1].Rounds {
+			// Drain time must not decrease with strictly higher load (same
+			// seed family; monotone up to tie).
+			t.Errorf("rounds decreased from %d to %d as load grew", points[i-1].Rounds, p.Rounds)
+		}
+	}
+	// Heavier load must visibly deepen queues.
+	if points[3].MaxQueue <= points[0].MaxQueue {
+		t.Errorf("max queue did not grow with load: %d vs %d", points[0].MaxQueue, points[3].MaxQueue)
+	}
+}
+
+func TestSaturationOracleDrainsEverything(t *testing.T) {
+	n := NewFibonacci(7)
+	points := n.Saturation([]int{6}, NewOracleRouter(n), 11)
+	if points[0].Delivered != points[0].Packets {
+		t.Errorf("oracle stranded packets: %+v", points[0])
+	}
+	if points[0].AvgLatency <= 0 {
+		t.Error("latency not recorded")
+	}
+}
+
+func BenchmarkSaturationLoad8(b *testing.B) {
+	n := NewFibonacci(9)
+	r := NewGreedyRouter(n)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		points := n.Saturation([]int{8}, r, 5)
+		if points[0].Delivered != points[0].Packets {
+			b.Fatal("stranded packets")
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Packet is a unit of traffic in the synchronous simulator.
+type Packet struct {
+	ID  int
+	Src int
+	Dst int
+
+	// Simulation state.
+	cur       int
+	hops      int
+	delivered bool
+	stuck     bool
+}
+
+// SimConfig controls the synchronous store-and-forward simulation.
+type SimConfig struct {
+	// MaxRounds bounds the simulation; 0 means 8*diameter+16.
+	MaxRounds int
+}
+
+// SimResult aggregates a simulation run.
+type SimResult struct {
+	Packets     int
+	Delivered   int
+	Stuck       int // packets whose router had no productive hop
+	Undelivered int // packets still queued when MaxRounds expired
+	Rounds      int
+	TotalHops   int
+	MaxHops     int
+	// AvgLatency is mean delivery round over delivered packets.
+	AvgLatency float64
+	// MaxQueue is the maximum number of packets queued at one node at the
+	// start of any round.
+	MaxQueue int
+}
+
+// Simulate runs a synchronous store-and-forward simulation: in each round
+// every directed link carries at most one packet, nodes forward queued
+// packets in FIFO order, and contended packets wait. The router supplies
+// next hops. The simulation is deterministic for a fixed input.
+func (n *Network) Simulate(packets []Packet, r Router, cfg SimConfig) SimResult {
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		diam := int(n.g.Stats().Diameter)
+		if diam < 1 {
+			diam = 1
+		}
+		maxRounds = 8*diam + 16
+	}
+	// Per-node FIFO queues.
+	queues := make([][]int, n.Size()) // packet indices
+	res := SimResult{Packets: len(packets)}
+	var sumLatency int
+	live := 0
+	for i := range packets {
+		p := &packets[i]
+		p.cur = p.Src
+		if p.Src == p.Dst {
+			p.delivered = true
+			res.Delivered++
+			continue
+		}
+		queues[p.Src] = append(queues[p.Src], i)
+		live++
+	}
+	linkUsed := make(map[[2]int]bool)
+	for round := 1; round <= maxRounds && live > 0; round++ {
+		res.Rounds = round
+		for _, q := range queues {
+			if len(q) > res.MaxQueue {
+				res.MaxQueue = len(q)
+			}
+		}
+		// Collect moves node by node in increasing id order for determinism.
+		clear(linkUsed)
+		type move struct{ pkt, from, to int }
+		var moves []move
+		for node := 0; node < n.Size(); node++ {
+			q := queues[node]
+			kept := q[:0]
+			for _, pi := range q {
+				p := &packets[pi]
+				next, ok := r.NextHop(p.cur, p.Dst)
+				if !ok {
+					p.stuck = true
+					res.Stuck++
+					live--
+					continue
+				}
+				link := [2]int{node, next}
+				if linkUsed[link] {
+					kept = append(kept, pi) // wait for next round
+					continue
+				}
+				linkUsed[link] = true
+				moves = append(moves, move{pkt: pi, from: node, to: next})
+			}
+			queues[node] = kept
+		}
+		for _, mv := range moves {
+			p := &packets[mv.pkt]
+			p.cur = mv.to
+			p.hops++
+			if p.cur == p.Dst {
+				p.delivered = true
+				res.Delivered++
+				res.TotalHops += p.hops
+				if p.hops > res.MaxHops {
+					res.MaxHops = p.hops
+				}
+				sumLatency += round
+				live--
+			} else {
+				queues[p.cur] = append(queues[p.cur], mv.pkt)
+			}
+		}
+	}
+	res.Undelivered = live
+	if res.Delivered > 0 {
+		res.AvgLatency = float64(sumLatency) / float64(res.Delivered)
+	}
+	return res
+}
+
+// String renders a one-line summary.
+func (r SimResult) String() string {
+	return fmt.Sprintf("packets=%d delivered=%d stuck=%d undelivered=%d rounds=%d avg_latency=%.2f max_queue=%d",
+		r.Packets, r.Delivered, r.Stuck, r.Undelivered, r.Rounds, r.AvgLatency, r.MaxQueue)
+}
+
+// BroadcastResult describes a one-to-all broadcast along a BFS tree.
+type BroadcastResult struct {
+	Root     int
+	Rounds   int // eccentricity of the root
+	Messages int // one per tree edge = n-1 on a connected network
+	Reached  int
+}
+
+// Broadcast performs a one-to-all broadcast from root along the BFS spanning
+// tree: in round t every node at depth t receives the message from its tree
+// parent. This is the standard broadcasting scheme of the ICPP-era papers.
+func (n *Network) Broadcast(root int) BroadcastResult {
+	dist := make([]int32, n.Size())
+	n.g.BFS(root, dist)
+	res := BroadcastResult{Root: root}
+	for _, d := range dist {
+		if d < 0 {
+			continue
+		}
+		res.Reached++
+		if int(d) > res.Rounds {
+			res.Rounds = int(d)
+		}
+	}
+	res.Messages = res.Reached - 1
+	return res
+}
+
+// SortPacketsByID restores input order after a simulation, for deterministic
+// reporting.
+func SortPacketsByID(ps []Packet) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].ID < ps[j].ID })
+}
+
+// Delivered reports whether the packet reached its destination.
+func (p Packet) Delivered() bool { return p.delivered }
+
+// Stuck reports whether the router gave up on the packet.
+func (p Packet) Stuck() bool { return p.stuck }
+
+// Hops returns the number of hops the packet took.
+func (p Packet) Hops() int { return p.hops }

@@ -1,0 +1,86 @@
+package network
+
+import (
+	"math/rand"
+)
+
+// UniformPairs draws count (src, dst) pairs uniformly at random with
+// src != dst. Deterministic for a fixed seed.
+func (n *Network) UniformPairs(count int, seed int64) [][2]int {
+	rng := rand.New(rand.NewSource(seed))
+	size := n.Size()
+	if size < 2 {
+		return nil
+	}
+	out := make([][2]int, 0, count)
+	for len(out) < count {
+		s := rng.Intn(size)
+		d := rng.Intn(size)
+		if s != d {
+			out = append(out, [2]int{s, d})
+		}
+	}
+	return out
+}
+
+// PermutationPairs returns a random permutation workload: every node sends
+// one packet, destinations form a fixed-point-free-ish random permutation
+// (fixed points are re-drawn a bounded number of times, then skipped).
+func (n *Network) PermutationPairs(seed int64) [][2]int {
+	rng := rand.New(rand.NewSource(seed))
+	size := n.Size()
+	perm := rng.Perm(size)
+	out := make([][2]int, 0, size)
+	for s, d := range perm {
+		if s != d {
+			out = append(out, [2]int{s, d})
+		}
+	}
+	return out
+}
+
+// HotspotPairs directs a fraction of the uniform traffic at a single hot
+// node, the classic hotspot benchmark.
+func (n *Network) HotspotPairs(count int, hot int, fraction float64, seed int64) [][2]int {
+	rng := rand.New(rand.NewSource(seed))
+	size := n.Size()
+	if size < 2 {
+		return nil
+	}
+	out := make([][2]int, 0, count)
+	for len(out) < count {
+		s := rng.Intn(size)
+		d := hot
+		if rng.Float64() >= fraction {
+			d = rng.Intn(size)
+		}
+		if s != d {
+			out = append(out, [2]int{s, d})
+		}
+	}
+	return out
+}
+
+// MakePackets converts (src, dst) pairs into simulator packets.
+func MakePackets(pairs [][2]int) []Packet {
+	out := make([]Packet, len(pairs))
+	for i, p := range pairs {
+		out[i] = Packet{ID: i, Src: p[0], Dst: p[1]}
+	}
+	return out
+}
+
+// AllPairs enumerates every ordered (src, dst) pair with src != dst; used
+// for exhaustive routing evaluation on small networks.
+func (n *Network) AllPairs() [][2]int {
+	size := n.Size()
+	out := make([][2]int, 0, size*(size-1))
+	for s := 0; s < size; s++ {
+		for d := 0; d < size; d++ {
+			if s != d {
+				out = append(out, [2]int{s, d})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package network
+
+import (
+	"gfcube/internal/automaton"
+	"gfcube/internal/bitstr"
+)
+
+// WordRouter is the distributed form of the greedy bit-fixing router: it
+// works directly on vertex words of any dimension, deciding each hop with
+// only the current address, the destination address and O(d·|f|) local
+// factor tests - no global cube construction, no routing tables. This is the
+// algorithmic content of the distributed shortest-path routing line of work
+// for Fibonacci-type interconnection networks (paper reference [11]):
+// on an isometric Q_d(f) the router is optimal (exactly Hamming-distance
+// many hops), and it scales to dimensions far beyond explicit construction.
+type WordRouter struct {
+	f   bitstr.Word
+	dfa *automaton.DFA
+}
+
+// NewWordRouter builds a word-level router for the factor f.
+func NewWordRouter(f bitstr.Word) *WordRouter {
+	return &WordRouter{f: f, dfa: automaton.New(f)}
+}
+
+// Factor returns the forbidden factor.
+func (r *WordRouter) Factor() bitstr.Word { return r.f }
+
+// NextHop returns the next vertex on the way from cur to dst, using the
+// canonical-path preference of Section 2: clear wrong 1s left to right,
+// then set missing 1s left to right, always staying inside Q_d(f). ok is
+// false when no productive hop exists (possible only on non-isometric
+// instances).
+func (r *WordRouter) NextHop(cur, dst bitstr.Word) (bitstr.Word, bool) {
+	if cur == dst {
+		return cur, true
+	}
+	d := cur.Len()
+	diff := cur.Bits ^ dst.Bits
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < d; i++ {
+			mask := uint64(1) << uint(d-1-i)
+			if diff&mask == 0 {
+				continue
+			}
+			bit := cur.Bits & mask
+			if (pass == 0) != (bit != 0) {
+				continue // pass 0 clears 1s, pass 1 sets 0s
+			}
+			next := cur.Flip(i)
+			if r.dfa.Avoids(next) {
+				return next, true
+			}
+		}
+	}
+	return cur, false
+}
+
+// Route walks from src to dst and returns the full vertex path including
+// both endpoints. ok is false if the router got stuck or exceeded maxHops
+// (0 means 4·d).
+func (r *WordRouter) Route(src, dst bitstr.Word, maxHops int) ([]bitstr.Word, bool) {
+	if src.Len() != dst.Len() {
+		panic("network: route endpoints of different dimension")
+	}
+	if !r.dfa.Avoids(src) || !r.dfa.Avoids(dst) {
+		return nil, false
+	}
+	if maxHops <= 0 {
+		maxHops = 4 * src.Len()
+		if maxHops == 0 {
+			maxHops = 4
+		}
+	}
+	path := []bitstr.Word{src}
+	cur := src
+	for cur != dst {
+		next, ok := r.NextHop(cur, dst)
+		if !ok {
+			return path, false
+		}
+		cur = next
+		path = append(path, cur)
+		if len(path) > maxHops+1 {
+			return path, false
+		}
+	}
+	return path, true
+}

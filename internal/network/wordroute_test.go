@@ -1,0 +1,140 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"gfcube/internal/automaton"
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+)
+
+// randomVertex draws a uniformly random f-free word of length d via the
+// ranker (exact uniform sampling, no rejection).
+func randomVertex(t *testing.T, rng *rand.Rand, f bitstr.Word, d int) bitstr.Word {
+	t.Helper()
+	r := automaton.NewRanker(f, d)
+	idx := rng.Int63n(r.Total().Int64())
+	w, err := r.UnrankInt(int(idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWordRouterOptimalOnIsometricLargeD(t *testing.T) {
+	// d = 40 is far beyond explicit construction; on isometric factors the
+	// word router must deliver in exactly Hamming-distance many hops.
+	rng := rand.New(rand.NewSource(21))
+	for _, fs := range []string{"11", "110", "1010", "11010"} {
+		f := bitstr.MustParse(fs)
+		r := NewWordRouter(f)
+		for trial := 0; trial < 40; trial++ {
+			src := randomVertex(t, rng, f, 40)
+			dst := randomVertex(t, rng, f, 40)
+			path, ok := r.Route(src, dst, 0)
+			if !ok {
+				t.Fatalf("f=%s: stuck from %s to %s", fs, src, dst)
+			}
+			if len(path)-1 != src.HammingDistance(dst) {
+				t.Fatalf("f=%s: %d hops for Hamming distance %d", fs, len(path)-1, src.HammingDistance(dst))
+			}
+			// Every intermediate vertex is valid and consecutive vertices
+			// are adjacent.
+			for i, w := range path {
+				if w.HasFactor(f) {
+					t.Fatalf("f=%s: path leaves the cube at %s", fs, w)
+				}
+				if i > 0 && path[i-1].HammingDistance(w) != 1 {
+					t.Fatalf("f=%s: non-adjacent consecutive path vertices", fs)
+				}
+			}
+		}
+	}
+}
+
+func TestWordRouterMatchesCubeGreedy(t *testing.T) {
+	// At small d the word router and the cube-based greedy router take the
+	// same path (they implement the same preference order).
+	f := bitstr.MustParse("11")
+	cube := core.New(8, f)
+	n := New(cube)
+	cubeGreedy := NewGreedyRouter(n)
+	wordGreedy := NewWordRouter(f)
+	for src := 0; src < cube.N(); src++ {
+		for dst := 0; dst < cube.N(); dst++ {
+			cur := src
+			curWord := cube.Word(src)
+			for cur != dst {
+				nextIdx, ok1 := cubeGreedy.NextHop(cur, dst)
+				nextWord, ok2 := wordGreedy.NextHop(curWord, cube.Word(dst))
+				if ok1 != ok2 {
+					t.Fatalf("routers disagree on feasibility at %s", curWord)
+				}
+				if cube.Word(nextIdx) != nextWord {
+					t.Fatalf("routers diverge: cube %s vs word %s", cube.Word(nextIdx), nextWord)
+				}
+				cur, curWord = nextIdx, nextWord
+			}
+		}
+	}
+}
+
+func TestWordRouterStuckOnCriticalPair(t *testing.T) {
+	// The 2-critical pair of Proposition 3.2 for f = 101 blocks every
+	// productive hop from either endpoint: the router must report failure.
+	f := bitstr.MustParse("101")
+	b, c := core.WitnessProp32(1, 1, 1, 4)
+	r := NewWordRouter(f)
+	if _, ok := r.NextHop(b, c); ok {
+		t.Error("router should be stuck at a critical pair endpoint")
+	}
+	path, ok := r.Route(b, c, 0)
+	if ok {
+		t.Errorf("route should fail, got %v", path)
+	}
+}
+
+func TestWordRouterRejectsInvalidEndpoints(t *testing.T) {
+	r := NewWordRouter(bitstr.MustParse("11"))
+	bad := bitstr.MustParse("1100")
+	good := bitstr.MustParse("0000")
+	if _, ok := r.Route(bad, good, 0); ok {
+		t.Error("invalid source accepted")
+	}
+	if _, ok := r.Route(good, bad, 0); ok {
+		t.Error("invalid destination accepted")
+	}
+}
+
+func TestWordRouterSelfRoute(t *testing.T) {
+	r := NewWordRouter(bitstr.MustParse("11"))
+	w := bitstr.MustParse("01010")
+	path, ok := r.Route(w, w, 0)
+	if !ok || len(path) != 1 || path[0] != w {
+		t.Error("self route should be the trivial path")
+	}
+}
+
+func TestWordRouterDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch did not panic")
+		}
+	}()
+	NewWordRouter(bitstr.MustParse("11")).Route(bitstr.MustParse("00"), bitstr.MustParse("000"), 0)
+}
+
+func BenchmarkWordRouteD50(b *testing.B) {
+	f := bitstr.Ones(2)
+	r := NewWordRouter(f)
+	src := bitstr.Repeat(bitstr.MustParse("10"), 25)
+	dst := bitstr.Repeat(bitstr.MustParse("01"), 25)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Route(src, dst, 0); !ok {
+			b.Fatal("route failed")
+		}
+	}
+}
