@@ -1,0 +1,50 @@
+# Makefile for gfcube. CI (.github/workflows/ci.yml) runs exactly these
+# targets, so a green `make ci` locally means a green pipeline.
+
+# pipefail so `go test | tee` targets fail when go test fails, not tee.
+SHELL       := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
+GO       ?= go
+BENCH    ?= .
+TESTJSON ?= test-report.json
+BENCHOUT ?= bench.txt
+
+.PHONY: all build test race test-json lint fmt vet bench serve clean ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+# Machine-readable test output for trajectory tracking; the exit status is
+# go test's, so failures still fail the target.
+test-json:
+	$(GO) test -race -count=1 -json ./... > $(TESTJSON)
+
+lint: fmt vet
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# One iteration of every benchmark: a compile-and-run smoke test.
+bench:
+	$(GO) test -run='^$$' -bench=$(BENCH) -benchtime=1x ./... | tee $(BENCHOUT)
+
+serve: build
+	$(GO) run ./cmd/gfc-serve
+
+clean:
+	rm -f $(TESTJSON) $(BENCHOUT)
+
+ci: lint build test-json bench

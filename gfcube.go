@@ -18,6 +18,12 @@
 //   - an interconnection-network simulator (routing, broadcast, traffic,
 //     fault injection), and
 //   - Hamiltonian path/cycle search.
+//
+// The expensive entry points have context-aware variants in the internal
+// packages (core.CountCtx, Cube.IsIsometricCtx, network.SimulateCtx,
+// hamilton.PathCtx, isometry.FDimCtx), and cmd/gfc-serve exposes all of the
+// above as a concurrent HTTP JSON API behind a sharded singleflight LRU
+// cache and a bounded worker pool; see internal/README.md.
 package gfcube
 
 import (

@@ -1,0 +1,3 @@
+module gfcube
+
+go 1.23

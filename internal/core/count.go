@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/big"
 
 	"gfcube/internal/automaton"
@@ -17,8 +18,26 @@ type BigCounts struct {
 // for any d, without constructing the graph, via transfer-matrix dynamic
 // programming over the factor automaton.
 func Count(d int, f bitstr.Word) BigCounts {
+	c, _ := CountCtx(context.Background(), d, f)
+	return c
+}
+
+// CountCtx is Count with cooperative cancellation between the three DP
+// passes: a long-running request can be abandoned after any of the vertex,
+// edge or square computations.
+func CountCtx(ctx context.Context, d int, f bitstr.Word) (BigCounts, error) {
 	a := automaton.New(f)
-	return BigCounts{V: a.CountVertices(d), E: a.CountEdges(d), S: a.CountSquares(d)}
+	var out BigCounts
+	out.V = a.CountVertices(d)
+	if err := ctx.Err(); err != nil {
+		return BigCounts{}, err
+	}
+	out.E = a.CountEdges(d)
+	if err := ctx.Err(); err != nil {
+		return BigCounts{}, err
+	}
+	out.S = a.CountSquares(d)
+	return out, nil
 }
 
 // CountSeq returns Count(d, f) for d = 0..dmax.

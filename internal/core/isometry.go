@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/bits"
 	"runtime"
 	"sync"
@@ -26,9 +27,17 @@ type IsometryResult struct {
 // vertices. The check runs one BFS per vertex, parallelized across
 // runtime.GOMAXPROCS(0) workers, and stops at the first violation.
 func (c *Cube) IsIsometric() IsometryResult {
+	res, _ := c.IsIsometricCtx(context.Background())
+	return res
+}
+
+// IsIsometricCtx is IsIsometric with cooperative cancellation: workers stop
+// between BFS sweeps once ctx is done, and the context error is returned
+// when the check was abandoned before reaching a verdict.
+func (c *Cube) IsIsometricCtx(ctx context.Context) (IsometryResult, error) {
 	n := c.N()
 	if n <= 1 {
-		return IsometryResult{Isometric: true}
+		return IsometryResult{Isometric: true}, nil
 	}
 	var (
 		mu      sync.Mutex
@@ -47,6 +56,9 @@ func (c *Cube) IsIsometric() IsometryResult {
 			t := graph.NewTraverser(c.g)
 			dist := make([]int32, n)
 			for src := range sources {
+				if ctx.Err() != nil {
+					continue
+				}
 				mu.Lock()
 				stop := found != nil
 				mu.Unlock()
@@ -83,9 +95,12 @@ func (c *Cube) IsIsometric() IsometryResult {
 	close(sources)
 	wg.Wait()
 	if found != nil {
-		return *found
+		return *found, nil
 	}
-	return IsometryResult{Isometric: true}
+	if err := ctx.Err(); err != nil {
+		return IsometryResult{}, err
+	}
+	return IsometryResult{Isometric: true}, nil
 }
 
 // IsIsometricSerial is the single-threaded variant of IsIsometric; it exists
@@ -124,6 +139,13 @@ func (c *Cube) IsIsometricSerial() IsometryResult {
 // (Klavžar-Shpectorov), but correctness never depends on that: a positive
 // answer is always re-verified exactly.
 func (c *Cube) IsIsometricQuick() IsometryResult {
+	res, _ := c.IsIsometricQuickCtx(context.Background())
+	return res
+}
+
+// IsIsometricQuickCtx is IsIsometricQuick with cooperative cancellation of
+// the exact fallback check.
+func (c *Cube) IsIsometricQuickCtx(ctx context.Context) (IsometryResult, error) {
 	for p := 2; p <= 3; p++ {
 		if pair, ok := c.FindCriticalPair(p); ok {
 			return IsometryResult{
@@ -132,8 +154,8 @@ func (c *Cube) IsIsometricQuick() IsometryResult {
 				V:           pair.C,
 				CubeDist:    -2, // not computed by the screen
 				HammingDist: int32(p),
-			}
+			}, nil
 		}
 	}
-	return c.IsIsometric()
+	return c.IsIsometricCtx(ctx)
 }

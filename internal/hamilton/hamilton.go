@@ -10,6 +10,7 @@
 package hamilton
 
 import (
+	"context"
 	"sort"
 
 	"gfcube/internal/graph"
@@ -44,16 +45,27 @@ func (r Result) String() string {
 // When the result is Found, the returned slice is a permutation of the
 // vertices with consecutive entries adjacent.
 func Path(g *graph.Graph, budget int64) ([]int32, Result) {
-	return search(g, budget, false)
+	return search(context.Background(), g, budget, false)
 }
 
 // Cycle searches for a Hamiltonian cycle; the returned order additionally
 // has its last vertex adjacent to its first.
 func Cycle(g *graph.Graph, budget int64) ([]int32, Result) {
-	return search(g, budget, true)
+	return search(context.Background(), g, budget, true)
 }
 
-func search(g *graph.Graph, budget int64, cycle bool) ([]int32, Result) {
+// PathCtx is Path with cooperative cancellation: the backtracking search
+// polls ctx periodically and returns Inconclusive once it is done.
+func PathCtx(ctx context.Context, g *graph.Graph, budget int64) ([]int32, Result) {
+	return search(ctx, g, budget, false)
+}
+
+// CycleCtx is Cycle with cooperative cancellation; see PathCtx.
+func CycleCtx(ctx context.Context, g *graph.Graph, budget int64) ([]int32, Result) {
+	return search(ctx, g, budget, true)
+}
+
+func search(ctx context.Context, g *graph.Graph, budget int64, cycle bool) ([]int32, Result) {
 	n := g.N()
 	if n == 0 {
 		return nil, None
@@ -112,6 +124,10 @@ func search(g *graph.Graph, budget int64, cycle bool) ([]int32, Result) {
 	rec = func(v int32) bool {
 		expansions++
 		if expansions > budget {
+			exhausted = true
+			return false
+		}
+		if expansions&0xfff == 0 && ctx.Err() != nil {
 			exhausted = true
 			return false
 		}

@@ -1,6 +1,7 @@
 package isometry
 
 import (
+	"context"
 	"fmt"
 
 	"gfcube/internal/bitstr"
@@ -27,23 +28,34 @@ type FDimResult struct {
 // The search is exponential in the worst case and is intended for the small
 // graphs of the Section 7 experiments (paths, cycles, stars, grids).
 func FDim(g *graph.Graph, f bitstr.Word, maxD int) FDimResult {
+	res, _ := FDimCtx(context.Background(), g, f, maxD)
+	return res
+}
+
+// FDimCtx is FDim with cooperative cancellation between candidate host
+// dimensions: when ctx is done before the search concludes, the context
+// error is returned and the result is not meaningful.
+func FDimCtx(ctx context.Context, g *graph.Graph, f bitstr.Word, maxD int) (FDimResult, error) {
 	if g.N() == 0 {
-		return FDimResult{Dim: 0, Found: true}
+		return FDimResult{Dim: 0, Found: true}, nil
 	}
 	lower := 0
 	if g.N() > 1 {
 		lower = 1
 	}
 	for d := lower; d <= maxD; d++ {
+		if err := ctx.Err(); err != nil {
+			return FDimResult{}, err
+		}
 		host := core.New(d, f)
 		if host.N() < g.N() {
 			continue
 		}
 		if emb, ok := embed(g, host); ok {
-			return FDimResult{Dim: d, Embedding: emb, Found: true}
+			return FDimResult{Dim: d, Embedding: emb, Found: true}, nil
 		}
 	}
-	return FDimResult{Found: false}
+	return FDimResult{Found: false}, nil
 }
 
 // embed searches for an isometric embedding of g into the host cube.

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -45,6 +46,14 @@ type SimResult struct {
 // packets in FIFO order, and contended packets wait. The router supplies
 // next hops. The simulation is deterministic for a fixed input.
 func (n *Network) Simulate(packets []Packet, r Router, cfg SimConfig) SimResult {
+	res, _ := n.SimulateCtx(context.Background(), packets, r, cfg)
+	return res
+}
+
+// SimulateCtx is Simulate with cooperative cancellation between rounds: when
+// ctx is done the partial result is discarded and the context error is
+// returned.
+func (n *Network) SimulateCtx(ctx context.Context, packets []Packet, r Router, cfg SimConfig) (SimResult, error) {
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
 		diam := int(n.g.Stats().Diameter)
@@ -71,6 +80,9 @@ func (n *Network) Simulate(packets []Packet, r Router, cfg SimConfig) SimResult 
 	}
 	linkUsed := make(map[[2]int]bool)
 	for round := 1; round <= maxRounds && live > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return SimResult{}, err
+		}
 		res.Rounds = round
 		for _, q := range queues {
 			if len(q) > res.MaxQueue {
@@ -125,7 +137,7 @@ func (n *Network) Simulate(packets []Packet, r Router, cfg SimConfig) SimResult 
 	if res.Delivered > 0 {
 		res.AvgLatency = float64(sumLatency) / float64(res.Delivered)
 	}
-	return res
+	return res, nil
 }
 
 // String renders a one-line summary.

@@ -1,0 +1,179 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrFlightPanicked is delivered to singleflight waiters whose leader's
+// computation panicked; the panic itself propagates on the leader's
+// goroutine.
+var ErrFlightPanicked = errors.New("service: in-flight computation panicked")
+
+// Cache is a sharded LRU result cache with singleflight deduplication:
+// concurrent Do calls for the same key block on one computation instead of
+// repeating it. Keys are hashed to shards so unrelated requests never
+// contend on the same mutex. Successful results are cached; errors are not,
+// so a failed or cancelled computation can be retried.
+type Cache struct {
+	shards []cacheShard
+	seed   maphash.Seed
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	capacity int
+	items    map[string]*list.Element
+	order    *list.List // front = most recently used
+	inflight map[string]*flightCall
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewCache returns a cache with the given shard count and per-shard LRU
+// capacity. Both are clamped to at least 1.
+func NewCache(shards, capacityPerShard int) *Cache {
+	if shards < 1 {
+		shards = 1
+	}
+	if capacityPerShard < 1 {
+		capacityPerShard = 1
+	}
+	c := &Cache{shards: make([]cacheShard, shards), seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.capacity = capacityPerShard
+		s.items = make(map[string]*list.Element)
+		s.order = list.New()
+		s.inflight = make(map[string]*flightCall)
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	return &c.shards[maphash.String(c.seed, key)%uint64(len(c.shards))]
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.order.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores a value, evicting the least recently used entry when the shard
+// is full.
+func (c *Cache) Put(key string, val any) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.put(key, val)
+}
+
+func (s *cacheShard) put(key string, val any) {
+	if el, ok := s.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		s.order.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.order.PushFront(&cacheEntry{key: key, val: val})
+	for s.order.Len() > s.capacity {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Do returns the cached value for key, or computes it with fn, deduplicating
+// concurrent calls: while one caller (the leader) runs fn, followers for the
+// same key wait for its result instead of recomputing. cached reports
+// whether the value was served without running fn in this call (an LRU hit
+// or a joined flight).
+//
+// fn runs with the leader's context; a follower whose own ctx is done stops
+// waiting and returns ctx.Err() while the leader keeps computing. A leader
+// error is propagated to every waiter and nothing is cached, so the next
+// call retries.
+func (c *Cache) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (val any, cached bool, err error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.order.MoveToFront(el)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).val, true, nil
+	}
+	if call, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		c.hits.Add(1)
+		select {
+		case <-call.done:
+			return call.val, true, call.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	c.misses.Add(1)
+	call := &flightCall{done: make(chan struct{})}
+	s.inflight[key] = call
+	s.mu.Unlock()
+
+	// The flight must be torn down even if fn panics: otherwise the stale
+	// inflight entry would block every future Do for this key forever. On
+	// panic the waiters get an error and the panic propagates to the leader.
+	finished := false
+	defer func() {
+		if !finished {
+			call.val, call.err = nil, ErrFlightPanicked
+		}
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if call.err == nil {
+			s.put(key, call.val)
+		}
+		s.mu.Unlock()
+		close(call.done)
+	}()
+	call.val, call.err = fn(ctx)
+	finished = true
+	return call.val, false, call.err
+}
+
+// Len returns the total number of cached entries across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns cumulative hit and miss counters.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

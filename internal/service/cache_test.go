@@ -1,0 +1,191 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheGetPutEviction(t *testing.T) {
+	c := NewCache(1, 2) // one shard so eviction order is deterministic
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v; want 1, true", v, ok)
+	}
+	// "b" is now least recently used; inserting "c" must evict it.
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatalf("b should have been evicted as LRU")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived eviction", k)
+		}
+	}
+	if n := c.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+}
+
+func TestCachePutUpdatesExisting(t *testing.T) {
+	c := NewCache(1, 2)
+	c.Put("a", 1)
+	c.Put("a", 2)
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatalf("Get(a) = %v, want 2", v)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+func TestCacheDoComputesOnceThenHits(t *testing.T) {
+	c := NewCache(4, 8)
+	var calls atomic.Int64
+	fn := func(context.Context) (any, error) {
+		calls.Add(1)
+		return "value", nil
+	}
+	v, cached, err := c.Do(context.Background(), "k", fn)
+	if err != nil || cached || v.(string) != "value" {
+		t.Fatalf("first Do = %v, %v, %v; want value, false, nil", v, cached, err)
+	}
+	v, cached, err = c.Do(context.Background(), "k", fn)
+	if err != nil || !cached || v.(string) != "value" {
+		t.Fatalf("second Do = %v, %v, %v; want value, true, nil", v, cached, err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+}
+
+func TestCacheDoSingleflight(t *testing.T) {
+	c := NewCache(4, 8)
+	const waiters = 32
+	var calls atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]any, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(context.Background(), "shared", func(context.Context) (any, error) {
+				calls.Add(1)
+				<-release // hold the flight open until all goroutines have joined
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+				return
+			}
+			results[i] = v
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times under concurrent identical requests, want 1", n)
+	}
+	for i, v := range results {
+		if v.(int) != 42 {
+			t.Fatalf("waiter %d got %v, want 42", i, v)
+		}
+	}
+}
+
+func TestCacheDoErrorNotCached(t *testing.T) {
+	c := NewCache(1, 4)
+	boom := errors.New("boom")
+	var calls int
+	fn := func(context.Context) (any, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return "ok", nil
+	}
+	if _, _, err := c.Do(context.Background(), "k", fn); !errors.Is(err, boom) {
+		t.Fatalf("first Do err = %v, want boom", err)
+	}
+	v, cached, err := c.Do(context.Background(), "k", fn)
+	if err != nil || cached || v.(string) != "ok" {
+		t.Fatalf("retry Do = %v, %v, %v; want ok, false, nil (errors must not be cached)", v, cached, err)
+	}
+}
+
+func TestCacheDoPanicDoesNotPoisonKey(t *testing.T) {
+	c := NewCache(1, 4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic in fn must propagate to the leader")
+			}
+		}()
+		_, _, _ = c.Do(context.Background(), "k", func(context.Context) (any, error) {
+			panic("boom")
+		})
+	}()
+	// The flight must have been torn down: a retry computes fresh instead of
+	// blocking on the dead leader.
+	v, cached, err := c.Do(context.Background(), "k", func(context.Context) (any, error) {
+		return "ok", nil
+	})
+	if err != nil || cached || v.(string) != "ok" {
+		t.Fatalf("Do after panic = %v, %v, %v; want ok, false, nil", v, cached, err)
+	}
+}
+
+func TestCacheDoFollowerCancellation(t *testing.T) {
+	c := NewCache(1, 4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _, _ = c.Do(context.Background(), "slow", func(context.Context) (any, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, "slow", func(context.Context) (any, error) { return 2, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled follower err = %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+func TestCacheConcurrentMixedKeys(t *testing.T) {
+	c := NewCache(8, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				v, _, err := c.Do(context.Background(), key, func(context.Context) (any, error) {
+					return i % 32, nil
+				})
+				if err != nil {
+					t.Errorf("Do(%s): %v", key, err)
+					return
+				}
+				_ = v
+				c.Get(key)
+				c.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,525 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+	"gfcube/internal/graph"
+	"gfcube/internal/hamilton"
+	"gfcube/internal/isometry"
+	"gfcube/internal/network"
+)
+
+// factorParam is a validated forbidden-factor query parameter.
+type factorParam struct {
+	s string
+	w bitstr.Word
+}
+
+func (s *Server) parseFactor(r *http.Request) (factorParam, error) {
+	raw := r.URL.Query().Get("f")
+	if raw == "" {
+		return factorParam{}, badRequest("missing required parameter f (forbidden factor, e.g. f=11)")
+	}
+	if len(raw) > s.cfg.MaxFactorLen {
+		return factorParam{}, badRequest("factor longer than %d bits", s.cfg.MaxFactorLen)
+	}
+	w, err := bitstr.Parse(raw)
+	if err != nil {
+		return factorParam{}, badRequest("invalid factor %q: %v", raw, err)
+	}
+	if w.Len() == 0 {
+		return factorParam{}, badRequest("factor must be nonempty")
+	}
+	return factorParam{s: raw, w: w}, nil
+}
+
+func parseIntParam(r *http.Request, name string, def, min, max int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		if def < min {
+			return 0, badRequest("missing required parameter %s", name)
+		}
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequest("invalid %s=%q: not an integer", name, raw)
+	}
+	if v < min || v > max {
+		return 0, badRequest("%s=%d out of range [%d, %d]", name, v, min, max)
+	}
+	return v, nil
+}
+
+func parseWordParam(r *http.Request, name string, d int) (bitstr.Word, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return bitstr.Word{}, badRequest("missing required parameter %s (a %d-bit binary word)", name, d)
+	}
+	w, err := bitstr.Parse(raw)
+	if err != nil {
+		return bitstr.Word{}, badRequest("invalid %s=%q: %v", name, raw, err)
+	}
+	if w.Len() != d {
+		return bitstr.Word{}, badRequest("%s must have length d=%d, got %d", name, d, w.Len())
+	}
+	return w, nil
+}
+
+func elapsedSince(t time.Time) string { return time.Since(t).Round(time.Microsecond).String() }
+
+// handleCount serves exact |V|, |E|, |S| of Q_d(f) via the transfer-matrix
+// DP — no cube construction, so d may be large.
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) error {
+	start := time.Now()
+	f, err := s.parseFactor(r)
+	if err != nil {
+		return err
+	}
+	d, err := parseIntParam(r, "d", -1, 0, s.cfg.MaxCountDim)
+	if err != nil {
+		return err
+	}
+	key := fmt.Sprintf("count|%s|%d", f.s, d)
+	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
+		bc, err := core.CountCtx(ctx, d, f.w)
+		if err != nil {
+			return nil, err
+		}
+		return CountResponse{
+			Factor: f.s, D: d,
+			V: bc.V.String(), E: bc.E.String(), S: bc.S.String(),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	resp := v.(CountResponse)
+	resp.Cached = cached
+	resp.Elapsed = elapsedSince(start)
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// handleClassify serves the paper's embeddability classification and the
+// Table 1 row for the factor's symmetry class.
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) error {
+	start := time.Now()
+	f, err := s.parseFactor(r)
+	if err != nil {
+		return err
+	}
+	d, err := parseIntParam(r, "d", -1, 0, 1<<30)
+	if err != nil {
+		return err
+	}
+	key := fmt.Sprintf("classify|%s|%d", f.s, d)
+	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
+		cl := core.Classify(f.w, d)
+		resp := ClassifyResponse{
+			Factor: f.s, D: d,
+			Verdict: cl.Verdict.String(), Reason: cl.Reason,
+		}
+		if row, ok := core.Table1Lookup(f.w); ok {
+			resp.Table1 = &Table1Info{
+				Representative: row.Factor,
+				UpTo:           row.UpTo,
+				Citation:       row.Citation,
+			}
+		}
+		return resp, nil
+	})
+	if err != nil {
+		return err
+	}
+	resp := v.(ClassifyResponse)
+	resp.Cached = cached
+	resp.Elapsed = elapsedSince(start)
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// handleIsometric serves the exact embeddability check on the explicitly
+// constructed cube (critical-pair screen, then parallel BFS verification).
+func (s *Server) handleIsometric(w http.ResponseWriter, r *http.Request) error {
+	start := time.Now()
+	f, err := s.parseFactor(r)
+	if err != nil {
+		return err
+	}
+	d, err := parseIntParam(r, "d", -1, 0, s.cfg.MaxBuildDim)
+	if err != nil {
+		return err
+	}
+	key := fmt.Sprintf("iso|%s|%d", f.s, d)
+	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
+		c, err := s.cube(ctx, f, d)
+		if err != nil {
+			return nil, err
+		}
+		res, err := c.IsIsometricQuickCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		resp := IsometricResponse{Factor: f.s, D: d, Isometric: res.Isometric}
+		if !res.Isometric {
+			resp.U = res.U.String()
+			resp.V = res.V.String()
+			resp.CubeDist = res.CubeDist
+			resp.HammingDist = res.HammingDist
+		}
+		return resp, nil
+	})
+	if err != nil {
+		return err
+	}
+	resp := v.(IsometricResponse)
+	resp.Cached = cached
+	resp.Elapsed = elapsedSince(start)
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// guestGraph builds the standard guest graphs of the Section 7 experiments.
+func guestGraph(r *http.Request) (*graph.Graph, string, error) {
+	kind := r.URL.Query().Get("graph")
+	switch kind {
+	case "path", "cycle", "star":
+		n, err := parseIntParam(r, "n", -1, 1, 24)
+		if err != nil {
+			return nil, "", err
+		}
+		switch kind {
+		case "path":
+			return graph.Path(n), fmt.Sprintf("path(%d)", n), nil
+		case "cycle":
+			if n < 3 {
+				return nil, "", badRequest("cycle requires n >= 3")
+			}
+			return graph.Cycle(n), fmt.Sprintf("cycle(%d)", n), nil
+		default:
+			return graph.Star(n), fmt.Sprintf("star(%d)", n), nil
+		}
+	case "grid":
+		p, err := parseIntParam(r, "p", -1, 1, 6)
+		if err != nil {
+			return nil, "", err
+		}
+		q, err := parseIntParam(r, "q", -1, 1, 6)
+		if err != nil {
+			return nil, "", err
+		}
+		return graph.Grid(p, q), fmt.Sprintf("grid(%dx%d)", p, q), nil
+	case "":
+		return nil, "", badRequest("missing required parameter graph (path|cycle|star|grid)")
+	default:
+		return nil, "", badRequest("unknown graph kind %q (want path|cycle|star|grid)", kind)
+	}
+}
+
+// handleFDim serves dim_f(G) for a standard guest graph G.
+func (s *Server) handleFDim(w http.ResponseWriter, r *http.Request) error {
+	start := time.Now()
+	f, err := s.parseFactor(r)
+	if err != nil {
+		return err
+	}
+	g, label, err := guestGraph(r)
+	if err != nil {
+		return err
+	}
+	maxD, err := parseIntParam(r, "maxd", 12, 1, s.cfg.MaxBuildDim)
+	if err != nil {
+		return err
+	}
+	key := fmt.Sprintf("fdim|%s|%s|%d", f.s, label, maxD)
+	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
+		res, err := isometry.FDimCtx(ctx, g, f.w, maxD)
+		if err != nil {
+			return nil, err
+		}
+		return FDimResponse{
+			Factor: f.s, Guest: label,
+			Dim: res.Dim, Found: res.Found, MaxD: maxD,
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	resp := v.(FDimResponse)
+	resp.Cached = cached
+	resp.Elapsed = elapsedSince(start)
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// handleRoute serves a single routed walk between two vertex words. The
+// "word" router needs no cube construction and works for any dimension up
+// to 64; the cube-backed routers (greedy, oracle, deroute) build Q_d(f).
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
+	start := time.Now()
+	f, err := s.parseFactor(r)
+	if err != nil {
+		return err
+	}
+	router := r.URL.Query().Get("router")
+	if router == "" {
+		router = "word"
+	}
+	maxBuild := s.cfg.MaxBuildDim
+	maxD := maxBuild
+	if router == "word" {
+		maxD = 64
+	}
+	d, err := parseIntParam(r, "d", -1, 1, maxD)
+	if err != nil {
+		return err
+	}
+	src, err := parseWordParam(r, "src", d)
+	if err != nil {
+		return err
+	}
+	dst, err := parseWordParam(r, "dst", d)
+	if err != nil {
+		return err
+	}
+	if src.HasFactor(f.w) || dst.HasFactor(f.w) {
+		return badRequest("src and dst must avoid the factor %s", f.s)
+	}
+	key := fmt.Sprintf("route|%s|%d|%s|%s|%s", f.s, d, router, src, dst)
+	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
+		resp := RouteResponse{
+			Factor: f.s, D: d,
+			Src: src.String(), Dst: dst.String(), Router: router,
+		}
+		if router == "word" {
+			wr := network.NewWordRouter(f.w)
+			path, ok := wr.Route(src, dst, 0)
+			resp.Delivered = ok
+			if ok {
+				resp.Hops = len(path) - 1
+				if h := src.HammingDistance(dst); h > 0 {
+					resp.Stretch = float64(resp.Hops) / float64(h)
+				}
+				for _, p := range path {
+					resp.Path = append(resp.Path, p.String())
+				}
+			}
+			return resp, nil
+		}
+		c, err := s.cube(ctx, f, d)
+		if err != nil {
+			return nil, err
+		}
+		n := network.New(c)
+		si, _ := c.Rank(src)
+		di, _ := c.Rank(dst)
+		var rr network.RouteResult
+		switch router {
+		case "greedy":
+			rr = n.Route(network.NewGreedyRouter(n), si, di, 0)
+		case "oracle":
+			rr = n.Route(network.NewOracleRouter(n), si, di, 0)
+		case "deroute":
+			rr = network.NewDerouteRouter(n).RouteDeroute(si, di, 0)
+		default:
+			return nil, badRequest("unknown router %q (want word|greedy|oracle|deroute)", router)
+		}
+		resp.Delivered = rr.Delivered
+		resp.Hops = rr.Hops
+		resp.Stretch = rr.Stretch
+		return resp, nil
+	})
+	if err != nil {
+		return err
+	}
+	resp := v.(RouteResponse)
+	resp.Cached = cached
+	resp.Elapsed = elapsedSince(start)
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// handleSimulate runs the synchronous store-and-forward simulator over a
+// standard traffic pattern.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
+	start := time.Now()
+	f, err := s.parseFactor(r)
+	if err != nil {
+		return err
+	}
+	d, err := parseIntParam(r, "d", -1, 1, s.cfg.MaxBuildDim)
+	if err != nil {
+		return err
+	}
+	pattern := r.URL.Query().Get("pattern")
+	if pattern == "" {
+		pattern = "uniform"
+	}
+	router := r.URL.Query().Get("router")
+	if router == "" {
+		router = "greedy"
+	}
+	count, err := parseIntParam(r, "count", 256, 1, 1<<16)
+	if err != nil {
+		return err
+	}
+	seed, err := parseIntParam(r, "seed", 1, 0, 1<<30)
+	if err != nil {
+		return err
+	}
+	key := fmt.Sprintf("sim|%s|%d|%s|%s|%d|%d", f.s, d, pattern, router, count, seed)
+	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
+		c, err := s.cube(ctx, f, d)
+		if err != nil {
+			return nil, err
+		}
+		n := network.New(c)
+		if n.Size() == 0 {
+			return nil, badRequest("Q_%d(%s) has no vertices", d, f.s)
+		}
+		var pairs [][2]int
+		switch pattern {
+		case "uniform":
+			pairs = n.UniformPairs(count, int64(seed))
+		case "permutation":
+			pairs = n.PermutationPairs(int64(seed))
+		case "hotspot":
+			pairs = n.HotspotPairs(count, 0, 0.5, int64(seed))
+		default:
+			return nil, badRequest("unknown pattern %q (want uniform|permutation|hotspot)", pattern)
+		}
+		var rt network.Router
+		switch router {
+		case "greedy":
+			rt = network.NewGreedyRouter(n)
+		case "oracle":
+			rt = network.NewOracleRouter(n)
+		default:
+			return nil, badRequest("unknown router %q (want greedy|oracle)", router)
+		}
+		res, err := n.SimulateCtx(ctx, network.MakePackets(pairs), rt, network.SimConfig{})
+		if err != nil {
+			return nil, err
+		}
+		return SimulateResponse{
+			Factor: f.s, D: d, Pattern: pattern, Router: router, Seed: int64(seed),
+			Packets: res.Packets, Delivered: res.Delivered, Stuck: res.Stuck,
+			Undelivered: res.Undelivered, Rounds: res.Rounds,
+			TotalHops: res.TotalHops, MaxHops: res.MaxHops,
+			AvgLatency: res.AvgLatency, MaxQueue: res.MaxQueue,
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	resp := v.(SimulateResponse)
+	resp.Cached = cached
+	resp.Elapsed = elapsedSince(start)
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// handleBroadcast runs a one-to-all BFS-tree broadcast from a root word.
+func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request) error {
+	start := time.Now()
+	f, err := s.parseFactor(r)
+	if err != nil {
+		return err
+	}
+	d, err := parseIntParam(r, "d", -1, 1, s.cfg.MaxBuildDim)
+	if err != nil {
+		return err
+	}
+	root, err := parseWordParam(r, "root", d)
+	if err != nil {
+		return err
+	}
+	if root.HasFactor(f.w) {
+		return badRequest("root must avoid the factor %s", f.s)
+	}
+	key := fmt.Sprintf("bcast|%s|%d|%s", f.s, d, root)
+	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
+		c, err := s.cube(ctx, f, d)
+		if err != nil {
+			return nil, err
+		}
+		n := network.New(c)
+		ri, _ := c.Rank(root)
+		res := n.Broadcast(ri)
+		return BroadcastResponse{
+			Factor: f.s, D: d, Root: root.String(),
+			Rounds: res.Rounds, Messages: res.Messages,
+			Reached: res.Reached, Nodes: n.Size(),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	resp := v.(BroadcastResponse)
+	resp.Cached = cached
+	resp.Elapsed = elapsedSince(start)
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// handleHamilton runs the bounded Hamiltonian path/cycle search.
+func (s *Server) handleHamilton(w http.ResponseWriter, r *http.Request) error {
+	start := time.Now()
+	f, err := s.parseFactor(r)
+	if err != nil {
+		return err
+	}
+	maxD := s.cfg.MaxBuildDim
+	if maxD > 18 {
+		maxD = 18 // backtracking search; keep the state space sane
+	}
+	d, err := parseIntParam(r, "d", -1, 0, maxD)
+	if err != nil {
+		return err
+	}
+	cycle := r.URL.Query().Get("cycle") == "true"
+	budget, err := parseIntParam(r, "budget", 0, 0, 1<<30)
+	if err != nil {
+		return err
+	}
+	key := fmt.Sprintf("ham|%s|%d|%t|%d", f.s, d, cycle, budget)
+	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
+		c, err := s.cube(ctx, f, d)
+		if err != nil {
+			return nil, err
+		}
+		var order []int32
+		var res hamilton.Result
+		if cycle {
+			order, res = hamilton.CycleCtx(ctx, c.Graph(), int64(budget))
+		} else {
+			order, res = hamilton.PathCtx(ctx, c.Graph(), int64(budget))
+		}
+		// A Found/None verdict is valid even if the deadline fired on the
+		// way out; only an Inconclusive caused by cancellation is an error.
+		if res == hamilton.Inconclusive {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		return HamiltonResponse{
+			Factor: f.s, D: d, Cycle: cycle,
+			Outcome: res.String(), Order: order,
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	resp := v.(HamiltonResponse)
+	resp.Cached = cached
+	resp.Elapsed = elapsedSince(start)
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrPoolSaturated is returned when a job cannot acquire a worker slot
+// before its context expires.
+var ErrPoolSaturated = errors.New("service: worker pool saturated")
+
+// Pool bounds the number of heavy computations running at once. Jobs run on
+// the caller's goroutine after acquiring one of a fixed number of slots, so
+// back-pressure is exerted directly on the HTTP handler: when every slot is
+// busy, new jobs wait until one frees or their context expires. Every job
+// additionally runs under a per-job timeout so a pathological input cannot
+// hold a slot forever.
+type Pool struct {
+	slots      chan struct{}
+	jobTimeout time.Duration
+
+	inFlight   atomic.Int64
+	completed  atomic.Uint64
+	rejected   atomic.Uint64
+	totalNanos atomic.Int64
+}
+
+// NewPool returns a pool with the given number of slots and per-job timeout.
+// workers is clamped to at least 1; timeout <= 0 disables the per-job
+// deadline.
+func NewPool(workers int, timeout time.Duration) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{slots: make(chan struct{}, workers), jobTimeout: timeout}
+}
+
+// Run executes fn under a worker slot and the pool's per-job timeout.
+// It returns ErrPoolSaturated (wrapping the context error) when no slot
+// frees before ctx is done.
+func (p *Pool) Run(ctx context.Context, fn func(context.Context) (any, error)) (any, error) {
+	select {
+	case p.slots <- struct{}{}:
+	case <-ctx.Done():
+		p.rejected.Add(1)
+		return nil, errors.Join(ErrPoolSaturated, ctx.Err())
+	}
+	defer func() { <-p.slots }()
+
+	if p.jobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.jobTimeout)
+		defer cancel()
+	}
+
+	p.inFlight.Add(1)
+	start := time.Now()
+	val, err := fn(ctx)
+	p.totalNanos.Add(int64(time.Since(start)))
+	p.inFlight.Add(-1)
+	p.completed.Add(1)
+	return val, err
+}
+
+// Workers returns the slot count.
+func (p *Pool) Workers() int { return cap(p.slots) }
+
+// InFlight returns the number of jobs currently executing.
+func (p *Pool) InFlight() int64 { return p.inFlight.Load() }
+
+// Completed returns the number of jobs that finished (successfully or not).
+func (p *Pool) Completed() uint64 { return p.completed.Load() }
+
+// Rejected returns the number of jobs that never got a slot.
+func (p *Pool) Rejected() uint64 { return p.rejected.Load() }
+
+// AvgLatency returns the mean job execution time, zero when no job has
+// completed.
+func (p *Pool) AvgLatency() time.Duration {
+	n := p.completed.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(p.totalNanos.Load() / int64(n))
+}

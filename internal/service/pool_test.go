@@ -1,0 +1,88 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(3, 0)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := p.Run(context.Background(), func(context.Context) (any, error) {
+				n := cur.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				cur.Add(-1)
+				return nil, nil
+			})
+			if err != nil {
+				t.Errorf("Run: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("observed %d concurrent jobs, pool bound is 3", got)
+	}
+	if got := p.Completed(); got != 24 {
+		t.Fatalf("Completed = %d, want 24", got)
+	}
+	if got := p.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after drain, want 0", got)
+	}
+}
+
+func TestPoolJobTimeout(t *testing.T) {
+	p := NewPool(1, 10*time.Millisecond)
+	_, err := p.Run(context.Background(), func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if p.AvgLatency() <= 0 {
+		t.Fatalf("AvgLatency = %v, want > 0 after a completed job", p.AvgLatency())
+	}
+}
+
+func TestPoolSaturation(t *testing.T) {
+	p := NewPool(1, 0)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_, _ = p.Run(context.Background(), func(context.Context) (any, error) {
+			close(started)
+			<-block
+			return nil, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := p.Run(ctx, func(context.Context) (any, error) { return nil, nil })
+	if !errors.Is(err, ErrPoolSaturated) {
+		t.Fatalf("err = %v, want ErrPoolSaturated", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want to also wrap context.Canceled", err)
+	}
+	if got := p.Rejected(); got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+	close(block)
+}

@@ -1,0 +1,245 @@
+// Package service implements gfc-serve: an HTTP JSON API over the
+// generalized-Fibonacci-cube library. The expensive computations — exact
+// counting via the transfer-matrix DP, explicit cube construction, exact
+// isometry checks, f-dimension search, routing and traffic simulation,
+// Hamiltonian search — sit behind a sharded LRU result cache with
+// singleflight deduplication and a bounded worker pool with per-request
+// timeouts, so the service stays responsive under concurrent load.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"gfcube/internal/core"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// sensible default applied by New.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":8080").
+	Addr string
+	// Workers bounds concurrent heavy jobs (default GOMAXPROCS).
+	Workers int
+	// JobTimeout is the per-job compute deadline (default 30s).
+	JobTimeout time.Duration
+	// CacheShards and CacheCapacity size the result cache (defaults 16
+	// shards x 256 entries).
+	CacheShards   int
+	CacheCapacity int
+	// CubeCacheCapacity bounds the number of explicitly constructed cubes
+	// kept in memory across requests (default 32 per shard, 4 shards).
+	CubeCacheCapacity int
+	// MaxBuildDim caps d for endpoints that construct Q_d(f) explicitly
+	// (default 20; hard limit 30 from the core package).
+	MaxBuildDim int
+	// MaxCountDim caps d for the counting DP (default 100000).
+	MaxCountDim int
+	// MaxFactorLen caps |f| (default 24).
+	MaxFactorLen int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 30 * time.Second
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 256
+	}
+	if c.CubeCacheCapacity <= 0 {
+		c.CubeCacheCapacity = 32
+	}
+	if c.MaxBuildDim <= 0 {
+		c.MaxBuildDim = 20
+	}
+	if c.MaxBuildDim > 30 {
+		c.MaxBuildDim = 30
+	}
+	if c.MaxCountDim <= 0 {
+		c.MaxCountDim = 100000
+	}
+	if c.MaxFactorLen <= 0 {
+		c.MaxFactorLen = 24
+	}
+	return c
+}
+
+// Server is the gfc-serve HTTP service.
+type Server struct {
+	cfg   Config
+	cache *Cache // JSON result cache
+	cubes *Cache // constructed *core.Cube cache
+	pool  *Pool
+	start time.Time
+
+	requests atomic.Uint64
+	errors   atomic.Uint64
+
+	http *http.Server
+}
+
+// New builds a Server from cfg (zero value accepted).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: NewCache(cfg.CacheShards, cfg.CacheCapacity),
+		cubes: NewCache(4, cfg.CubeCacheCapacity),
+		pool:  NewPool(cfg.Workers, cfg.JobTimeout),
+		start: time.Now(),
+	}
+	s.http = &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the route table; it is exported for tests and embedding.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /v1/count", s.instrument(s.handleCount))
+	mux.HandleFunc("GET /v1/classify", s.instrument(s.handleClassify))
+	mux.HandleFunc("GET /v1/isometric", s.instrument(s.handleIsometric))
+	mux.HandleFunc("GET /v1/fdim", s.instrument(s.handleFDim))
+	mux.HandleFunc("GET /v1/route", s.instrument(s.handleRoute))
+	mux.HandleFunc("GET /v1/simulate", s.instrument(s.handleSimulate))
+	mux.HandleFunc("GET /v1/broadcast", s.instrument(s.handleBroadcast))
+	mux.HandleFunc("GET /v1/hamilton", s.instrument(s.handleHamilton))
+	return mux
+}
+
+// ListenAndServe runs the HTTP server until Shutdown or a listener error.
+func (s *Server) ListenAndServe() error { return s.http.ListenAndServe() }
+
+// Shutdown drains in-flight requests and stops the server.
+func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+
+// Addr returns the configured listen address.
+func (s *Server) Addr() string { return s.cfg.Addr }
+
+// instrument wraps a handler with request/error accounting.
+func (s *Server) instrument(h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		if err := h(w, r); err != nil {
+			s.errors.Add(1)
+			writeError(w, err)
+		}
+	}
+}
+
+// compute runs fn behind the result cache (singleflight) and the worker
+// pool, and reports whether the value came from cache. The computation is
+// detached from the leader request's cancellation so that one client's
+// disconnect cannot fail the deduplicated followers (and the finished
+// result still lands in the cache); it stays bounded by a deadline covering
+// slot acquisition plus the pool's own per-job timeout.
+func (s *Server) compute(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, bool, error) {
+	return s.cache.Do(ctx, key, func(ctx context.Context) (any, error) {
+		detached := context.WithoutCancel(ctx)
+		if s.cfg.JobTimeout > 0 {
+			var cancel context.CancelFunc
+			detached, cancel = context.WithTimeout(detached, 2*s.cfg.JobTimeout)
+			defer cancel()
+		}
+		return s.pool.Run(detached, fn)
+	})
+}
+
+// cube returns the explicitly constructed Q_d(f), building it at most once
+// per (f, d) across concurrent requests.
+func (s *Server) cube(ctx context.Context, f factorParam, d int) (*core.Cube, error) {
+	key := fmt.Sprintf("cube|%s|%d", f.s, d)
+	v, _, err := s.cubes.Do(ctx, key, func(ctx context.Context) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return core.New(d, f.w), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Cube), nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.Stats()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Requests:        s.requests.Load(),
+		Errors:          s.errors.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheHitRate:    rate,
+		CacheEntries:    s.cache.Len(),
+		CubeCacheLen:    s.cubes.Len(),
+		Workers:         s.pool.Workers(),
+		InFlightJobs:    s.pool.InFlight(),
+		CompletedJobs:   s.pool.Completed(),
+		RejectedJobs:    s.pool.Rejected(),
+		AvgJobLatencyMs: float64(s.pool.AvgLatency()) / float64(time.Millisecond),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var httpErr *apiError
+	switch {
+	case errors.As(err, &httpErr):
+		code = httpErr.code
+	case errors.Is(err, ErrPoolSaturated):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		code = 499 // client closed request
+	}
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+// apiError carries an HTTP status with a message.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,149 @@
+package service
+
+// Response envelopes for the JSON API. Exact counts are decimal strings
+// because |V(Q_d(f))| overflows every fixed-width integer long before the
+// dimensions the transfer-matrix DP handles.
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// CountResponse reports exact vertex/edge/square counts of Q_d(f).
+type CountResponse struct {
+	Factor  string `json:"factor"`
+	D       int    `json:"d"`
+	V       string `json:"v"`
+	E       string `json:"e"`
+	S       string `json:"s"`
+	Cached  bool   `json:"cached"`
+	Elapsed string `json:"elapsed"`
+}
+
+// ClassifyResponse reports the paper's embeddability classification of
+// (f, d), plus the Table 1 row covering f when |f| <= 5.
+type ClassifyResponse struct {
+	Factor  string      `json:"factor"`
+	D       int         `json:"d"`
+	Verdict string      `json:"verdict"`
+	Reason  string      `json:"reason"`
+	Table1  *Table1Info `json:"table1,omitempty"`
+	Cached  bool        `json:"cached"`
+	Elapsed string      `json:"elapsed"`
+}
+
+// Table1Info is the Table 1 row covering the factor's complement/reversal
+// class.
+type Table1Info struct {
+	Representative string `json:"representative"`
+	UpTo           int    `json:"upTo"` // -1 means isometric for every d
+	Citation       string `json:"citation"`
+}
+
+// IsometricResponse reports an exact embeddability check on the explicitly
+// constructed cube.
+type IsometricResponse struct {
+	Factor    string `json:"factor"`
+	D         int    `json:"d"`
+	Isometric bool   `json:"isometric"`
+	// Witness of a violation for negative answers.
+	U           string `json:"u,omitempty"`
+	V           string `json:"v,omitempty"`
+	CubeDist    int32  `json:"cubeDist,omitempty"`
+	HammingDist int32  `json:"hammingDist,omitempty"`
+	Cached      bool   `json:"cached"`
+	Elapsed     string `json:"elapsed"`
+}
+
+// FDimResponse reports an f-dimension computation for a standard guest
+// graph.
+type FDimResponse struct {
+	Factor  string `json:"factor"`
+	Guest   string `json:"guest"`
+	Dim     int    `json:"dim"`
+	Found   bool   `json:"found"`
+	MaxD    int    `json:"maxD"`
+	Cached  bool   `json:"cached"`
+	Elapsed string `json:"elapsed"`
+}
+
+// RouteResponse reports one routed path between two vertex words.
+type RouteResponse struct {
+	Factor    string   `json:"factor"`
+	D         int      `json:"d"`
+	Src       string   `json:"src"`
+	Dst       string   `json:"dst"`
+	Router    string   `json:"router"`
+	Delivered bool     `json:"delivered"`
+	Hops      int      `json:"hops"`
+	Stretch   float64  `json:"stretch,omitempty"`
+	Path      []string `json:"path,omitempty"`
+	Cached    bool     `json:"cached"`
+	Elapsed   string   `json:"elapsed"`
+}
+
+// SimulateResponse reports a synchronous store-and-forward traffic run.
+type SimulateResponse struct {
+	Factor      string  `json:"factor"`
+	D           int     `json:"d"`
+	Pattern     string  `json:"pattern"`
+	Router      string  `json:"router"`
+	Seed        int64   `json:"seed"`
+	Packets     int     `json:"packets"`
+	Delivered   int     `json:"delivered"`
+	Stuck       int     `json:"stuck"`
+	Undelivered int     `json:"undelivered"`
+	Rounds      int     `json:"rounds"`
+	TotalHops   int     `json:"totalHops"`
+	MaxHops     int     `json:"maxHops"`
+	AvgLatency  float64 `json:"avgLatency"`
+	MaxQueue    int     `json:"maxQueue"`
+	Cached      bool    `json:"cached"`
+	Elapsed     string  `json:"elapsed"`
+}
+
+// BroadcastResponse reports a one-to-all broadcast from a root vertex.
+type BroadcastResponse struct {
+	Factor   string `json:"factor"`
+	D        int    `json:"d"`
+	Root     string `json:"root"`
+	Rounds   int    `json:"rounds"`
+	Messages int    `json:"messages"`
+	Reached  int    `json:"reached"`
+	Nodes    int    `json:"nodes"`
+	Cached   bool   `json:"cached"`
+	Elapsed  string `json:"elapsed"`
+}
+
+// HamiltonResponse reports a bounded Hamiltonian path/cycle search.
+type HamiltonResponse struct {
+	Factor  string  `json:"factor"`
+	D       int     `json:"d"`
+	Cycle   bool    `json:"cycle"`
+	Outcome string  `json:"outcome"` // found | none | inconclusive
+	Order   []int32 `json:"order,omitempty"`
+	Cached  bool    `json:"cached"`
+	Elapsed string  `json:"elapsed"`
+}
+
+// StatsResponse is the /stats ("metrics") payload.
+type StatsResponse struct {
+	UptimeSeconds   float64 `json:"uptimeSeconds"`
+	Requests        uint64  `json:"requests"`
+	Errors          uint64  `json:"errors"`
+	CacheHits       uint64  `json:"cacheHits"`
+	CacheMisses     uint64  `json:"cacheMisses"`
+	CacheHitRate    float64 `json:"cacheHitRate"`
+	CacheEntries    int     `json:"cacheEntries"`
+	CubeCacheLen    int     `json:"cubeCacheEntries"`
+	Workers         int     `json:"workers"`
+	InFlightJobs    int64   `json:"inFlightJobs"`
+	CompletedJobs   uint64  `json:"completedJobs"`
+	RejectedJobs    uint64  `json:"rejectedJobs"`
+	AvgJobLatencyMs float64 `json:"avgJobLatencyMs"`
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status string `json:"status"`
+}
