@@ -5,100 +5,141 @@
 // histogram of first failures addresses the density questions behind the
 // paper's concluding conjectures.
 //
+// The census runs on the sweep engine: one task per factor class, fanned
+// across -parallel workers with per-worker scratch buffers, deterministic
+// result ordering and live progress reporting.
+//
 // Usage:
 //
-//	gfc-survey [-len L] [-maxd D] [-method exact|screen]
+//	gfc-survey [-len L] [-minlen L0] [-maxd D] [-method exact|screen|quick]
+//	           [-parallel N] [-json] [-progress]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
 	"sort"
 	"text/tabwriter"
 
-	"gfcube/internal/bitstr"
 	"gfcube/internal/core"
+	"gfcube/internal/sweep"
 )
+
+// row is one output line; the JSON shape matches the /v1/sweep/survey
+// endpoint rows.
+type row struct {
+	Factor    string `json:"factor"`
+	ClassSize int    `json:"classSize"`
+	FirstFail int    `json:"firstFail"` // 0 = good up to maxd
+	Theory    string `json:"theory"`
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gfc-survey: ")
-	length := flag.Int("len", 6, "forbidden-factor length to survey")
+	length := flag.Int("len", 6, "largest forbidden-factor length to survey")
+	minLen := flag.Int("minlen", 0, "smallest factor length (default: same as -len)")
 	maxD := flag.Int("maxd", 11, "largest dimension to test")
-	method := flag.String("method", "exact", "exact (BFS) or screen (2/3-critical words)")
+	methodName := flag.String("method", "exact", "cell decision: exact (BFS), screen (2/3-critical words) or quick (screen + exact confirmation)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep workers")
+	jsonOut := flag.Bool("json", false, "emit rows as a JSON array instead of a table")
+	progress := flag.Bool("progress", false, "report per-class progress on stderr")
 	flag.Parse()
 	if *length < 1 || *length > 10 {
 		log.Fatalf("length %d out of range [1,10]", *length)
 	}
-
-	check := func(d int, f bitstr.Word) bool {
-		c := core.New(d, f)
-		if *method == "screen" {
-			_, found := c.HasCriticalPair(3)
-			return !found
-		}
-		return c.IsIsometric().Isometric
+	if *minLen == 0 {
+		*minLen = *length
+	}
+	if *minLen < 1 || *minLen > *length {
+		log.Fatalf("minlen %d out of range [1,%d]", *minLen, *length)
+	}
+	if *maxD <= *length {
+		log.Fatalf("maxd %d must exceed the factor length %d", *maxD, *length)
+	}
+	method, err := core.ParseMethod(*methodName)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	type row struct {
-		factor    bitstr.Word
-		firstFail int // 0 = good up to maxD
-		theory    string
-	}
-	var rows []row
-	good := 0
-	for _, f := range bitstr.CanonicalOfLen(*length) {
-		r := row{factor: f}
-		for d := f.Len() + 1; d <= *maxD; d++ {
-			if !check(d, f) {
-				r.firstFail = d
-				break
+	// Ctrl-C cancels the sweep cooperatively: in-flight classes finish,
+	// pending ones are abandoned.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := sweep.Options{Workers: *parallel}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rclasses %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
 			}
 		}
-		if cl := core.Classify(f, *maxD); cl.Verdict != core.Unknown {
-			r.theory = cl.Reason
-		} else {
-			r.theory = "-"
-		}
-		if r.firstFail == 0 {
-			good++
-		}
-		rows = append(rows, r)
+	}
+	spec := sweep.GridSpec{MinLen: *minLen, MaxLen: *length, MaxD: *maxD, Method: method}
+	surveyed, err := sweep.Survey(ctx, spec, opts)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	sort.Slice(rows, func(i, j int) bool {
-		fi, fj := rows[i].firstFail, rows[j].firstFail
+	rows := make([]row, 0, len(surveyed))
+	good := 0
+	for _, r := range surveyed {
+		rows = append(rows, row{
+			Factor:    r.Class.Rep.String(),
+			ClassSize: r.Class.Size,
+			FirstFail: r.FirstFail,
+			Theory:    r.Theory,
+		})
+		if r.FirstFail == 0 {
+			good++
+		}
+	}
+	// Failing classes first (earliest failure first), good classes last;
+	// ties stay in grid (factor) order.
+	sort.SliceStable(rows, func(i, j int) bool {
+		fi, fj := rows[i].FirstFail, rows[j].FirstFail
 		if fi == 0 {
 			fi = 1 << 30
 		}
 		if fj == 0 {
 			fj = 1 << 30
 		}
-		if fi != fj {
-			return fi < fj
-		}
-		return rows[i].factor.Less(rows[j].factor)
+		return fi < fj
 	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "factor\tfirst non-isometric d\ttheory")
 	hist := map[int]int{}
 	for _, r := range rows {
 		ff := "good (all d <= maxd)"
-		if r.firstFail > 0 {
-			ff = fmt.Sprintf("%d", r.firstFail)
+		if r.FirstFail > 0 {
+			ff = fmt.Sprintf("%d", r.FirstFail)
 		}
-		hist[r.firstFail]++
-		fmt.Fprintf(w, "%s\t%s\t%s\n", r.factor, ff, r.theory)
+		hist[r.FirstFail]++
+		fmt.Fprintf(w, "%s\t%s\t%s\n", r.Factor, ff, r.Theory)
 	}
 	if err := w.Flush(); err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\nclasses of length %d: %d; good up to d=%d: %d (%.1f%%)\n",
-		*length, len(rows), *maxD, good, 100*float64(good)/float64(len(rows)))
+	fmt.Printf("\nclasses of length %d..%d: %d; good up to d=%d: %d (%.1f%%)\n",
+		*minLen, *length, len(rows), *maxD, good, 100*float64(good)/float64(len(rows)))
 	var keys []int
 	for k := range hist {
 		if k > 0 {

@@ -27,6 +27,7 @@
 package gfcube
 
 import (
+	"context"
 	"math/big"
 
 	"gfcube/internal/automaton"
@@ -39,6 +40,7 @@ import (
 	"gfcube/internal/isometry"
 	"gfcube/internal/lucas"
 	"gfcube/internal/network"
+	"gfcube/internal/sweep"
 )
 
 // Word is a fixed-length binary string, the vertex alphabet of hypercubes
@@ -105,6 +107,56 @@ func Table1() []Table1Row { return core.Table1 }
 
 // CriticalPair is a pair of p-critical words (Lemma 2.4 witnesses).
 type CriticalPair = core.CriticalPair
+
+// Scratch holds reusable construction/BFS buffers for grid sweeps; one per
+// goroutine.
+type Scratch = core.Scratch
+
+// NewScratch returns an empty scratch area.
+func NewScratch() *Scratch { return core.NewScratch() }
+
+// FactorClass is a complement/reversal equivalence class of forbidden
+// factors (Lemmas 2.2/2.3): all members yield isomorphic cubes.
+type FactorClass = core.Class
+
+// FactorClasses returns the canonical classes of every factor length in
+// [minLen, maxLen] in deterministic grid order.
+func FactorClasses(minLen, maxLen int) []FactorClass { return core.Classes(minLen, maxLen) }
+
+// GridCell is the decided classification of one (factor class, d) cell.
+type GridCell = core.Cell
+
+// GridOptions bounds a classification grid; see core.GridOptions.
+type GridOptions = core.GridOptions
+
+// ClassifyAll classifies the full (d, f) grid up to factor length maxLen,
+// deduplicated by symmetry — the Table 1 computation with arbitrary
+// bounds, serial reference implementation. The sweep engine
+// (internal/sweep, surfaced below) computes the identical grid in
+// parallel.
+func ClassifyAll(maxLen int, opts GridOptions) []GridCell { return core.ClassifyAll(maxLen, opts) }
+
+// SweepOptions tunes the parallel sweep engine (workers, progress).
+type SweepOptions = sweep.Options
+
+// SweepGridSpec bounds a sweep grid (factor lengths, dimensions, method).
+type SweepGridSpec = sweep.GridSpec
+
+// SweepSurveyRow is a first-failure survey row.
+type SweepSurveyRow = sweep.SurveyRow
+
+// ClassifyGrid evaluates the classification grid on the parallel sweep
+// engine with deterministic result ordering; identical to ClassifyAll on
+// the same bounds.
+func ClassifyGrid(ctx context.Context, spec SweepGridSpec, opts SweepOptions) ([]GridCell, error) {
+	return sweep.ClassifyGrid(ctx, spec, opts)
+}
+
+// SweepSurvey computes the first non-isometric dimension per factor class
+// in parallel (the gfc-survey workload).
+func SweepSurvey(ctx context.Context, spec SweepGridSpec, opts SweepOptions) ([]SweepSurveyRow, error) {
+	return sweep.Survey(ctx, spec, opts)
+}
 
 // BigCounts holds exact |V|, |E|, |S| for arbitrary dimension.
 type BigCounts = core.BigCounts

@@ -117,10 +117,17 @@ func (a *DFA) Enumerate(d int, fn func(bitstr.Word) bool) {
 // Vertices returns the packed values of all words of length d avoiding the
 // factor, in increasing order. These are exactly the vertices of Q_d(f).
 func (a *DFA) Vertices(d int) []uint64 {
-	out := make([]uint64, 0, 1024)
+	return a.AppendVertices(make([]uint64, 0, 1024), d)
+}
+
+// AppendVertices appends the packed values of all words of length d avoiding
+// the factor to dst, in increasing order, and returns the extended slice.
+// Passing a recycled dst[:0] amortizes the enumeration buffer across a grid
+// sweep.
+func (a *DFA) AppendVertices(dst []uint64, d int) []uint64 {
 	a.Enumerate(d, func(w bitstr.Word) bool {
-		out = append(out, w.Bits)
+		dst = append(dst, w.Bits)
 		return true
 	})
-	return out
+	return dst
 }

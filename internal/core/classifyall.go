@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"gfcube/internal/bitstr"
+)
+
+// Method selects how a grid cell — one (f, d) pair — is decided by the
+// survey machinery.
+type Method int
+
+const (
+	// MethodExact builds Q_d(f) explicitly and runs the exact BFS
+	// embeddability check (the definition in Section 2).
+	MethodExact Method = iota
+	// MethodScreen builds Q_d(f) and searches for 2- and 3-critical words
+	// (Lemma 2.4). A hit proves non-embeddability; a miss is read as
+	// embeddable, which agrees with the exact check on every instance in
+	// this repository's census but is not a theorem.
+	MethodScreen
+	// MethodQuick screens first and confirms screen-positive (embeddable)
+	// verdicts with the exact check, so every answer is proven.
+	MethodQuick
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodExact:
+		return "exact"
+	case MethodScreen:
+		return "screen"
+	case MethodQuick:
+		return "quick"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ParseMethod converts "exact", "screen" or "quick" into a Method.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "exact":
+		return MethodExact, nil
+	case "screen":
+		return MethodScreen, nil
+	case "quick":
+		return MethodQuick, nil
+	default:
+		return 0, fmt.Errorf("core: unknown method %q (want exact|screen|quick)", s)
+	}
+}
+
+// Class is one equivalence class of forbidden factors under complementation
+// and reversal. Q_d(f) is isomorphic for all members of a class (Lemmas 2.2
+// and 2.3), so grids are swept one representative per class — at most 1/4
+// of the naive factor-by-factor work.
+type Class struct {
+	Rep  bitstr.Word // canonical representative (least in (length, value) order)
+	Size int         // number of distinct words in the class: 1, 2 or 4
+}
+
+// ClassOf returns the class of f.
+func ClassOf(f bitstr.Word) Class {
+	rep := bitstr.CanonicalRepresentative(f)
+	distinct := map[bitstr.Word]bool{rep: true}
+	for _, v := range []bitstr.Word{rep.Complement(), rep.Reverse(), rep.Complement().Reverse()} {
+		distinct[v] = true
+	}
+	return Class{Rep: rep, Size: len(distinct)}
+}
+
+// Classes returns the canonical classes of every factor length in
+// [minLen, maxLen], shortest first, representatives in increasing packed
+// value within a length. This is the deterministic grid order used by
+// ClassifyAll and by the sweep engine.
+func Classes(minLen, maxLen int) []Class {
+	if minLen < 1 {
+		minLen = 1
+	}
+	var out []Class
+	for n := minLen; n <= maxLen; n++ {
+		for _, rep := range bitstr.CanonicalOfLen(n) {
+			out = append(out, ClassOf(rep))
+		}
+	}
+	return out
+}
+
+// Cell is the decided classification of one (class, d) grid cell.
+type Cell struct {
+	Class
+	D         int
+	Isometric bool
+	// Witness is the violating vertex pair for negative exact verdicts;
+	// nil for positive verdicts and for unconfirmed screen verdicts.
+	Witness *IsometryResult
+}
+
+// ClassifyCell decides one grid cell with the given method, drawing all
+// construction and BFS buffers from the scratch.
+func ClassifyCell(s *Scratch, cl Class, d int, m Method) Cell {
+	c := s.Cube(d, cl.Rep)
+	cell := Cell{Class: cl, D: d}
+	switch m {
+	case MethodScreen, MethodQuick:
+		if pair, found := c.HasCriticalPair(3); found {
+			// Non-isometric by Lemma 2.4; report the critical pair as the
+			// witness, with the same -2 "not computed" marker used by
+			// IsIsometricQuick for the cube distance.
+			cell.Witness = &IsometryResult{
+				U: pair.B, V: pair.C,
+				CubeDist: -2, HammingDist: int32(pair.P),
+			}
+			return cell
+		}
+		if m == MethodScreen {
+			cell.Isometric = true
+			return cell
+		}
+		fallthrough
+	default:
+		res := s.IsIsometric(c)
+		cell.Isometric = res.Isometric
+		if !res.Isometric {
+			cell.Witness = &res
+		}
+		return cell
+	}
+}
+
+// GridOptions bounds a classification grid. The zero value of MinLen and
+// MinD defaults to 1; MaxD must be positive.
+type GridOptions struct {
+	MinLen int    // smallest factor length (default 1)
+	MinD   int    // smallest dimension (default 1)
+	MaxD   int    // largest dimension, inclusive
+	Method Method // how each cell is decided
+}
+
+// ClassifyAll classifies the full (d, f) grid up to factor length maxLen —
+// the Table 1 computation, extended to arbitrary bounds — deduplicated by
+// the complement/reversal symmetry: one column of cells per canonical
+// class, dimensions MinD..MaxD. Cells appear in deterministic order:
+// classes as returned by Classes, d ascending within a class.
+//
+// ClassifyAll is the serial reference; the sweep package fans the same
+// cells across a worker pool and must produce an identical slice.
+func ClassifyAll(maxLen int, opts GridOptions) []Cell {
+	minLen := opts.MinLen
+	if minLen < 1 {
+		minLen = 1
+	}
+	minD := opts.MinD
+	if minD < 1 {
+		minD = 1
+	}
+	if opts.MaxD < minD {
+		panic(fmt.Sprintf("core: ClassifyAll needs MaxD >= %d, got %d", minD, opts.MaxD))
+	}
+	s := NewScratch()
+	cls := Classes(minLen, maxLen)
+	out := make([]Cell, 0, len(cls)*(opts.MaxD-minD+1))
+	for _, cl := range cls {
+		for d := minD; d <= opts.MaxD; d++ {
+			out = append(out, ClassifyCell(s, cl, d, opts.Method))
+		}
+	}
+	return out
+}

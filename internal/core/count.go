@@ -42,12 +42,22 @@ func CountCtx(ctx context.Context, d int, f bitstr.Word) (BigCounts, error) {
 
 // CountSeq returns Count(d, f) for d = 0..dmax.
 func CountSeq(dmax int, f bitstr.Word) []BigCounts {
+	out, _ := CountSeqCtx(context.Background(), dmax, f)
+	return out
+}
+
+// CountSeqCtx is CountSeq with cooperative cancellation between
+// dimensions: a long batch job can be abandoned after any d.
+func CountSeqCtx(ctx context.Context, dmax int, f bitstr.Word) ([]BigCounts, error) {
 	a := automaton.New(f)
 	out := make([]BigCounts, dmax+1)
 	for d := 0; d <= dmax; d++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		out[d] = BigCounts{V: a.CountVertices(d), E: a.CountEdges(d), S: a.CountSquares(d)}
 	}
-	return out
+	return out, nil
 }
 
 // RecurrenceQ111 evaluates the recurrences (1)-(3) of Section 6 for

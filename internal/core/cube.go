@@ -31,17 +31,35 @@ type Cube struct {
 
 // New constructs Q_d(f). The forbidden factor must be nonempty and d must be
 // small enough for explicit construction (the vertex count is at most 2^d).
+// Grid sweeps that construct many cubes should go through Scratch.Cube,
+// which amortizes the internal buffers.
 func New(d int, f bitstr.Word) *Cube {
+	return build(d, f, automaton.New(f), nil)
+}
+
+// build constructs Q_d(f) from its factor automaton. When s is non-nil its
+// buffers are reused for enumeration and edge accumulation; the returned
+// cube always owns its memory and stays valid after further scratch use.
+func build(d int, f bitstr.Word, dfa *automaton.DFA, s *Scratch) *Cube {
 	if f.Len() == 0 {
 		panic("core: empty forbidden factor")
 	}
 	if d < 0 || d > 30 {
 		panic(fmt.Sprintf("core: explicit construction limited to 0 <= d <= 30, got %d", d))
 	}
-	dfa := automaton.New(f)
-	verts := dfa.Vertices(d)
+	var verts []uint64
+	var b *graph.Builder
+	if s != nil {
+		s.verts = dfa.AppendVertices(s.verts[:0], d)
+		verts = make([]uint64, len(s.verts))
+		copy(verts, s.verts)
+		s.builder.Reset(len(verts))
+		b = s.builder
+	} else {
+		verts = dfa.Vertices(d)
+		b = graph.NewBuilder(len(verts))
+	}
 	c := &Cube{d: d, f: f, dfa: dfa, verts: verts}
-	b := graph.NewBuilder(len(verts))
 	for i, v := range verts {
 		for bit := 0; bit < d; bit++ {
 			u := v ^ (uint64(1) << uint(bit))

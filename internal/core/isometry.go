@@ -107,9 +107,16 @@ func (c *Cube) IsIsometricCtx(ctx context.Context) (IsometryResult, error) {
 // for the parallelism ablation benchmark and for deterministic witnesses
 // (the violating pair with the smallest source rank).
 func (c *Cube) IsIsometricSerial() IsometryResult {
+	return isIsometricSerial(c, graph.NewTraverser(c.g), make([]int32, c.N()))
+}
+
+// isIsometricSerial is the exact serial check over caller-provided buffers:
+// one BFS per source, Hamming comparison against every other vertex, first
+// violation (smallest source rank) returned as the witness. Both the cold
+// path (IsIsometricSerial) and the scratch path (Scratch.IsIsometric) run
+// exactly this code.
+func isIsometricSerial(c *Cube, t *graph.Traverser, dist []int32) IsometryResult {
 	n := c.N()
-	t := graph.NewTraverser(c.g)
-	dist := make([]int32, n)
 	for src := 0; src < n; src++ {
 		t.BFS(src, dist)
 		for v := 0; v < n; v++ {

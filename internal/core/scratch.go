@@ -1,0 +1,72 @@
+package core
+
+import (
+	"gfcube/internal/automaton"
+	"gfcube/internal/bitstr"
+	"gfcube/internal/graph"
+)
+
+// Scratch holds the reusable buffers for repeated cube constructions and
+// isometry checks across a (d, f) grid: the factor automaton of the last
+// factor, the vertex-enumeration buffer, the graph builder's edge arena and
+// the BFS queue/distance vectors. A fresh construction of Q_20(11) costs
+// ~53k allocations; through a warm Scratch it costs a handful (the cube's
+// own retained memory).
+//
+// A Scratch is not safe for concurrent use; allocate one per goroutine.
+// The sweep engine does exactly that, one per worker.
+type Scratch struct {
+	dfa     *automaton.DFA
+	dfaF    bitstr.Word
+	verts   []uint64
+	builder *graph.Builder
+	trav    *graph.Traverser
+	dist    []int32
+}
+
+// NewScratch returns an empty scratch area; buffers grow on first use.
+func NewScratch() *Scratch {
+	return &Scratch{builder: graph.NewBuilder(0)}
+}
+
+// Cube is New(d, f) with buffer reuse: the factor automaton is cached
+// across calls with the same f (a grid sweeps many d per factor), and the
+// enumeration and edge buffers are recycled. The returned cube owns its
+// memory and remains valid after any further use of the scratch.
+func (s *Scratch) Cube(d int, f bitstr.Word) *Cube {
+	if f.Len() == 0 {
+		panic("core: empty forbidden factor")
+	}
+	if s.dfa == nil || s.dfaF != f {
+		s.dfa = automaton.New(f)
+		s.dfaF = f
+	}
+	return build(d, f, s.dfa, s)
+}
+
+// distBuf returns a distance vector of length n backed by the scratch.
+func (s *Scratch) distBuf(n int) []int32 {
+	if cap(s.dist) < n {
+		s.dist = make([]int32, n)
+	}
+	return s.dist[:n]
+}
+
+// traverser returns the scratch traverser retargeted at g.
+func (s *Scratch) traverser(g *graph.Graph) *graph.Traverser {
+	if s.trav == nil {
+		s.trav = graph.NewTraverser(g)
+		return s.trav
+	}
+	s.trav.Reset(g)
+	return s.trav
+}
+
+// IsIsometric is the exact single-threaded embeddability check of
+// Cube.IsIsometricSerial with the BFS buffers drawn from the scratch. Like
+// the serial variant it reports the violating pair with the smallest source
+// rank, so results are deterministic. Sweeps parallelize across grid cells,
+// one scratch per worker, rather than inside one check.
+func (s *Scratch) IsIsometric(c *Cube) IsometryResult {
+	return isIsometricSerial(c, s.traverser(c.g), s.distBuf(c.N()))
+}

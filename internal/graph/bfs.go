@@ -37,6 +37,16 @@ func NewTraverser(g *Graph) *Traverser {
 	return &Traverser{g: g, queue: make([]int32, 0, g.N())}
 }
 
+// Reset retargets the traverser at a different graph, keeping its queue
+// buffer. This is the allocation-free path for sweeping BFS over many
+// graphs with one scratch area.
+func (t *Traverser) Reset(g *Graph) {
+	t.g = g
+	if cap(t.queue) < g.N() {
+		t.queue = make([]int32, 0, g.N())
+	}
+}
+
 // BFS computes distances from src into dist (length g.N()).
 func (t *Traverser) BFS(src int, dist []int32) {
 	g := t.g

@@ -10,20 +10,25 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
 // Graph is a finite simple undirected graph with adjacency lists sorted in
-// increasing order. Build one with a Builder.
+// increasing order. Build one with a Builder. The adjacency lists are views
+// into one flat arena, so a graph costs O(1) allocations beyond its size.
 type Graph struct {
 	adj [][]int32
 	m   int
 }
 
-// Builder accumulates edges and produces an immutable Graph.
+// Builder accumulates edges and produces an immutable Graph. A Builder can
+// be reused across many graphs via Reset, which retains its internal
+// buffers; this is the allocation-free path used by grid sweeps.
 type Builder struct {
 	n     int
-	edges [][2]int32
+	edges []uint64 // packed uint64(u)<<32 | v with u < v
+	off   []int32  // scratch: CSR offsets, reused across Build calls
 }
 
 // NewBuilder returns a builder for a graph on n vertices.
@@ -32,6 +37,16 @@ func NewBuilder(n int) *Builder {
 		panic(fmt.Sprintf("graph: negative vertex count %d", n))
 	}
 	return &Builder{n: n}
+}
+
+// Reset clears the builder for a new graph on n vertices, retaining the
+// edge and offset buffers of previous builds.
+func (b *Builder) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	b.n = n
+	b.edges = b.edges[:0]
 }
 
 // AddEdge records the undirected edge {u, v}. Self-loops are rejected;
@@ -46,41 +61,50 @@ func (b *Builder) AddEdge(u, v int) {
 	if u > v {
 		u, v = v, u
 	}
-	b.edges = append(b.edges, [2]int32{int32(u), int32(v)})
+	b.edges = append(b.edges, uint64(u)<<32|uint64(v))
 }
 
-// Build produces the immutable graph. The builder may be reused afterwards
-// but retains its edges.
+// Build produces the immutable graph: adjacency lists are carved out of a
+// single flat arena (CSR layout) so the only allocations are the arena and
+// the header slice. The builder may be reused afterwards via Reset.
 func (b *Builder) Build() *Graph {
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i][0] != b.edges[j][0] {
-			return b.edges[i][0] < b.edges[j][0]
-		}
-		return b.edges[i][1] < b.edges[j][1]
-	})
-	deg := make([]int32, b.n)
+	slices.Sort(b.edges)
+	if cap(b.off) < b.n+1 {
+		b.off = make([]int32, b.n+1)
+	}
+	off := b.off[:b.n+1]
+	for i := range off {
+		off[i] = 0
+	}
 	m := 0
 	for i, e := range b.edges {
 		if i > 0 && e == b.edges[i-1] {
 			continue
 		}
-		deg[e[0]]++
-		deg[e[1]]++
+		off[int32(e>>32)+1]++
+		off[int32(e)+1]++
 		m++
 	}
+	for v := 0; v < b.n; v++ {
+		off[v+1] += off[v]
+	}
+	flat := make([]int32, 2*m)
 	adj := make([][]int32, b.n)
-	for v := range adj {
-		adj[v] = make([]int32, 0, deg[v])
+	for v := 0; v < b.n; v++ {
+		adj[v] = flat[off[v]:off[v]:off[v+1]]
 	}
 	for i, e := range b.edges {
 		if i > 0 && e == b.edges[i-1] {
 			continue
 		}
-		adj[e[0]] = append(adj[e[0]], e[1])
-		adj[e[1]] = append(adj[e[1]], e[0])
+		u, v := int32(e>>32), int32(e)
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
 	}
+	// Edges are sorted by (u, v), so adj[u] entries with v > u arrive in
+	// order, but the mirrored v -> u entries interleave; sort each list.
 	for v := range adj {
-		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+		slices.Sort(adj[v])
 	}
 	return &Graph{adj: adj, m: m}
 }

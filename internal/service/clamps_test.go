@@ -1,0 +1,51 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+)
+
+// Constructor clamps: degenerate sizes are raised to 1 instead of
+// panicking or deadlocking.
+func TestCacheAndPoolClamps(t *testing.T) {
+	c := NewCache(0, 0)
+	c.Put("k", 1)
+	if v, ok := c.Get("k"); !ok || v.(int) != 1 {
+		t.Fatalf("clamped cache lost its entry")
+	}
+	p := NewPool(0, 0)
+	if p.Workers() != 1 {
+		t.Fatalf("workers = %d, want 1", p.Workers())
+	}
+	if p.AvgLatency() != 0 {
+		t.Fatalf("avg latency before any job: %v", p.AvgLatency())
+	}
+	if _, err := p.Run(context.Background(), func(ctx context.Context) (any, error) {
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeError maps sentinel errors onto their HTTP statuses.
+func TestWriteErrorStatuses(t *testing.T) {
+	cases := []struct {
+		err  error
+		code int
+	}{
+		{ErrPoolSaturated, 503},
+		{context.DeadlineExceeded, 504},
+		{context.Canceled, 499},
+		{errors.New("anything else"), 500},
+		{badRequest("nope"), 400},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		writeError(rec, tc.err)
+		if rec.Code != tc.code {
+			t.Errorf("writeError(%v) = %d, want %d", tc.err, rec.Code, tc.code)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The remaining guest-graph kinds, traffic patterns and routers: these are
+// thin dispatch arms, exercised here so a broken wiring cannot hide.
+func TestGuestGraphKinds(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var fd FDimResponse
+	if code := getJSON(t, ts.URL+"/v1/fdim?f=11&graph=grid&p=2&q=2&maxd=8", &fd); code != http.StatusOK {
+		t.Fatalf("grid guest: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/fdim?f=11&graph=star&n=3&maxd=8", &fd); code != http.StatusOK {
+		t.Fatalf("star guest: status %d", code)
+	}
+	var e ErrorResponse
+	if code := getJSON(t, ts.URL+"/v1/fdim?f=11&graph=cycle&n=2", &e); code != http.StatusBadRequest {
+		t.Fatalf("cycle n=2: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/fdim?f=11", &e); code != http.StatusBadRequest {
+		t.Fatalf("missing graph: status %d", code)
+	}
+}
+
+func TestSimulatePatternsAndRouters(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, q := range []string{
+		"pattern=permutation&router=oracle",
+		"pattern=hotspot&count=16",
+	} {
+		var got SimulateResponse
+		url := ts.URL + "/v1/simulate?f=11&d=5&seed=3&" + q
+		if code := getJSON(t, url, &got); code != http.StatusOK {
+			t.Fatalf("%s: status %d", q, code)
+		}
+		if got.Packets == 0 {
+			t.Errorf("%s: no packets simulated", q)
+		}
+	}
+	var e ErrorResponse
+	if code := getJSON(t, ts.URL+"/v1/simulate?f=11&d=5&router=bogus", &e); code != http.StatusBadRequest {
+		t.Fatalf("bogus router: status %d", code)
+	}
+}
+
+func TestBroadcastAndHamiltonErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var e ErrorResponse
+	if code := getJSON(t, ts.URL+"/v1/broadcast?f=11&d=4&root=0110", &e); code != http.StatusBadRequest {
+		t.Fatalf("root containing factor: status %d", code)
+	}
+	var h HamiltonResponse
+	if code := getJSON(t, ts.URL+"/v1/hamilton?f=11&d=3&cycle=true", &h); code != http.StatusOK {
+		t.Fatalf("hamilton cycle: status %d", code)
+	}
+}
+
+func TestWordParamValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	urls := []string{
+		"/v1/route?f=11&d=4&src=01x0&dst=0000",             // bad characters
+		"/v1/route?f=11&d=4&src=010&dst=0000",              // wrong length
+		"/v1/route?f=11&d=4&dst=0000",                      // missing src
+		"/v1/count?f=" + strings.Repeat("10", 20) + "&d=4", // factor over MaxFactorLen
+		"/v1/count?f=&d=4",                                 // empty factor
+	}
+	for _, u := range urls {
+		var e ErrorResponse
+		if code := getJSON(t, ts.URL+u, &e); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", u, code)
+		}
+	}
+}
+
+// Config.withDefaults clamps and fills every knob.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Addr == "" || c.Workers < 1 || c.JobTimeout <= 0 || c.MaxBuildDim < 1 {
+		t.Fatalf("unfilled defaults: %+v", c)
+	}
+	if got := (Config{MaxBuildDim: 99}).withDefaults().MaxBuildDim; got != 30 {
+		t.Fatalf("MaxBuildDim clamped to %d, want 30", got)
+	}
+}
+
+// Server lifecycle: ListenAndServe on a real port, then graceful Shutdown.
+func TestServerLifecycle(t *testing.T) {
+	s := New(Config{Addr: "127.0.0.1:0"})
+	if s.Addr() != "127.0.0.1:0" {
+		t.Fatalf("Addr = %q", s.Addr())
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe() }()
+	time.Sleep(50 * time.Millisecond) // let the listener come up
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != http.ErrServerClosed {
+		t.Fatalf("ListenAndServe returned %v, want ErrServerClosed", err)
+	}
+}

@@ -45,6 +45,11 @@ func parseIntParam(r *http.Request, name string, def, min, max int) (int, error)
 		if def < min {
 			return 0, badRequest("missing required parameter %s", name)
 		}
+		// A server configured with tight caps (e.g. a low MaxBuildDim) must
+		// bound defaulted parameters too, not just explicit ones.
+		if def > max {
+			def = max
+		}
 		return def, nil
 	}
 	v, err := strconv.Atoi(raw)

@@ -124,6 +124,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/simulate", s.instrument(s.handleSimulate))
 	mux.HandleFunc("GET /v1/broadcast", s.instrument(s.handleBroadcast))
 	mux.HandleFunc("GET /v1/hamilton", s.instrument(s.handleHamilton))
+	mux.HandleFunc("GET /v1/sweep/classify", s.instrument(s.handleSweepClassify))
+	mux.HandleFunc("GET /v1/sweep/survey", s.instrument(s.handleSweepSurvey))
+	mux.HandleFunc("GET /v1/sweep/count", s.instrument(s.handleSweepCount))
+	mux.HandleFunc("GET /v1/sweep/fdim", s.instrument(s.handleSweepFDim))
 	return mux
 }
 

@@ -126,6 +126,100 @@ type HamiltonResponse struct {
 	Elapsed string  `json:"elapsed"`
 }
 
+// SweepCell is one (factor class, d) cell of a classification grid.
+type SweepCell struct {
+	Factor    string `json:"factor"`    // canonical class representative
+	ClassSize int    `json:"classSize"` // words sharing the verdict by symmetry
+	D         int    `json:"d"`
+	Isometric bool   `json:"isometric"`
+	// Witness of a violation (or critical pair) for negative verdicts.
+	U           string `json:"u,omitempty"`
+	V           string `json:"v,omitempty"`
+	CubeDist    int32  `json:"cubeDist,omitempty"`
+	HammingDist int32  `json:"hammingDist,omitempty"`
+}
+
+// SweepClassifyResponse reports a full classification grid in deterministic
+// order: classes shortest-first then by value, d ascending within a class.
+type SweepClassifyResponse struct {
+	MinLen  int         `json:"minLen"`
+	MaxLen  int         `json:"maxLen"`
+	MinD    int         `json:"minD"`
+	MaxD    int         `json:"maxD"`
+	Method  string      `json:"method"`
+	Workers int         `json:"workers"`
+	Cells   []SweepCell `json:"cells"`
+	Cached  bool        `json:"cached"`
+	Elapsed string      `json:"elapsed"`
+}
+
+// SweepSurveyRow is the first-failure summary of one factor class.
+type SweepSurveyRow struct {
+	Factor    string `json:"factor"`
+	ClassSize int    `json:"classSize"`
+	// FirstFail is the smallest d with a non-isometric verdict, 0 when the
+	// class stays isometric ("good") up to maxd.
+	FirstFail int    `json:"firstFail"`
+	Theory    string `json:"theory"`
+}
+
+// SweepSurveyResponse reports a first-failure survey with the histogram
+// printed by gfc-survey.
+type SweepSurveyResponse struct {
+	MinLen    int              `json:"minLen"`
+	MaxLen    int              `json:"maxLen"`
+	MaxD      int              `json:"maxD"`
+	Method    string           `json:"method"`
+	Workers   int              `json:"workers"`
+	Rows      []SweepSurveyRow `json:"rows"`
+	Good      int              `json:"good"`
+	Histogram map[int]int      `json:"histogram"` // first-fail d -> classes
+	Cached    bool             `json:"cached"`
+	Elapsed   string           `json:"elapsed"`
+}
+
+// SweepCountRow is the counting sequence of one factor class; index d,
+// decimal strings (the counts overflow fixed-width integers quickly).
+type SweepCountRow struct {
+	Factor    string   `json:"factor"`
+	ClassSize int      `json:"classSize"`
+	V         []string `json:"v"`
+	E         []string `json:"e"`
+	S         []string `json:"s"`
+}
+
+// SweepCountResponse reports counting sequences for a factor grid.
+type SweepCountResponse struct {
+	MinLen  int             `json:"minLen"`
+	MaxLen  int             `json:"maxLen"`
+	MaxD    int             `json:"maxD"`
+	Workers int             `json:"workers"`
+	Rows    []SweepCountRow `json:"rows"`
+	Cached  bool            `json:"cached"`
+	Elapsed string          `json:"elapsed"`
+}
+
+// SweepFDimRow is the f-dimension of the guest under one factor class.
+type SweepFDimRow struct {
+	Factor    string `json:"factor"`
+	ClassSize int    `json:"classSize"`
+	Dim       int    `json:"dim"`
+	Found     bool   `json:"found"`
+}
+
+// SweepFDimResponse reports a guest graph's f-dimension across a factor
+// grid, smallest dimension first.
+type SweepFDimResponse struct {
+	Guest   string         `json:"guest"`
+	MinLen  int            `json:"minLen"`
+	MaxLen  int            `json:"maxLen"`
+	MaxD    int            `json:"maxD"`
+	Workers int            `json:"workers"`
+	Rows    []SweepFDimRow `json:"rows"`
+	Cached  bool           `json:"cached"`
+	Elapsed string         `json:"elapsed"`
+}
+
 // StatsResponse is the /stats ("metrics") payload.
 type StatsResponse struct {
 	UptimeSeconds   float64 `json:"uptimeSeconds"`

@@ -1,0 +1,162 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+
+	"gfcube/internal/core"
+	"gfcube/internal/graph"
+	"gfcube/internal/isometry"
+)
+
+// GridSpec bounds a classification grid: factor lengths MinLen..MaxLen,
+// dimensions MinD..MaxD, and the per-cell decision method.
+type GridSpec struct {
+	MinLen, MaxLen int
+	MinD, MaxD     int
+	Method         core.Method
+}
+
+func (sp GridSpec) normalized() (GridSpec, error) {
+	if sp.MinLen < 1 {
+		sp.MinLen = 1
+	}
+	if sp.MinD < 1 {
+		sp.MinD = 1
+	}
+	if sp.MaxLen < sp.MinLen {
+		return sp, fmt.Errorf("sweep: MaxLen %d < MinLen %d", sp.MaxLen, sp.MinLen)
+	}
+	if sp.MaxD < sp.MinD {
+		return sp, fmt.Errorf("sweep: MaxD %d < MinD %d", sp.MaxD, sp.MinD)
+	}
+	return sp, nil
+}
+
+// collect runs the tasks and unwraps the ordered results into their
+// workload-specific payload type, failing on the first task error.
+func collect[T any](ctx context.Context, tasks []Task, fn Func, opts Options) ([]T, error) {
+	results, err := Run(ctx, tasks, fn, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		out = append(out, r.Value.(T))
+	}
+	return out, nil
+}
+
+// ClassifyGrid evaluates the full (class, d) grid in parallel and returns
+// the cells in the same deterministic order as the serial
+// core.ClassifyAll: classes in (length, value) order, d ascending. This is
+// the E02 workload (Table 1) generalized to arbitrary bounds.
+func ClassifyGrid(ctx context.Context, spec GridSpec, opts Options) ([]core.Cell, error) {
+	spec, err := spec.normalized()
+	if err != nil {
+		return nil, err
+	}
+	tasks := CellTasks(spec.MinLen, spec.MaxLen, spec.MinD, spec.MaxD)
+	return collect[core.Cell](ctx, tasks, func(ctx context.Context, s *core.Scratch, t Task) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return core.ClassifyCell(s, t.Class, t.D, spec.Method), nil
+	}, opts)
+}
+
+// SurveyRow is the per-class summary of a first-failure survey: the
+// smallest dimension at which Q_d(f) stops being isometric in Q_d, or 0
+// when no failure was found up to MaxD ("good"), plus the paper's verdict.
+type SurveyRow struct {
+	Class     core.Class
+	FirstFail int
+	// Theory is the reason of the paper's classification at MaxD, or "-"
+	// when the paper's results do not decide the class.
+	Theory string
+}
+
+// Survey runs the gfc-survey workload: for every canonical class of length
+// MinLen..MaxLen, scan d = max(MinD, |f|+1) .. MaxD until the first
+// non-isometric dimension (d <= |f| is always isometric by Lemma 2.1, so
+// the scan skips it). One task per class; within a task the scan stops at
+// the first failure, exactly like the serial survey, so no
+// symmetry-redundant or post-failure work is done.
+func Survey(ctx context.Context, spec GridSpec, opts Options) ([]SurveyRow, error) {
+	spec, err := spec.normalized()
+	if err != nil {
+		return nil, err
+	}
+	tasks := ClassTasks(spec.MinLen, spec.MaxLen)
+	return collect[SurveyRow](ctx, tasks, func(ctx context.Context, s *core.Scratch, t Task) (any, error) {
+		row := SurveyRow{Class: t.Class, Theory: "-"}
+		start := t.Class.Rep.Len() + 1
+		if spec.MinD > start {
+			start = spec.MinD
+		}
+		for d := start; d <= spec.MaxD; d++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if cell := core.ClassifyCell(s, t.Class, d, spec.Method); !cell.Isometric {
+				row.FirstFail = d
+				break
+			}
+		}
+		if cl := core.Classify(t.Class.Rep, spec.MaxD); cl.Verdict != core.Unknown {
+			row.Theory = cl.Reason
+		}
+		return row, nil
+	}, opts)
+}
+
+// CountRow is the counting sequence of one factor class: exact vertex,
+// edge and square counts of Q_d(f) for d = 0..MaxD via the transfer-matrix
+// DP (no cube construction, so MaxD may be large).
+type CountRow struct {
+	Class core.Class
+	Seq   []core.BigCounts // index d
+}
+
+// CountGrid computes counting sequences for every canonical class of
+// length MinLen..MaxLen, one task per class.
+func CountGrid(ctx context.Context, minLen, maxLen, maxD int, opts Options) ([]CountRow, error) {
+	if maxLen < minLen || maxD < 0 {
+		return nil, fmt.Errorf("sweep: bad count grid [%d,%d] x d<=%d", minLen, maxLen, maxD)
+	}
+	tasks := ClassTasks(minLen, maxLen)
+	return collect[CountRow](ctx, tasks, func(ctx context.Context, s *core.Scratch, t Task) (any, error) {
+		seq, err := core.CountSeqCtx(ctx, maxD, t.Class.Rep)
+		if err != nil {
+			return nil, err
+		}
+		return CountRow{Class: t.Class, Seq: seq}, nil
+	}, opts)
+}
+
+// FDimRow is the f-dimension of a guest graph under one factor class.
+type FDimRow struct {
+	Class core.Class
+	Dim   int
+	Found bool
+}
+
+// FDimGrid computes dim_f(g) for every canonical class of length
+// MinLen..MaxLen, searching host dimensions up to maxD. One task per
+// class.
+func FDimGrid(ctx context.Context, g *graph.Graph, minLen, maxLen, maxD int, opts Options) ([]FDimRow, error) {
+	if maxLen < minLen || maxD < 1 {
+		return nil, fmt.Errorf("sweep: bad fdim grid [%d,%d] x d<=%d", minLen, maxLen, maxD)
+	}
+	tasks := ClassTasks(minLen, maxLen)
+	return collect[FDimRow](ctx, tasks, func(ctx context.Context, s *core.Scratch, t Task) (any, error) {
+		res, err := isometry.FDimCtx(ctx, g, t.Class.Rep, maxD)
+		if err != nil {
+			return nil, err
+		}
+		return FDimRow{Class: t.Class, Dim: res.Dim, Found: res.Found}, nil
+	}, opts)
+}

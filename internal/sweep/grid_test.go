@@ -1,0 +1,160 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+	"gfcube/internal/graph"
+	"gfcube/internal/isometry"
+)
+
+// Symmetry-dedup correctness: expanding the deduplicated grid over every
+// member of each class must agree with classifying each word of the naive
+// full grid individually (Lemmas 2.2/2.3 in action). Exact checks for
+// lengths <= 5; the cheaper screen for the length-6 layer.
+func TestClassifyGridAgreesWithNaiveFullGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive grid comparison")
+	}
+	check := func(minLen, maxLen, maxD int, method core.Method) {
+		t.Helper()
+		spec := GridSpec{MinLen: minLen, MaxLen: maxLen, MaxD: maxD, Method: method}
+		cells, err := ClassifyGrid(context.Background(), spec, Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Index the deduplicated verdicts by (canonical rep, d).
+		type key struct {
+			rep bitstr.Word
+			d   int
+		}
+		verdict := make(map[key]bool, len(cells))
+		for _, c := range cells {
+			verdict[key{c.Rep, c.D}] = c.Isometric
+		}
+		// Naive full grid: every word individually, no symmetry.
+		naive := 0
+		for n := minLen; n <= maxLen; n++ {
+			bitstr.ForEach(n, func(f bitstr.Word) bool {
+				rep := bitstr.CanonicalRepresentative(f)
+				for d := 1; d <= maxD; d++ {
+					var iso bool
+					c := core.New(d, f)
+					if method == core.MethodScreen {
+						_, found := c.HasCriticalPair(3)
+						iso = !found
+					} else {
+						iso = c.IsIsometricSerial().Isometric
+					}
+					naive++
+					got, ok := verdict[key{rep, d}]
+					if !ok {
+						t.Fatalf("no deduplicated cell for f=%s (rep %s) d=%d", f, rep, d)
+					}
+					if got != iso {
+						t.Errorf("f=%s d=%d: naive %v, deduplicated grid %v", f, d, iso, got)
+					}
+				}
+				return true
+			})
+		}
+		// The dedup must save work: one column per class, not per word.
+		if len(cells)*2 > naive {
+			t.Errorf("dedup did %d cells for %d naive cells: expected < 1/2", len(cells), naive)
+		}
+	}
+	check(1, 5, 8, core.MethodExact)
+	check(6, 6, 9, core.MethodScreen)
+}
+
+// The parallel survey reproduces the E13 length-6 census (survey_test.go in
+// core, and the paper's Table 1 extension).
+func TestSurveyLength6Census(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive survey")
+	}
+	rows, err := Survey(context.Background(),
+		GridSpec{MinLen: 6, MaxLen: 6, MaxD: 11, Method: core.MethodExact},
+		Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("length-6 classes: %d, want 20", len(rows))
+	}
+	good := 0
+	hist := map[int]int{}
+	for _, r := range rows {
+		if r.FirstFail == 0 {
+			good++
+		} else {
+			hist[r.FirstFail]++
+		}
+	}
+	if good != 6 {
+		t.Errorf("good classes: %d, want 6", good)
+	}
+	for d, n := range map[int]int{7: 6, 8: 4, 9: 3, 10: 1} {
+		if hist[d] != n {
+			t.Errorf("first failures at d=%d: %d, want %d", d, hist[d], n)
+		}
+	}
+}
+
+// Counting rows agree with the serial DP and the Fibonacci identities.
+func TestCountGrid(t *testing.T) {
+	rows, err := CountGrid(context.Background(), 1, 3, 20, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(core.Classes(1, 3)) {
+		t.Fatalf("rows: %d, want %d", len(rows), len(core.Classes(1, 3)))
+	}
+	for _, r := range rows {
+		want := core.CountSeq(20, r.Class.Rep)
+		if len(r.Seq) != len(want) {
+			t.Fatalf("f=%s: %d entries, want %d", r.Class.Rep, len(r.Seq), len(want))
+		}
+		for d := range want {
+			if r.Seq[d].V.Cmp(want[d].V) != 0 || r.Seq[d].E.Cmp(want[d].E) != 0 || r.Seq[d].S.Cmp(want[d].S) != 0 {
+				t.Errorf("f=%s d=%d: sweep counts differ from serial DP", r.Class.Rep, d)
+			}
+		}
+	}
+}
+
+// f-dimension rows agree with the serial search on small guests.
+func TestFDimGrid(t *testing.T) {
+	g := graph.Path(4)
+	rows, err := FDimGrid(context.Background(), g, 2, 3, 6, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		want := isometry.FDim(g, r.Class.Rep, 6)
+		if r.Found != want.Found || r.Dim != want.Dim {
+			t.Errorf("f=%s: sweep (%d,%v) vs serial (%d,%v)",
+				r.Class.Rep, r.Dim, r.Found, want.Dim, want.Found)
+		}
+	}
+}
+
+// Survey honors MinD: starting the scan above a class's first failure
+// reports the first failure at or after MinD, not the global one.
+func TestSurveyHonorsMinD(t *testing.T) {
+	// 101 first fails at d = 4 (Proposition 3.2) and keeps failing.
+	spec := GridSpec{MinLen: 3, MaxLen: 3, MinD: 6, MaxD: 8, Method: core.MethodExact}
+	rows, err := Survey(context.Background(), spec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Class.Rep == bitstr.MustParse("010") { // canonical rep of 101's class
+			if r.FirstFail != 6 {
+				t.Errorf("scan from MinD=6: first fail %d, want 6", r.FirstFail)
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Command benchcmp is the CI benchmark-regression gate: it compares two
+// `go test -bench` outputs and fails (exit 1) when any benchmark matched by
+// -filter regressed by more than -threshold.
+//
+// Both files may contain several runs per benchmark (-count=N); the
+// comparator takes the minimum ns/op per benchmark, which is the standard
+// low-noise statistic for regression gating (the minimum is the run least
+// disturbed by scheduling noise). Benchmarks present in only one file are
+// reported but never fail the gate, so adding or retiring benchmarks does
+// not require a lockstep baseline update. By default ratios are normalized
+// by the median paired ratio, so a baseline recorded on a different
+// machine class (dev box vs CI runner) does not shift every benchmark into
+// false regression; see compare for the trade-off.
+//
+// Usage:
+//
+//	benchcmp -baseline bench-baseline.txt -current bench-full.txt \
+//	         -threshold 1.25 -filter '^BenchmarkE[0-9]'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"text/tabwriter"
+)
+
+// benchLine matches one result line, e.g.
+//
+//	BenchmarkE02_Table1_Classification-8   20   69046217 ns/op   49 B/op ...
+//
+// The -8 GOMAXPROCS suffix is stripped so baselines transfer between
+// differently sized runners of the same machine class.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parse returns the minimum ns/op per benchmark name in the file.
+func parse(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	best := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if cur, ok := best[m[1]]; !ok || ns < cur {
+			best[m[1]] = ns
+		}
+	}
+	return best, sc.Err()
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// median returns the median of a non-empty slice (sorted in place).
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// compare renders the comparison table to out and returns the list of
+// gated regressions beyond the threshold.
+//
+// When normalize is true and at least three benchmarks are paired, every
+// ratio is divided by the median ratio before the threshold check. A
+// baseline recorded on a different machine class shifts all ratios by the
+// machines' speed difference; the median cancels that shift while a
+// genuine single-benchmark regression still sticks out. The cost is that a
+// uniform slowdown across every benchmark reads as machine skew — for
+// same-machine comparisons pass -normalize=false to gate on raw ratios.
+func compare(baselinePath, currentPath string, threshold float64, filter string, normalize bool, out io.Writer) ([]string, error) {
+	if threshold <= 1 {
+		return nil, fmt.Errorf("threshold %v must exceed 1", threshold)
+	}
+	gate, err := regexp.Compile(filter)
+	if err != nil {
+		return nil, fmt.Errorf("bad -filter: %v", err)
+	}
+	baseline, err := parse(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %v", err)
+	}
+	current, err := parse(currentPath)
+	if err != nil {
+		return nil, fmt.Errorf("current: %v", err)
+	}
+	if len(baseline) == 0 {
+		return nil, fmt.Errorf("baseline %s contains no benchmark lines", baselinePath)
+	}
+	if len(current) == 0 {
+		return nil, fmt.Errorf("current %s contains no benchmark lines", currentPath)
+	}
+
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	// Machine-speed calibration: the median current/baseline ratio over
+	// every paired benchmark.
+	calib := 1.0
+	if normalize {
+		var ratios []float64
+		for name, b := range baseline {
+			if c, ok := current[name]; ok {
+				ratios = append(ratios, c/b)
+			}
+		}
+		if len(ratios) >= 3 {
+			calib = median(ratios)
+			fmt.Fprintf(out, "calibration: median ratio %.2fx over %d paired benchmarks (normalized out)\n", calib, len(ratios))
+		} else {
+			fmt.Fprintf(out, "calibration: only %d paired benchmarks, gating on raw ratios\n", len(ratios))
+		}
+	}
+
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tbaseline\tcurrent\tratio\tverdict")
+	var regressions []string
+	for _, name := range names {
+		b, hasB := baseline[name]
+		c, hasC := current[name]
+		switch {
+		case !hasC:
+			fmt.Fprintf(w, "%s\t%s\t-\t-\tmissing from current (ignored)\n", name, fmtNs(b))
+		case !hasB:
+			fmt.Fprintf(w, "%s\t-\t%s\t-\tnew, no baseline (ignored)\n", name, fmtNs(c))
+		default:
+			ratio := c / b / calib
+			verdict := "ok"
+			if !gate.MatchString(name) {
+				verdict = "ungated"
+			} else if ratio > threshold {
+				verdict = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("%s: %s -> %s (%.2fx > %.2fx)",
+					name, fmtNs(b), fmtNs(c), ratio, threshold))
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%.2fx\t%s\n", name, fmtNs(b), fmtNs(c), ratio, verdict)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return regressions, nil
+}
+
+// run executes the gate and returns the process exit code.
+func run(baselinePath, currentPath string, threshold float64, filter string, normalize bool, out io.Writer) int {
+	regressions, err := compare(baselinePath, currentPath, threshold, filter, normalize, out)
+	if err != nil {
+		fmt.Fprintln(out, "benchcmp:", err)
+		return 2
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintln(out)
+		for _, r := range regressions {
+			fmt.Fprintln(out, "FAIL", r)
+		}
+		fmt.Fprintf(out, "\n%d benchmark(s) regressed beyond %.0f%%. If the slowdown is intended\n", len(regressions), (threshold-1)*100)
+		fmt.Fprintln(out, "(algorithmic trade-off, new verification work), refresh the baseline:")
+		fmt.Fprintln(out, "    make bench-full && cp bench-full.txt bench-baseline.txt")
+		fmt.Fprintln(out, "on the CI runner class and commit it with the change that explains it.")
+		return 1
+	}
+	fmt.Fprintf(out, "\nall gated benchmarks within %.0f%% of baseline\n", (threshold-1)*100)
+	return 0
+}
+
+func main() {
+	log.SetFlags(0)
+	baselinePath := flag.String("baseline", "bench-baseline.txt", "committed baseline bench output")
+	currentPath := flag.String("current", "bench-full.txt", "freshly measured bench output")
+	threshold := flag.Float64("threshold", 1.25, "fail when current/baseline exceeds this ratio")
+	filter := flag.String("filter", `^BenchmarkE[0-9]`, "regexp of benchmark names the gate applies to")
+	normalize := flag.Bool("normalize", true, "divide ratios by the median paired ratio, cancelling baseline/runner machine-speed skew (use =false for same-machine comparisons)")
+	flag.Parse()
+	os.Exit(run(*baselinePath, *currentPath, *threshold, *filter, *normalize, os.Stdout))
+}

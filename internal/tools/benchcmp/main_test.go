@@ -1,0 +1,179 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseTakesMinAcrossCounts(t *testing.T) {
+	path := writeBench(t, "bench.txt", `
+goos: linux
+BenchmarkE01_Foo-8     	      16	  70000000 ns/op	 100 B/op	 5 allocs/op
+BenchmarkE01_Foo-8     	      16	  65000000 ns/op	 100 B/op	 5 allocs/op
+BenchmarkE01_Foo-8     	      16	  69000000 ns/op	 100 B/op	 5 allocs/op
+BenchmarkSweepClassify/serial         	       1	  45253341 ns/op
+BenchmarkSweepClassify/parallel8      	       1	  44125853 ns/op
+PASS
+`)
+	got, err := parse(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkE01_Foo"] != 65000000 {
+		t.Errorf("min ns/op = %v, want 65000000", got["BenchmarkE01_Foo"])
+	}
+	// Sub-benchmark names keep their slash suffix; the -procs suffix is
+	// stripped only from the end.
+	if got["BenchmarkSweepClassify/serial"] != 45253341 {
+		t.Errorf("serial = %v", got["BenchmarkSweepClassify/serial"])
+	}
+	if got["BenchmarkSweepClassify/parallel8"] != 44125853 {
+		t.Errorf("parallel8 = %v", got["BenchmarkSweepClassify/parallel8"])
+	}
+}
+
+func TestParseIgnoresNonBenchLines(t *testing.T) {
+	path := writeBench(t, "bench.txt", "ok  \tgfcube\t0.5s\n?\tgfcube/cmd\t[no test files]\n")
+	got, err := parse(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("parsed %v from non-benchmark lines", got)
+	}
+}
+
+func TestRunGate(t *testing.T) {
+	baseline := writeBench(t, "baseline.txt", `
+BenchmarkE01_Foo-8	10	100000 ns/op
+BenchmarkE02_Bar-8	10	200000 ns/op
+BenchmarkUngated-8	10	100000 ns/op
+BenchmarkGone-8  	10	100000 ns/op
+`)
+	// E01 within threshold, ungated slowdown ignored, new benchmark
+	// ignored, missing benchmark ignored: exit 0.
+	okCurrent := writeBench(t, "ok.txt", `
+BenchmarkE01_Foo-8	10	110000 ns/op
+BenchmarkE02_Bar-8	10	190000 ns/op
+BenchmarkUngated-8	10	900000 ns/op
+BenchmarkNew-8   	10	100000 ns/op
+`)
+	var out strings.Builder
+	if code := run(baseline, okCurrent, 1.25, `^BenchmarkE[0-9]`, false, &out); code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out.String())
+	}
+	for _, want := range []string{"ungated", "new, no baseline", "missing from current"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// A gated regression beyond 25% fails with exit 1 and names the culprit.
+	badCurrent := writeBench(t, "bad.txt", `
+BenchmarkE01_Foo-8	10	140000 ns/op
+BenchmarkE02_Bar-8	10	200000 ns/op
+`)
+	out.Reset()
+	if code := run(baseline, badCurrent, 1.25, `^BenchmarkE[0-9]`, false, &out); code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkE01_Foo") {
+		t.Errorf("regression not named:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "FAIL BenchmarkE02_Bar") {
+		t.Errorf("false positive on E02:\n%s", out.String())
+	}
+
+	// Bad inputs exit 2.
+	if code := run(baseline, filepath.Join(t.TempDir(), "nope.txt"), 1.25, `E`, false, &out); code != 2 {
+		t.Errorf("missing current file: exit %d, want 2", code)
+	}
+	empty := writeBench(t, "empty.txt", "no benchmarks here\n")
+	if code := run(empty, okCurrent, 1.25, `E`, false, &out); code != 2 {
+		t.Errorf("empty baseline: exit %d, want 2", code)
+	}
+	if code := run(baseline, okCurrent, 0.8, `E`, false, &out); code != 2 {
+		t.Errorf("threshold <= 1: exit %d, want 2", code)
+	}
+	if code := run(baseline, okCurrent, 1.25, `([`, false, &out); code != 2 {
+		t.Errorf("bad filter: exit %d, want 2", code)
+	}
+}
+
+// Median-ratio normalization cancels uniform machine-speed skew but still
+// catches the benchmark that regressed relative to its peers.
+func TestRunNormalized(t *testing.T) {
+	baseline := writeBench(t, "baseline.txt", `
+BenchmarkE01_A-8	10	100000 ns/op
+BenchmarkE02_B-8	10	100000 ns/op
+BenchmarkE03_C-8	10	100000 ns/op
+BenchmarkE04_D-8	10	100000 ns/op
+`)
+	// A runner twice as slow across the board: without normalization every
+	// gated benchmark is a 2x "regression"; with it, none are.
+	slowRunner := writeBench(t, "slow.txt", `
+BenchmarkE01_A-8	10	200000 ns/op
+BenchmarkE02_B-8	10	205000 ns/op
+BenchmarkE03_C-8	10	195000 ns/op
+BenchmarkE04_D-8	10	200000 ns/op
+`)
+	var out strings.Builder
+	if code := run(baseline, slowRunner, 1.25, `^BenchmarkE[0-9]`, true, &out); code != 0 {
+		t.Fatalf("uniform skew flagged as regression (exit %d):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "calibration: median ratio") {
+		t.Errorf("calibration line missing:\n%s", out.String())
+	}
+
+	// Same slow runner, but E03 regressed 4x relative to its peers.
+	realRegression := writeBench(t, "bad.txt", `
+BenchmarkE01_A-8	10	200000 ns/op
+BenchmarkE02_B-8	10	205000 ns/op
+BenchmarkE03_C-8	10	800000 ns/op
+BenchmarkE04_D-8	10	200000 ns/op
+`)
+	out.Reset()
+	if code := run(baseline, realRegression, 1.25, `^BenchmarkE[0-9]`, true, &out); code != 1 {
+		t.Fatalf("relative regression not caught (exit %d):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkE03_C") {
+		t.Errorf("E03 not named:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "FAIL BenchmarkE01_A") {
+		t.Errorf("false positive on E01:\n%s", out.String())
+	}
+
+	// Fewer than three paired benchmarks: falls back to raw gating.
+	tiny := writeBench(t, "tiny-base.txt", "BenchmarkE01_A-8\t10\t100000 ns/op\n")
+	tinySlow := writeBench(t, "tiny-cur.txt", "BenchmarkE01_A-8\t10\t200000 ns/op\n")
+	out.Reset()
+	if code := run(tiny, tinySlow, 1.25, `^BenchmarkE[0-9]`, true, &out); code != 1 {
+		t.Fatalf("tiny pairing should gate raw (exit %d):\n%s", code, out.String())
+	}
+}
+
+func TestFmtNs(t *testing.T) {
+	cases := map[float64]string{
+		500:    "500ns",
+		1500:   "1.50µs",
+		2.5e6:  "2.50ms",
+		3.21e9: "3.21s",
+		6.9e7:  "69.00ms",
+	}
+	for ns, want := range cases {
+		if got := fmtNs(ns); got != want {
+			t.Errorf("fmtNs(%v) = %q, want %q", ns, got, want)
+		}
+	}
+}
