@@ -10,6 +10,9 @@
 //   - binary words and the forbidden-factor families of the paper,
 //   - explicit construction of Q_d(f) with exact isometric-embeddability
 //     testing and p-critical word search,
+//   - the implicit DFA-rank backend (Implicit) answering order, rank/unrank
+//     addressing, membership, degree and neighbor queries for any d up to 62
+//     from O(|f|·d) memory, behind the shared CubeView interface,
 //   - exact vertex/edge/square counting for arbitrary dimension via
 //     transfer-matrix DP, with the paper's recurrences and closed forms,
 //   - the embeddability classification theory of Sections 3-5 (Table 1),
@@ -281,6 +284,32 @@ type WordRouter = network.WordRouter
 
 // NewWordRouter builds a word-level router for the factor f.
 func NewWordRouter(f Word) *WordRouter { return network.NewWordRouter(f) }
+
+// CubeView is the backend-independent query interface over Q_d(f): order,
+// membership, rank/unrank addressing, degrees and neighbor iteration,
+// served by either the explicit Cube or the implicit DFA-rank backend.
+type CubeView = core.CubeView
+
+// Implicit is the implicit DFA-rank backend: CubeView queries for any
+// d <= 62 from O(|f|·d) memory, never enumerating the vertex set.
+type Implicit = core.Implicit
+
+// NewImplicit builds the implicit backend for Q_d(f).
+func NewImplicit(d int, f Word) *Implicit { return core.NewImplicit(d, f) }
+
+// NewCubeView returns a query backend for Q_d(f): explicit up to maxBuild
+// (clamped to core.MaxBuildDim = 30), implicit beyond.
+func NewCubeView(d int, f Word, maxBuild int) CubeView { return core.NewView(d, f, maxBuild) }
+
+// Hop is one step of a rank-addressed route trace.
+type Hop = network.Hop
+
+// ViewRouter routes over any cube backend and reports rank-addressed
+// traces; see examples/implicit for a d = 62 walkthrough.
+type ViewRouter = network.ViewRouter
+
+// NewViewRouter builds a rank-addressed router over the backend v.
+func NewViewRouter(v CubeView) *ViewRouter { return network.NewViewRouter(v) }
 
 // NewDerouteRouter returns the greedy router with misrouting recovery; see
 // Network.EvaluateDeroute.

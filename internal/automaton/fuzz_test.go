@@ -28,7 +28,7 @@ func FuzzAvoidsAgainstNaive(f *testing.F) {
 }
 
 // FuzzRankerRoundTrip checks rank/unrank inversion for arbitrary factors
-// and dimensions.
+// and dimensions, on the uint64 fast path and the big.Int wrappers alike.
 func FuzzRankerRoundTrip(f *testing.F) {
 	f.Add(uint64(0b11), 2, 8, uint64(5))
 	f.Fuzz(func(t *testing.T, fb uint64, fn int, d int, idx uint64) {
@@ -37,18 +37,50 @@ func FuzzRankerRoundTrip(f *testing.F) {
 		}
 		factor := bitstr.Word{Bits: fb & (^uint64(0) >> uint(64-fn)), N: fn}
 		r := NewRanker(factor, d)
-		total := r.Total().Uint64()
+		total := r.TotalU64()
 		if total == 0 {
 			t.Skip() // e.g. factor "0" at d >= 1 leaves ... 1^d only; total >= 1 actually
+		}
+		if r.Total().Uint64() != total {
+			t.Fatalf("TotalU64 %d disagrees with Total %s", total, r.Total())
 		}
 		i := idx % total
 		w, err := r.UnrankInt(int(i))
 		if err != nil {
 			t.Fatalf("Unrank(%d) with total %d: %v", i, total, err)
 		}
+		if w64, err := r.UnrankU64(i); err != nil || w64 != w {
+			t.Fatalf("UnrankU64(%d) = %v (err %v), wrapper %v", i, w64, err, w)
+		}
 		back, err := r.Rank(w)
 		if err != nil || back.Uint64() != i {
 			t.Fatalf("Rank(Unrank(%d)) = %v (err %v)", i, back, err)
+		}
+		if u, ok := r.RankBits(w.Bits); !ok || u != i {
+			t.Fatalf("RankBits(%s) = %d, %v, want %d", w, u, ok, i)
+		}
+		// FlipUpRanks must agree with independent RankBits probes on every
+		// increasing flip.
+		want := map[int]uint64{}
+		for p := 0; p < d; p++ {
+			if w.Bit(p) == 1 {
+				continue
+			}
+			if u, ok := r.RankBits(w.Flip(p).Bits); ok {
+				want[p] = u
+			}
+		}
+		got := map[int]uint64{}
+		if !r.FlipUpRanks(w.Bits, func(pos int, rank uint64) { got[pos] = rank }) {
+			t.Fatalf("FlipUpRanks rejected the f-free word %s", w)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("FlipUpRanks visited %d flips, want %d", len(got), len(want))
+		}
+		for p, u := range want {
+			if got[p] != u {
+				t.Fatalf("FlipUpRanks(%s) at %d = %d, want %d", w, p, got[p], u)
+			}
 		}
 	})
 }

@@ -13,108 +13,259 @@ import (
 // For f = 11 this is exactly the Zeckendorf addressing Hsu used for the
 // Fibonacci cube as an interconnection network: node i corresponds to the
 // i-th word of the Fibonacci numeration system. The generalization works for
-// any forbidden factor via the counting DP: suffixCount[s][k] is the number
-// of f-free completions of length k starting from automaton state s.
+// any forbidden factor via the counting DP: suffix[s][k] is the number of
+// f-free completions of length k starting from automaton state s.
+//
+// Words are packed values, so d never exceeds bitstr.MaxLen = 62 and every
+// count in the table is bounded by 2^d <= 2^62: the whole DP fits in plain
+// uint64 arithmetic. Rank, unrank and membership probes are O(d) table
+// walks with no allocation; the *big.Int methods are thin wrappers kept for
+// callers that mix ranks into arbitrary-precision pipelines. Counting for
+// arbitrary d (beyond packed words) stays on the big.Int transfer-matrix
+// API (CountVertices and friends).
 type Ranker struct {
 	dfa *DFA
 	d   int
-	// suffix[s][k] = number of ways to extend a run in state s by k more
-	// symbols without seeing the factor.
-	suffix [][]*big.Int
-	total  *big.Int
+	// suffix is the m x (d+1) completion-count table, flattened row-major:
+	// suffix[s*(d+1)+k] is the number of ways to extend a run in live state
+	// s by k more symbols without seeing the factor.
+	suffix []uint64
+	total  uint64
+	// walkStates/walkRanks are FlipUpRanks scratch (prefix path of the
+	// probed word), allocated on first use and reused.
+	walkStates []int
+	walkRanks  []uint64
 }
 
 // NewRanker prepares rank/unrank tables for words of length d avoiding f.
+// It panics if d is outside [0, bitstr.MaxLen]: ranked words are packed
+// values, so larger dimensions cannot be addressed.
 func NewRanker(f bitstr.Word, d int) *Ranker {
-	if d < 0 {
-		panic("automaton: negative dimension")
+	return New(f).Ranker(d)
+}
+
+// Ranker builds rank/unrank tables of dimension d over the automaton,
+// sharing the already-built transition tables.
+func (a *DFA) Ranker(d int) *Ranker {
+	r := new(Ranker)
+	r.Reset(a, d)
+	return r
+}
+
+// Reset rebuilds the tables for automaton a and dimension d in place,
+// reusing the suffix-table allocation when it has capacity. A zero Ranker
+// is valid input; grid sweeps keep one Ranker per worker and Reset it per
+// cell, making repeated cube constructions allocation-free.
+func (r *Ranker) Reset(a *DFA, d int) {
+	if d < 0 || d > bitstr.MaxLen {
+		panic(fmt.Sprintf("automaton: ranker dimension %d out of range [0, %d]", d, bitstr.MaxLen))
 	}
-	dfa := New(f)
-	m := dfa.m
-	suffix := make([][]*big.Int, m)
-	for s := range suffix {
-		suffix[s] = make([]*big.Int, d+1)
-		suffix[s][0] = big.NewInt(1)
+	m := a.m
+	stride := d + 1
+	need := m * stride
+	if cap(r.suffix) < need {
+		r.suffix = make([]uint64, need)
+	} else {
+		r.suffix = r.suffix[:need]
+	}
+	r.dfa, r.d = a, d
+	for s := 0; s < m; s++ {
+		r.suffix[s*stride] = 1
 	}
 	for k := 1; k <= d; k++ {
 		for s := 0; s < m; s++ {
-			total := new(big.Int)
+			var total uint64
 			for c := 0; c < 2; c++ {
-				t := dfa.delta[s][c]
-				if t == m {
-					continue
+				if t := a.delta[s][c]; t != m {
+					total += r.suffix[t*stride+k-1]
 				}
-				total.Add(total, suffix[t][k-1])
 			}
-			suffix[s][k] = total
+			r.suffix[s*stride+k] = total
 		}
 	}
-	return &Ranker{dfa: dfa, d: d, suffix: suffix, total: new(big.Int).Set(suffix[0][d])}
+	r.total = r.suffix[d] // completions of length d from the start state
 }
 
-// Total returns |V(Q_d(f))|.
-func (r *Ranker) Total() *big.Int { return new(big.Int).Set(r.total) }
+// D returns the ranker's dimension.
+func (r *Ranker) D() int { return r.d }
 
-// Rank returns the index of w in the increasing enumeration of f-free words
-// of length d. It returns an error if w has the wrong length or contains the
-// factor.
-func (r *Ranker) Rank(w bitstr.Word) (*big.Int, error) {
-	if w.Len() != r.d {
-		return nil, fmt.Errorf("automaton: word length %d, ranker dimension %d", w.Len(), r.d)
-	}
-	rank := new(big.Int)
+// TotalU64 returns |V(Q_d(f))|.
+func (r *Ranker) TotalU64() uint64 { return r.total }
+
+// Total returns |V(Q_d(f))| as a big.Int.
+func (r *Ranker) Total() *big.Int { return new(big.Int).SetUint64(r.total) }
+
+// RankBits returns the index of the word with packed value bits (length d
+// implied) in the increasing enumeration of f-free words, and whether the
+// word is f-free. This is the allocation-free hot path used for bulk
+// membership-with-index probes such as cube edge construction.
+func (r *Ranker) RankBits(bits uint64) (uint64, bool) {
+	m, stride := r.dfa.m, r.d+1
+	delta, suffix := r.dfa.delta, r.suffix
+	var rank uint64
 	s := 0
-	for i := 0; i < r.d; i++ {
-		bit := w.Bit(i)
-		if bit == 1 {
+	for k := r.d - 1; k >= 0; k-- {
+		row := &delta[s]
+		if bits>>uint(k)&1 == 0 {
+			s = row[0]
+		} else {
 			// All words with 0 at this position (and the same prefix) come
 			// first.
-			t0 := r.dfa.delta[s][0]
-			if t0 != r.dfa.m {
-				rank.Add(rank, r.suffix[t0][r.d-1-i])
+			if t0 := row[0]; t0 != m {
+				rank += suffix[t0*stride+k]
+			}
+			s = row[1]
+		}
+		if s == m {
+			return 0, false
+		}
+	}
+	return rank, true
+}
+
+// FlipUpRanks visits every increasing single-bit flip of an f-free word
+// (packed value bits, length d implied): for each position holding a 0
+// whose flip to 1 yields another f-free word, fn receives the 0-based
+// position from the left and the flipped word's rank. Flips are visited
+// rightmost position first, i.e. in increasing flipped packed value —
+// the edge order of explicit cube construction. It returns false without
+// calling fn if the word itself contains the factor.
+//
+// The word's prefix state/rank path is computed once and shared across
+// the probes, so a probe flipping position p costs O(d-p) instead of the
+// O(d) of an independent RankBits call — about half the table walks of
+// the naive loop, and no binary search anywhere.
+//
+// FlipUpRanks reuses internal scratch and must not be called from
+// multiple goroutines on one Ranker; the pure query methods (RankBits,
+// RankU64, UnrankU64 and the big.Int wrappers) stay read-only and safe
+// for concurrent use.
+func (r *Ranker) FlipUpRanks(bits uint64, fn func(pos int, rank uint64)) bool {
+	d, m, stride := r.d, r.dfa.m, r.d+1
+	delta, suffix := r.dfa.delta, r.suffix
+	if cap(r.walkStates) <= d {
+		r.walkStates = make([]int, d+1)
+		r.walkRanks = make([]uint64, d+1)
+	}
+	// states[p] / pranks[p]: DFA state and rank contribution of the first
+	// p characters.
+	states, pranks := r.walkStates[:d+1], r.walkRanks[:d+1]
+	states[0], pranks[0] = 0, 0
+	s := 0
+	var rank uint64
+	for p := 0; p < d; p++ {
+		k := d - 1 - p
+		if bits>>uint(k)&1 == 1 {
+			if t0 := delta[s][0]; t0 != m {
+				rank += suffix[t0*stride+k]
+			}
+			s = delta[s][1]
+		} else {
+			s = delta[s][0]
+		}
+		if s == m {
+			return false
+		}
+		states[p+1] = s
+		pranks[p+1] = rank
+	}
+	for p := d - 1; p >= 0; p-- {
+		k := d - 1 - p
+		if bits>>uint(k)&1 == 1 {
+			continue
+		}
+		// Set the 0 at position p: every word sharing the prefix with a 0
+		// here precedes the flipped word.
+		s := states[p]
+		flipped := pranks[p] + suffix[delta[s][0]*stride+k]
+		s = delta[s][1]
+		for q := p + 1; q < d; q++ {
+			if s == m {
+				break
+			}
+			kq := d - 1 - q
+			if bits>>uint(kq)&1 == 1 {
+				if z := delta[s][0]; z != m {
+					flipped += suffix[z*stride+kq]
+				}
+				s = delta[s][1]
+			} else {
+				s = delta[s][0]
 			}
 		}
-		s = r.dfa.delta[s][bit]
-		if s == r.dfa.m {
-			return nil, fmt.Errorf("automaton: word %s contains the factor %s", w, r.dfa.factor)
+		if s != m {
+			fn(p, flipped)
 		}
+	}
+	return true
+}
+
+// RankU64 returns the index of w in the increasing enumeration of f-free
+// words of length d. It returns an error if w has the wrong length or
+// contains the factor.
+func (r *Ranker) RankU64(w bitstr.Word) (uint64, error) {
+	if w.Len() != r.d {
+		return 0, fmt.Errorf("automaton: word length %d, ranker dimension %d", w.Len(), r.d)
+	}
+	rank, ok := r.RankBits(w.Bits)
+	if !ok {
+		return 0, fmt.Errorf("automaton: word %s contains the factor %s", w, r.dfa.factor)
 	}
 	return rank, nil
 }
 
-// Unrank returns the word of the given index. It returns an error if the
-// index is out of range [0, Total).
-func (r *Ranker) Unrank(idx *big.Int) (bitstr.Word, error) {
-	if idx.Sign() < 0 || idx.Cmp(r.total) >= 0 {
-		return bitstr.Word{}, fmt.Errorf("automaton: rank %s out of range [0, %s)", idx, r.total)
+// Rank is RankU64 returning a big.Int.
+func (r *Ranker) Rank(w bitstr.Word) (*big.Int, error) {
+	rank, err := r.RankU64(w)
+	if err != nil {
+		return nil, err
 	}
-	rem := new(big.Int).Set(idx)
+	return new(big.Int).SetUint64(rank), nil
+}
+
+// UnrankU64 returns the word of the given index. It returns an error if the
+// index is out of range [0, TotalU64).
+func (r *Ranker) UnrankU64(idx uint64) (bitstr.Word, error) {
+	if idx >= r.total {
+		return bitstr.Word{}, fmt.Errorf("automaton: rank %d out of range [0, %d)", idx, r.total)
+	}
+	m := r.dfa.m
+	stride := r.d + 1
+	rem := idx
 	var bits uint64
 	s := 0
-	for i := 0; i < r.d; i++ {
-		k := r.d - 1 - i
+	for k := r.d - 1; k >= 0; k-- {
 		t0 := r.dfa.delta[s][0]
-		var zeroCount *big.Int
-		if t0 == r.dfa.m {
-			zeroCount = new(big.Int)
-		} else {
-			zeroCount = r.suffix[t0][k]
+		var zeroCount uint64
+		if t0 != m {
+			zeroCount = r.suffix[t0*stride+k]
 		}
-		if rem.Cmp(zeroCount) < 0 {
+		if rem < zeroCount {
 			s = t0
 		} else {
-			rem.Sub(rem, zeroCount)
+			rem -= zeroCount
 			bits |= 1 << uint(k)
 			s = r.dfa.delta[s][1]
 		}
-		if s == r.dfa.m {
-			return bitstr.Word{}, fmt.Errorf("automaton: internal unrank error at position %d", i)
+		if s == m {
+			return bitstr.Word{}, fmt.Errorf("automaton: internal unrank error at position %d", r.d-1-k)
 		}
 	}
 	return bitstr.Word{Bits: bits, N: r.d}, nil
 }
 
+// Unrank is UnrankU64 for big.Int indices.
+func (r *Ranker) Unrank(idx *big.Int) (bitstr.Word, error) {
+	if idx.Sign() < 0 || !idx.IsUint64() || idx.Uint64() >= r.total {
+		return bitstr.Word{}, fmt.Errorf("automaton: rank %s out of range [0, %d)", idx, r.total)
+	}
+	return r.UnrankU64(idx.Uint64())
+}
+
 // UnrankInt is Unrank for plain int indices.
 func (r *Ranker) UnrankInt(idx int) (bitstr.Word, error) {
-	return r.Unrank(big.NewInt(int64(idx)))
+	if idx < 0 {
+		return bitstr.Word{}, fmt.Errorf("automaton: rank %d out of range [0, %d)", idx, r.total)
+	}
+	return r.UnrankU64(uint64(idx))
 }

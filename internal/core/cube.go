@@ -20,6 +20,12 @@ import (
 	"gfcube/internal/graph"
 )
 
+// MaxBuildDim is the largest dimension supported by explicit construction:
+// the vertex count is at most 2^d and the CSR graph materializes every
+// edge. Queries at larger d go through the implicit DFA-rank backend
+// (Implicit), which serves the CubeView interface up to bitstr.MaxLen.
+const MaxBuildDim = 30
+
 // Cube is an explicitly constructed generalized Fibonacci cube Q_d(f).
 type Cube struct {
 	d     int
@@ -44,32 +50,34 @@ func build(d int, f bitstr.Word, dfa *automaton.DFA, s *Scratch) *Cube {
 	if f.Len() == 0 {
 		panic("core: empty forbidden factor")
 	}
-	if d < 0 || d > 30 {
-		panic(fmt.Sprintf("core: explicit construction limited to 0 <= d <= 30, got %d", d))
+	if d < 0 || d > MaxBuildDim {
+		panic(fmt.Sprintf("core: explicit construction limited to 0 <= d <= %d, got %d", MaxBuildDim, d))
 	}
 	var verts []uint64
 	var b *graph.Builder
+	var rk *automaton.Ranker
 	if s != nil {
 		s.verts = dfa.AppendVertices(s.verts[:0], d)
 		verts = make([]uint64, len(s.verts))
 		copy(verts, s.verts)
 		s.builder.Reset(len(verts))
 		b = s.builder
+		rk = s.ranker(dfa, d)
 	} else {
 		verts = dfa.Vertices(d)
 		b = graph.NewBuilder(len(verts))
+		rk = dfa.Ranker(d)
 	}
 	c := &Cube{d: d, f: f, dfa: dfa, verts: verts}
+	// Rank each flipped word through the DFA counting tables instead of
+	// binary-searching verts per probe: FlipUpRanks shares the vertex's
+	// prefix walk across its probes, so membership test and neighbor index
+	// come out of one pass over in-cache tables.
+	cur := 0
+	emit := func(_ int, j uint64) { b.AddEdge(cur, int(j)) }
 	for i, v := range verts {
-		for bit := 0; bit < d; bit++ {
-			u := v ^ (uint64(1) << uint(bit))
-			if u <= v {
-				continue
-			}
-			if j, ok := c.rank(u); ok {
-				b.AddEdge(i, j)
-			}
-		}
+		cur = i
+		rk.FlipUpRanks(v, emit)
 	}
 	c.g = b.Build()
 	return c

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"gfcube/internal/bitstr"
+)
+
+// FuzzImplicitVsExplicit cross-checks the implicit DFA-rank backend
+// against the explicit cube on arbitrary (factor, dimension, probe word)
+// triples: membership, rank, unrank round-trip, degree and the full
+// neighbor sweep must agree exactly.
+func FuzzImplicitVsExplicit(f *testing.F) {
+	f.Add(uint64(0b11), 2, 8, uint64(0b10100101))
+	f.Add(uint64(0b101), 3, 10, uint64(17))
+	f.Fuzz(func(t *testing.T, fb uint64, fn int, d int, wb uint64) {
+		if fn < 1 || fn > 4 || d < 0 || d > 12 {
+			t.Skip()
+		}
+		factor := bitstr.Word{Bits: fb & (^uint64(0) >> uint(64-fn)), N: fn}
+		var w bitstr.Word
+		if d > 0 {
+			w = bitstr.Word{Bits: wb & (^uint64(0) >> uint(64-d)), N: d}
+		}
+		ex := New(d, factor)
+		im := NewImplicit(d, factor)
+		if ex.Order() != im.Order() {
+			t.Fatalf("order %d vs %d", ex.Order(), im.Order())
+		}
+		if got, want := im.Contains(w), ex.Contains(w); got != want {
+			t.Fatalf("Contains(%s) = %v, explicit %v", w, got, want)
+		}
+		er, eok := ex.RankWord(w)
+		ir, iok := im.RankWord(w)
+		if eok != iok || (eok && er != ir) {
+			t.Fatalf("RankWord(%s) = %d/%v vs %d/%v", w, er, eok, ir, iok)
+		}
+		if eok {
+			back, ok := im.UnrankWord(ir)
+			if !ok || back != w {
+				t.Fatalf("UnrankWord(%d) = %s/%v, want %s", ir, back, ok, w)
+			}
+			edeg, _ := ex.DegreeOf(w)
+			ideg, _ := im.DegreeOf(w)
+			if edeg != ideg {
+				t.Fatalf("DegreeOf(%s) = %d vs %d", w, ideg, edeg)
+			}
+			var ex2, im2 []int64
+			ex.NeighborsOf(w, func(r int64, _ bitstr.Word) bool { ex2 = append(ex2, r); return true })
+			im.NeighborsOf(w, func(r int64, _ bitstr.Word) bool { im2 = append(im2, r); return true })
+			if len(ex2) != len(im2) {
+				t.Fatalf("neighbor counts %d vs %d", len(ex2), len(im2))
+			}
+			for i := range ex2 {
+				if ex2[i] != im2[i] {
+					t.Fatalf("neighbor %d: rank %d vs %d", i, ex2[i], im2[i])
+				}
+			}
+		}
+	})
+}

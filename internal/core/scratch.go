@@ -19,6 +19,7 @@ type Scratch struct {
 	dfa     *automaton.DFA
 	dfaF    bitstr.Word
 	verts   []uint64
+	rank    automaton.Ranker
 	builder *graph.Builder
 	trav    *graph.Traverser
 	dist    []int32
@@ -42,6 +43,13 @@ func (s *Scratch) Cube(d int, f bitstr.Word) *Cube {
 		s.dfaF = f
 	}
 	return build(d, f, s.dfa, s)
+}
+
+// ranker returns the scratch rank/unrank tables rebuilt for (dfa, d); the
+// table allocation is reused across cells.
+func (s *Scratch) ranker(dfa *automaton.DFA, d int) *automaton.Ranker {
+	s.rank.Reset(dfa, d)
+	return &s.rank
 }
 
 // distBuf returns a distance vector of length n backed by the scratch.

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"gfcube/internal/bitstr"
+)
+
+// CubeView is the backend-independent query interface over Q_d(f): the
+// DFA-rank addressing layer shared by the explicit graph (Cube) and the
+// implicit backend (Implicit). It exposes exactly the queries that can be
+// answered without global state — Hsu's point about the Fibonacci cube as
+// an interconnection topology: nodes are addressed by (generalized)
+// Zeckendorf numeration and probed with local factor tests.
+//
+// Vertex identity is the pair (rank, word): ranks index the increasing
+// packed-value enumeration of the f-free words of length d, words are the
+// binary addresses themselves. Both backends answer every query below in
+// O(d) to O(d^2) time; they differ in construction cost (the explicit cube
+// materializes the CSR graph, the implicit backend only the O(|f|·d)
+// counting tables) and in the extra queries the materialized graph
+// supports (BFS distances, isometry checks, simulation).
+type CubeView interface {
+	// D returns the dimension d.
+	D() int
+	// Factor returns the forbidden factor f.
+	Factor() bitstr.Word
+	// Order returns |V(Q_d(f))|. It always fits an int64: d <= 62.
+	Order() int64
+	// Contains reports whether w is a vertex (length d, avoids f).
+	Contains(w bitstr.Word) bool
+	// RankWord returns the index of w in the increasing enumeration of
+	// vertices, and whether w is a vertex at all.
+	RankWord(w bitstr.Word) (int64, bool)
+	// UnrankWord returns the vertex word with the given rank, and whether
+	// the rank is in range [0, Order()).
+	UnrankWord(r int64) (bitstr.Word, bool)
+	// DegreeOf returns the number of neighbors of w in Q_d(f), and whether
+	// w is a vertex.
+	DegreeOf(w bitstr.Word) (int, bool)
+	// NeighborsOf calls fn for every neighbor of w in flip-position order
+	// (position 0, the leftmost bit, first) with the neighbor's rank and
+	// word. It returns false if w is not a vertex or fn stopped the
+	// iteration early, true after a complete sweep.
+	NeighborsOf(w bitstr.Word, fn func(rank int64, u bitstr.Word) bool) bool
+}
+
+// Both backends satisfy the interface.
+var (
+	_ CubeView = (*Cube)(nil)
+	_ CubeView = (*Implicit)(nil)
+)
+
+// NewView returns a query backend for Q_d(f): the explicit cube when
+// d <= maxBuild (clamped to MaxBuildDim), the implicit DFA-rank backend
+// beyond. Callers that need the materialized graph (distances, isometry,
+// simulation) must type-assert to *Cube; pure addressing workloads —
+// rank, unrank, neighbors, degree, routing — work against either.
+func NewView(d int, f bitstr.Word, maxBuild int) CubeView {
+	if maxBuild < 0 || maxBuild > MaxBuildDim {
+		maxBuild = MaxBuildDim
+	}
+	if d <= maxBuild {
+		return New(d, f)
+	}
+	return NewImplicit(d, f)
+}
+
+// Order returns |V| as an int64, part of the CubeView interface.
+func (c *Cube) Order() int64 { return int64(len(c.verts)) }
+
+// RankWord is Rank with the CubeView signature.
+func (c *Cube) RankWord(w bitstr.Word) (int64, bool) {
+	i, ok := c.Rank(w)
+	return int64(i), ok
+}
+
+// UnrankWord returns the vertex word with the given rank, bounds-checked.
+func (c *Cube) UnrankWord(r int64) (bitstr.Word, bool) {
+	if r < 0 || r >= int64(len(c.verts)) {
+		return bitstr.Word{}, false
+	}
+	return c.Word(int(r)), true
+}
+
+// DegreeOf returns the degree of the vertex with word w.
+func (c *Cube) DegreeOf(w bitstr.Word) (int, bool) {
+	i, ok := c.Rank(w)
+	if !ok {
+		return 0, false
+	}
+	return c.g.Degree(i), true
+}
+
+// NeighborsOf visits the neighbors of w in flip-position order. The
+// canonical order matches the implicit backend exactly, so responses are
+// byte-for-byte identical whichever backend serves them.
+func (c *Cube) NeighborsOf(w bitstr.Word, fn func(rank int64, u bitstr.Word) bool) bool {
+	if _, ok := c.Rank(w); !ok {
+		return false
+	}
+	for bit := 0; bit < c.d; bit++ {
+		u := w.Flip(bit)
+		if j, ok := c.rank(u.Bits); ok {
+			if !fn(int64(j), u) {
+				return false
+			}
+		}
+	}
+	return true
+}

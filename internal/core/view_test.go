@@ -1,0 +1,235 @@
+package core
+
+import (
+	"testing"
+
+	"gfcube/internal/bitstr"
+)
+
+// collectNeighbors gathers a NeighborsOf sweep into parallel slices.
+func collectNeighbors(v CubeView, w bitstr.Word) (ranks []int64, words []bitstr.Word, ok bool) {
+	ok = v.NeighborsOf(w, func(r int64, u bitstr.Word) bool {
+		ranks = append(ranks, r)
+		words = append(words, u)
+		return true
+	})
+	return ranks, words, ok
+}
+
+// TestImplicitMatchesExplicit is the full cross-check grid of the implicit
+// backend against the explicit cube: every forbidden factor with |f| <= 4
+// and every dimension d <= 12, comparing Order, Contains, RankWord,
+// UnrankWord, DegreeOf and NeighborsOf on every vertex (and on non-vertex
+// probes).
+func TestImplicitMatchesExplicit(t *testing.T) {
+	for fl := 1; fl <= 4; fl++ {
+		bitstr.ForEach(fl, func(f bitstr.Word) bool {
+			for d := 0; d <= 12; d++ {
+				ex := New(d, f)
+				im := NewImplicit(d, f)
+				if ex.Order() != im.Order() {
+					t.Fatalf("f=%s d=%d: order %d vs %d", f, d, ex.Order(), im.Order())
+				}
+				if ex.D() != im.D() || ex.Factor() != im.Factor() {
+					t.Fatalf("f=%s d=%d: identity mismatch", f, d)
+				}
+				for i := int64(0); i < ex.Order(); i++ {
+					ew, eok := ex.UnrankWord(i)
+					iw, iok := im.UnrankWord(i)
+					if !eok || !iok || ew != iw {
+						t.Fatalf("f=%s d=%d: UnrankWord(%d) = %v/%v vs %v/%v", f, d, i, ew, eok, iw, iok)
+					}
+					er, eok := ex.RankWord(ew)
+					ir, iok := im.RankWord(ew)
+					if !eok || !iok || er != i || ir != i {
+						t.Fatalf("f=%s d=%d: RankWord(%s) = %d/%v vs %d/%v, want %d", f, d, ew, er, eok, ir, iok, i)
+					}
+					if !ex.Contains(ew) || !im.Contains(ew) {
+						t.Fatalf("f=%s d=%d: vertex %s not contained", f, d, ew)
+					}
+					edeg, eok := ex.DegreeOf(ew)
+					ideg, iok := im.DegreeOf(ew)
+					if !eok || !iok || edeg != ideg {
+						t.Fatalf("f=%s d=%d: DegreeOf(%s) = %d/%v vs %d/%v", f, d, ew, edeg, eok, ideg, iok)
+					}
+					eranks, ewords, eok := collectNeighbors(ex, ew)
+					iranks, iwords, iok := collectNeighbors(im, ew)
+					if !eok || !iok || len(eranks) != len(iranks) {
+						t.Fatalf("f=%s d=%d: neighbor sweep of %s differs: %d vs %d",
+							f, d, ew, len(eranks), len(iranks))
+					}
+					if len(eranks) != edeg {
+						t.Fatalf("f=%s d=%d: %s has %d neighbors but degree %d", f, d, ew, len(eranks), edeg)
+					}
+					for k := range eranks {
+						if eranks[k] != iranks[k] || ewords[k] != iwords[k] {
+							t.Fatalf("f=%s d=%d: neighbor %d of %s: (%d,%s) vs (%d,%s)",
+								f, d, k, ew, eranks[k], ewords[k], iranks[k], iwords[k])
+						}
+					}
+				}
+				// Non-vertex probes fail identically on both backends.
+				if d >= f.Len() {
+					bad := bitstr.Word{}
+					found := false
+					bitstr.ForEach(d, func(w bitstr.Word) bool {
+						if w.HasFactor(f) {
+							bad, found = w, true
+							return false
+						}
+						return true
+					})
+					if found {
+						if _, ok := ex.RankWord(bad); ok {
+							t.Fatalf("f=%s d=%d: explicit ranked non-vertex %s", f, d, bad)
+						}
+						if _, ok := im.RankWord(bad); ok {
+							t.Fatalf("f=%s d=%d: implicit ranked non-vertex %s", f, d, bad)
+						}
+						if _, ok := im.DegreeOf(bad); ok {
+							t.Fatalf("f=%s d=%d: implicit degree of non-vertex %s", f, d, bad)
+						}
+						if im.NeighborsOf(bad, func(int64, bitstr.Word) bool { return true }) {
+							t.Fatalf("f=%s d=%d: implicit neighbors of non-vertex %s", f, d, bad)
+						}
+					}
+				}
+				if _, ok := ex.UnrankWord(ex.Order()); ok {
+					t.Fatalf("f=%s d=%d: explicit unranked out-of-range", f, d)
+				}
+				if _, ok := im.UnrankWord(im.Order()); ok {
+					t.Fatalf("f=%s d=%d: implicit unranked out-of-range", f, d)
+				}
+				if _, ok := im.UnrankWord(-1); ok {
+					t.Fatalf("f=%s d=%d: implicit unranked negative", f, d)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestImplicitDegreeDistribution(t *testing.T) {
+	for _, fs := range []string{"11", "101", "1100"} {
+		f := bitstr.MustParse(fs)
+		for _, d := range []int{0, 5, 10} {
+			ex := New(d, f).DegreeDistribution()
+			im := NewImplicit(d, f).DegreeDistribution()
+			if len(ex) != len(im) {
+				t.Fatalf("f=%s d=%d: distribution lengths %d vs %d", fs, d, len(ex), len(im))
+			}
+			for k := range ex {
+				if int64(ex[k]) != im[k] {
+					t.Fatalf("f=%s d=%d: degree %d count %d vs %d", fs, d, k, ex[k], im[k])
+				}
+			}
+		}
+	}
+}
+
+func TestImplicitLargeDimension(t *testing.T) {
+	// Q_62(11): |V| = F_64 = 10610209857723, far beyond any construction.
+	im := NewImplicit(62, bitstr.Ones(2))
+	if im.Order() != 10610209857723 {
+		t.Fatalf("|V(Q_62(11))| = %d, want 10610209857723", im.Order())
+	}
+	for _, r := range []int64{0, 1, im.Order() / 3, im.Order() - 1} {
+		w, ok := im.UnrankWord(r)
+		if !ok {
+			t.Fatalf("UnrankWord(%d) failed", r)
+		}
+		if w.HasFactor(bitstr.Ones(2)) {
+			t.Fatalf("UnrankWord(%d) = %s contains 11", r, w)
+		}
+		back, ok := im.RankWord(w)
+		if !ok || back != r {
+			t.Fatalf("RankWord(UnrankWord(%d)) = %d, %v", r, back, ok)
+		}
+		deg, ok := im.DegreeOf(w)
+		if !ok || deg < 1 || deg > 62 {
+			t.Fatalf("DegreeOf(%s) = %d, %v", w, deg, ok)
+		}
+		// Each neighbor ranks back to a valid address and is adjacent.
+		seen := 0
+		im.NeighborsOf(w, func(nr int64, u bitstr.Word) bool {
+			seen++
+			if u.HammingDistance(w) != 1 {
+				t.Fatalf("neighbor %s not adjacent to %s", u, w)
+			}
+			if got, ok := im.UnrankWord(nr); !ok || got != u {
+				t.Fatalf("neighbor rank %d does not unrank to %s", nr, u)
+			}
+			return true
+		})
+		if seen != deg {
+			t.Fatalf("neighbor sweep saw %d, degree %d", seen, deg)
+		}
+	}
+}
+
+// TestViewEdgeBranches exercises the non-vertex and early-stop paths of
+// both backends.
+func TestViewEdgeBranches(t *testing.T) {
+	f := bitstr.Ones(2)
+	for _, v := range []CubeView{New(8, f), NewImplicit(8, f)} {
+		bad := bitstr.MustParse("11000000")
+		short := bitstr.MustParse("110")
+		if _, ok := v.DegreeOf(bad); ok {
+			t.Errorf("%T: degree of non-vertex", v)
+		}
+		if _, ok := v.DegreeOf(short); ok {
+			t.Errorf("%T: degree of wrong-length word", v)
+		}
+		if _, ok := v.RankWord(short); ok {
+			t.Errorf("%T: rank of wrong-length word", v)
+		}
+		if v.NeighborsOf(bad, func(int64, bitstr.Word) bool { return true }) {
+			t.Errorf("%T: neighbors of non-vertex", v)
+		}
+		// Early stop: the sweep reports false and visits exactly once.
+		calls := 0
+		if v.NeighborsOf(bitstr.MustParse("01010101"), func(int64, bitstr.Word) bool {
+			calls++
+			return false
+		}) {
+			t.Errorf("%T: early-stopped sweep reported complete", v)
+		}
+		if calls != 1 {
+			t.Errorf("%T: early stop visited %d neighbors", v, calls)
+		}
+	}
+}
+
+func TestNewViewSelectsBackend(t *testing.T) {
+	f := bitstr.Ones(2)
+	if _, ok := NewView(8, f, 20).(*Cube); !ok {
+		t.Fatal("NewView(8) did not pick the explicit backend")
+	}
+	if _, ok := NewView(40, f, 20).(*Implicit); !ok {
+		t.Fatal("NewView(40) did not pick the implicit backend")
+	}
+	// A nonsensical build cap clamps to MaxBuildDim rather than building
+	// an impossible explicit cube.
+	if _, ok := NewView(40, f, 100).(*Implicit); !ok {
+		t.Fatal("NewView with oversized cap did not clamp")
+	}
+}
+
+func TestNewImplicitPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"empty factor", func() { NewImplicit(4, bitstr.Word{}) }},
+		{"dimension too large", func() { NewImplicit(bitstr.MaxLen+1, bitstr.Ones(2)) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}

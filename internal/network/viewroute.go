@@ -1,0 +1,67 @@
+package network
+
+import (
+	"fmt"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+)
+
+// Hop is one step of a rank-addressed route trace: the vertex word and its
+// index in the cube's increasing vertex enumeration — the node address in
+// Hsu's Zeckendorf addressing, generalized to any forbidden factor.
+type Hop struct {
+	Rank int64
+	Word bitstr.Word
+}
+
+// ViewRouter runs the distributed word-level router over any cube backend
+// (core.CubeView) and reports rank-addressed traces. Endpoints may be
+// given as words or as ranks; every hop decision remains a local factor
+// test and every address translation an O(d) table walk, so on the
+// implicit backend a route query on Q_62(11) — about 10^13 nodes — costs
+// a handful of table lookups and never touches a global structure.
+type ViewRouter struct {
+	view core.CubeView
+	wr   *WordRouter
+}
+
+// NewViewRouter builds a rank-addressed router over the backend v.
+func NewViewRouter(v core.CubeView) *ViewRouter {
+	return &ViewRouter{view: v, wr: NewWordRouter(v.Factor())}
+}
+
+// View returns the backend the router translates addresses against.
+func (r *ViewRouter) View() core.CubeView { return r.view }
+
+// RouteWords walks from src to dst (vertex words of dimension d) and
+// returns the rank-addressed trace including both endpoints. ok is false
+// when an endpoint is not a vertex, the router got stuck, or maxHops
+// (0 = 4·d) was exceeded; the trace still holds the prefix walked.
+func (r *ViewRouter) RouteWords(src, dst bitstr.Word, maxHops int) ([]Hop, bool) {
+	if !r.view.Contains(src) || !r.view.Contains(dst) {
+		return nil, false
+	}
+	path, ok := r.wr.Route(src, dst, maxHops)
+	hops := make([]Hop, len(path))
+	for i, w := range path {
+		rank, _ := r.view.RankWord(w)
+		hops[i] = Hop{Rank: rank, Word: w}
+	}
+	return hops, ok
+}
+
+// RouteRanks is RouteWords with the endpoints given as ranks in
+// [0, Order()). The error reports an out-of-range endpoint.
+func (r *ViewRouter) RouteRanks(src, dst int64, maxHops int) ([]Hop, bool, error) {
+	sw, ok := r.view.UnrankWord(src)
+	if !ok {
+		return nil, false, fmt.Errorf("network: src rank %d out of range [0, %d)", src, r.view.Order())
+	}
+	dw, ok := r.view.UnrankWord(dst)
+	if !ok {
+		return nil, false, fmt.Errorf("network: dst rank %d out of range [0, %d)", dst, r.view.Order())
+	}
+	hops, ok := r.RouteWords(sw, dw, maxHops)
+	return hops, ok, nil
+}

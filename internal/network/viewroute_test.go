@@ -1,0 +1,107 @@
+package network
+
+import (
+	"testing"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+)
+
+// TestViewRouterBackendsAgree routes every vertex pair of Q_10(11) on the
+// explicit and implicit backends: traces must be identical hop for hop.
+func TestViewRouterBackendsAgree(t *testing.T) {
+	f := bitstr.Ones(2)
+	ex := core.New(10, f)
+	im := core.NewImplicit(10, f)
+	exr := NewViewRouter(ex)
+	imr := NewViewRouter(im)
+	n := ex.Order()
+	for si := int64(0); si < n; si += 7 {
+		for di := int64(0); di < n; di += 11 {
+			eh, eok, err := exr.RouteRanks(si, di, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ih, iok, err := imr.RouteRanks(si, di, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eok != iok || len(eh) != len(ih) {
+				t.Fatalf("route %d->%d: %d hops/%v vs %d hops/%v", si, di, len(eh), eok, len(ih), iok)
+			}
+			for k := range eh {
+				if eh[k] != ih[k] {
+					t.Fatalf("route %d->%d hop %d: %+v vs %+v", si, di, k, eh[k], ih[k])
+				}
+			}
+			if eok && eh[0].Rank != si {
+				t.Fatalf("route %d->%d starts at rank %d", si, di, eh[0].Rank)
+			}
+			if eok && eh[len(eh)-1].Rank != di {
+				t.Fatalf("route %d->%d ends at rank %d", si, di, eh[len(eh)-1].Rank)
+			}
+		}
+	}
+}
+
+// TestViewRouterQ62 routes on the full-width Fibonacci cube — ~10^13
+// nodes, impossible to construct — and checks distance-optimality (Γ_d is
+// isometric) plus the rank consistency of every hop.
+func TestViewRouterQ62(t *testing.T) {
+	im := core.NewImplicit(62, bitstr.Ones(2))
+	r := NewViewRouter(im)
+	if r.View() != core.CubeView(im) {
+		t.Fatal("View() does not return the backend")
+	}
+	total := im.Order()
+	pairs := [][2]int64{
+		{0, total - 1},
+		{total / 7, 5 * total / 7},
+		{1, total / 3},
+	}
+	for _, p := range pairs {
+		hops, ok, err := r.RouteRanks(p[0], p[1], 0)
+		if err != nil || !ok {
+			t.Fatalf("route %d->%d failed: ok=%v err=%v", p[0], p[1], ok, err)
+		}
+		src, dst := hops[0].Word, hops[len(hops)-1].Word
+		if got, want := len(hops)-1, src.HammingDistance(dst); got != want {
+			t.Fatalf("route %d->%d: %d hops, Hamming distance %d", p[0], p[1], got, want)
+		}
+		for k, h := range hops {
+			if w, ok := im.UnrankWord(h.Rank); !ok || w != h.Word {
+				t.Fatalf("hop %d: rank %d does not address word %s", k, h.Rank, h.Word)
+			}
+			if k > 0 && hops[k-1].Word.HammingDistance(h.Word) != 1 {
+				t.Fatalf("hop %d is not an edge", k)
+			}
+		}
+	}
+}
+
+func TestViewRouterErrors(t *testing.T) {
+	im := core.NewImplicit(8, bitstr.Ones(2))
+	r := NewViewRouter(im)
+	if got := NewWordRouter(bitstr.Ones(2)).Factor(); got != bitstr.Ones(2) {
+		t.Errorf("WordRouter.Factor() = %s", got)
+	}
+	if _, _, err := r.RouteRanks(-1, 0, 0); err == nil {
+		t.Error("negative src rank accepted")
+	}
+	if _, _, err := r.RouteRanks(0, im.Order(), 0); err == nil {
+		t.Error("out-of-range dst rank accepted")
+	}
+	// Non-vertex word endpoints are rejected without a trace.
+	bad := bitstr.MustParse("11000000")
+	good := bitstr.MustParse("00000000")
+	if hops, ok := r.RouteWords(bad, good, 0); ok || hops != nil {
+		t.Error("factor-containing src accepted")
+	}
+	if hops, ok := r.RouteWords(good, bad, 0); ok || hops != nil {
+		t.Error("factor-containing dst accepted")
+	}
+	// Wrong-length endpoints too.
+	if _, ok := r.RouteWords(bitstr.MustParse("0"), good, 0); ok {
+		t.Error("wrong-length src accepted")
+	}
+}

@@ -80,7 +80,11 @@ func parseWordParam(r *http.Request, name string, d int) (bitstr.Word, error) {
 func elapsedSince(t time.Time) string { return time.Since(t).Round(time.Microsecond).String() }
 
 // handleCount serves exact |V|, |E|, |S| of Q_d(f) via the transfer-matrix
-// DP — no cube construction, so d may be large.
+// DP — no cube construction, so d may be large (far beyond MaxBuildDim).
+// Up to d = bitstr.MaxLen the cached implicit backend independently
+// recomputes |V| on its uint64 tables; a disagreement between the two
+// pipelines is a server error, so every served count in that range is
+// double-checked.
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) error {
 	start := time.Now()
 	f, err := s.parseFactor(r)
@@ -97,10 +101,22 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) error {
 		if err != nil {
 			return nil, err
 		}
-		return CountResponse{
+		resp := CountResponse{
 			Factor: f.s, D: d,
 			V: bc.V.String(), E: bc.E.String(), S: bc.S.String(),
-		}, nil
+			Backend: "dp",
+		}
+		if d <= bitstr.MaxLen {
+			view, err := s.implicitView(ctx, f, d)
+			if err != nil {
+				return nil, err
+			}
+			if got := strconv.FormatInt(view.Order(), 10); got != resp.V {
+				return nil, fmt.Errorf("count mismatch for Q_%d(%s): implicit |V| = %s, DP |V| = %s", d, f.s, got, resp.V)
+			}
+			resp.Backend = "implicit+dp"
+		}
+		return resp, nil
 	})
 	if err != nil {
 		return err
@@ -265,8 +281,10 @@ func (s *Server) handleFDim(w http.ResponseWriter, r *http.Request) error {
 }
 
 // handleRoute serves a single routed walk between two vertex words. The
-// "word" router needs no cube construction and works for any dimension up
-// to 64; the cube-backed routers (greedy, oracle, deroute) build Q_d(f).
+// "word" router runs on the implicit DFA-rank backend — no cube
+// construction, any dimension up to bitstr.MaxLen = 62, per-hop ranks in
+// the trace; the cube-backed routers (greedy, oracle, deroute) build
+// Q_d(f) and stay bounded by MaxBuildDim.
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
 	start := time.Now()
 	f, err := s.parseFactor(r)
@@ -280,7 +298,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
 	maxBuild := s.cfg.MaxBuildDim
 	maxD := maxBuild
 	if router == "word" {
-		maxD = 64
+		maxD = bitstr.MaxLen
 	}
 	d, err := parseIntParam(r, "d", -1, 1, maxD)
 	if err != nil {
@@ -302,18 +320,24 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
 		resp := RouteResponse{
 			Factor: f.s, D: d,
 			Src: src.String(), Dst: dst.String(), Router: router,
+			Backend: "explicit",
 		}
 		if router == "word" {
-			wr := network.NewWordRouter(f.w)
-			path, ok := wr.Route(src, dst, 0)
+			view, err := s.implicitView(ctx, f, d)
+			if err != nil {
+				return nil, err
+			}
+			hops, ok := network.NewViewRouter(view).RouteWords(src, dst, 0)
+			resp.Backend = "implicit"
 			resp.Delivered = ok
 			if ok {
-				resp.Hops = len(path) - 1
+				resp.Hops = len(hops) - 1
 				if h := src.HammingDistance(dst); h > 0 {
 					resp.Stretch = float64(resp.Hops) / float64(h)
 				}
-				for _, p := range path {
-					resp.Path = append(resp.Path, p.String())
+				for _, hp := range hops {
+					resp.Path = append(resp.Path, hp.Word.String())
+					resp.Ranks = append(resp.Ranks, formatRank(hp.Rank))
 				}
 			}
 			return resp, nil

@@ -37,7 +37,9 @@ type Config struct {
 	// kept in memory across requests (default 32 per shard, 4 shards).
 	CubeCacheCapacity int
 	// MaxBuildDim caps d for endpoints that construct Q_d(f) explicitly
-	// (default 20; hard limit 30 from the core package).
+	// (default 20; hard limit core.MaxBuildDim = 30). Addressing and word
+	// routing are not bound by it: they run on the implicit DFA-rank
+	// backend up to d = bitstr.MaxLen = 62.
 	MaxBuildDim int
 	// MaxCountDim caps d for the counting DP (default 100000).
 	MaxCountDim int
@@ -67,8 +69,8 @@ func (c Config) withDefaults() Config {
 	if c.MaxBuildDim <= 0 {
 		c.MaxBuildDim = 20
 	}
-	if c.MaxBuildDim > 30 {
-		c.MaxBuildDim = 30
+	if c.MaxBuildDim > core.MaxBuildDim {
+		c.MaxBuildDim = core.MaxBuildDim
 	}
 	if c.MaxCountDim <= 0 {
 		c.MaxCountDim = 100000
@@ -117,6 +119,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /v1/count", s.instrument(s.handleCount))
+	mux.HandleFunc("GET /v1/rank", s.instrument(s.handleRank))
+	mux.HandleFunc("GET /v1/unrank", s.instrument(s.handleUnrank))
+	mux.HandleFunc("GET /v1/neighbors", s.instrument(s.handleNeighbors))
 	mux.HandleFunc("GET /v1/classify", s.instrument(s.handleClassify))
 	mux.HandleFunc("GET /v1/isometric", s.instrument(s.handleIsometric))
 	mux.HandleFunc("GET /v1/fdim", s.instrument(s.handleFDim))
@@ -128,6 +133,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweep/survey", s.instrument(s.handleSweepSurvey))
 	mux.HandleFunc("GET /v1/sweep/count", s.instrument(s.handleSweepCount))
 	mux.HandleFunc("GET /v1/sweep/fdim", s.instrument(s.handleSweepFDim))
+	mux.HandleFunc("GET /v1/sweep/degrees", s.instrument(s.handleSweepDegrees))
 	return mux
 }
 
@@ -183,6 +189,27 @@ func (s *Server) cube(ctx context.Context, f factorParam, d int) (*core.Cube, er
 		return nil, err
 	}
 	return v.(*core.Cube), nil
+}
+
+// implicitView returns the implicit DFA-rank backend for Q_d(f), building
+// its O(|f|·d) ranker tables at most once per (f, d) across concurrent
+// requests. The addressing endpoints (/v1/rank, /v1/unrank,
+// /v1/neighbors) and word routing always use it — the tables are far
+// cheaper than any explicit construction, the answers agree exactly with
+// the explicit cube, and d may exceed MaxBuildDim all the way to
+// bitstr.MaxLen. The tables share the LRU that caches constructed cubes.
+func (s *Server) implicitView(ctx context.Context, f factorParam, d int) (*core.Implicit, error) {
+	key := fmt.Sprintf("impl|%s|%d", f.s, d)
+	v, _, err := s.cubes.Do(ctx, key, func(ctx context.Context) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return core.NewImplicit(d, f.w), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Implicit), nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

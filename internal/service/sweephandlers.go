@@ -273,6 +273,55 @@ func (s *Server) handleSweepCount(w http.ResponseWriter, r *http.Request) error 
 	return nil
 }
 
+// handleSweepDegrees serves order and degree profiles — |V|, min/max
+// degree and the full degree distribution — for every (class, d) cell.
+// The cells run on the implicit DFA-rank backend: no graph is ever built,
+// so the grid is bounded by enumeration cost rather than by MaxBuildDim.
+func (s *Server) handleSweepDegrees(w http.ResponseWriter, r *http.Request) error {
+	start := time.Now()
+	spec, err := s.parseSweepGrid(r, 8, 16)
+	if err != nil {
+		return err
+	}
+	workers, err := parseWorkers(r)
+	if err != nil {
+		return err
+	}
+	key := fmt.Sprintf("sweep/degrees|%d|%d|%d|%d", spec.MinLen, spec.MaxLen, spec.MinD, spec.MaxD)
+	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
+		cells, err := sweep.DegreeGrid(ctx, spec, sweep.Options{Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		resp := SweepDegreesResponse{
+			MinLen: spec.MinLen, MaxLen: spec.MaxLen,
+			MinD: spec.MinD, MaxD: spec.MaxD,
+			Cells: make([]SweepDegreeCell, 0, len(cells)),
+		}
+		for _, c := range cells {
+			resp.Cells = append(resp.Cells, SweepDegreeCell{
+				Factor:    c.Class.Rep.String(),
+				ClassSize: c.Class.Size,
+				D:         c.D,
+				Order:     formatRank(c.Order),
+				MinDeg:    c.MinDeg,
+				MaxDeg:    c.MaxDeg,
+				Dist:      c.Dist,
+			})
+		}
+		return resp, nil
+	})
+	if err != nil {
+		return err
+	}
+	resp := v.(SweepDegreesResponse)
+	resp.Workers = workers
+	resp.Cached = cached
+	resp.Elapsed = elapsedSince(start)
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
 // handleSweepFDim serves the f-dimension of one guest graph under every
 // factor class up to maxlen (Section 7 batched over factors).
 func (s *Server) handleSweepFDim(w http.ResponseWriter, r *http.Request) error {

@@ -11,13 +11,63 @@ type ErrorResponse struct {
 
 // CountResponse reports exact vertex/edge/square counts of Q_d(f).
 type CountResponse struct {
-	Factor  string `json:"factor"`
-	D       int    `json:"d"`
-	V       string `json:"v"`
-	E       string `json:"e"`
-	S       string `json:"s"`
+	Factor string `json:"factor"`
+	D      int    `json:"d"`
+	V      string `json:"v"`
+	E      string `json:"e"`
+	S      string `json:"s"`
+	// Backend is "implicit+dp" when d fits the implicit DFA-rank backend
+	// (d <= 62), whose uint64 tables independently confirm |V|; "dp" when
+	// only the arbitrary-dimension big-int DP applies.
+	Backend string `json:"backend"`
 	Cached  bool   `json:"cached"`
 	Elapsed string `json:"elapsed"`
+}
+
+// RankResponse reports the DFA-rank address of one vertex word. Ranks and
+// orders are decimal strings: they reach 2^62, beyond exact float64 JSON
+// integers.
+type RankResponse struct {
+	Factor  string `json:"factor"`
+	D       int    `json:"d"`
+	Word    string `json:"word"`
+	Rank    string `json:"rank"`
+	Order   string `json:"order"`
+	Backend string `json:"backend"`
+	Cached  bool   `json:"cached"`
+	Elapsed string `json:"elapsed"`
+}
+
+// UnrankResponse reports the vertex word at one rank.
+type UnrankResponse struct {
+	Factor  string `json:"factor"`
+	D       int    `json:"d"`
+	Rank    string `json:"rank"`
+	Word    string `json:"word"`
+	Order   string `json:"order"`
+	Backend string `json:"backend"`
+	Cached  bool   `json:"cached"`
+	Elapsed string `json:"elapsed"`
+}
+
+// Neighbor is one adjacent vertex, rank-addressed.
+type Neighbor struct {
+	Rank string `json:"rank"`
+	Word string `json:"word"`
+}
+
+// NeighborsResponse reports the adjacency list of one vertex in
+// flip-position order.
+type NeighborsResponse struct {
+	Factor    string     `json:"factor"`
+	D         int        `json:"d"`
+	Word      string     `json:"word"`
+	Degree    int        `json:"degree"`
+	Neighbors []Neighbor `json:"neighbors"`
+	Order     string     `json:"order"`
+	Backend   string     `json:"backend"`
+	Cached    bool       `json:"cached"`
+	Elapsed   string     `json:"elapsed"`
 }
 
 // ClassifyResponse reports the paper's embeddability classification of
@@ -67,17 +117,22 @@ type FDimResponse struct {
 	Elapsed string `json:"elapsed"`
 }
 
-// RouteResponse reports one routed path between two vertex words.
+// RouteResponse reports one routed path between two vertex words. For the
+// word router Path and Ranks are parallel: Ranks[i] is the DFA-rank
+// address of Path[i] (decimal string), and Backend reports "implicit" —
+// the route is computed without any cube construction at any d <= 62.
 type RouteResponse struct {
 	Factor    string   `json:"factor"`
 	D         int      `json:"d"`
 	Src       string   `json:"src"`
 	Dst       string   `json:"dst"`
 	Router    string   `json:"router"`
+	Backend   string   `json:"backend"`
 	Delivered bool     `json:"delivered"`
 	Hops      int      `json:"hops"`
 	Stretch   float64  `json:"stretch,omitempty"`
 	Path      []string `json:"path,omitempty"`
+	Ranks     []string `json:"ranks,omitempty"`
 	Cached    bool     `json:"cached"`
 	Elapsed   string   `json:"elapsed"`
 }
@@ -218,6 +273,31 @@ type SweepFDimResponse struct {
 	Rows    []SweepFDimRow `json:"rows"`
 	Cached  bool           `json:"cached"`
 	Elapsed string         `json:"elapsed"`
+}
+
+// SweepDegreeCell is the order and degree profile of one (class, d) cell,
+// computed on the implicit backend (no graph construction).
+type SweepDegreeCell struct {
+	Factor    string  `json:"factor"`
+	ClassSize int     `json:"classSize"`
+	D         int     `json:"d"`
+	Order     string  `json:"order"`
+	MinDeg    int     `json:"minDeg"`
+	MaxDeg    int     `json:"maxDeg"`
+	Dist      []int64 `json:"dist"` // index = degree
+}
+
+// SweepDegreesResponse reports a degree-profile grid in deterministic
+// order: classes shortest-first then by value, d ascending.
+type SweepDegreesResponse struct {
+	MinLen  int               `json:"minLen"`
+	MaxLen  int               `json:"maxLen"`
+	MinD    int               `json:"minD"`
+	MaxD    int               `json:"maxD"`
+	Workers int               `json:"workers"`
+	Cells   []SweepDegreeCell `json:"cells"`
+	Cached  bool              `json:"cached"`
+	Elapsed string            `json:"elapsed"`
 }
 
 // StatsResponse is the /stats ("metrics") payload.

@@ -1,0 +1,163 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gfcube/internal/bitstr"
+)
+
+// Addressing endpoints: DFA-rank queries served by the implicit backend
+// (core.Implicit) for any dimension up to bitstr.MaxLen = 62, regardless
+// of MaxBuildDim — no cube is ever constructed, only the O(|f|·d) ranker
+// tables, which the cube LRU caches per (f, d). Ranks are decimal strings
+// in the JSON: they reach 2^62, beyond the exact-integer range of JSON
+// consumers that read numbers as float64.
+
+// parseRankParam parses a nonnegative int64 query parameter (a vertex
+// rank).
+func parseRankParam(r *http.Request, name string) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, badRequest("missing required parameter %s (a vertex rank)", name)
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || v < 0 {
+		return 0, badRequest("invalid %s=%q: want a nonnegative integer rank", name, raw)
+	}
+	return v, nil
+}
+
+func formatRank(r int64) string { return strconv.FormatInt(r, 10) }
+
+// handleRank serves the index of a vertex word in the increasing
+// enumeration of V(Q_d(f)) — the generalized Zeckendorf address.
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) error {
+	start := time.Now()
+	f, err := s.parseFactor(r)
+	if err != nil {
+		return err
+	}
+	d, err := parseIntParam(r, "d", -1, 1, bitstr.MaxLen)
+	if err != nil {
+		return err
+	}
+	word, err := parseWordParam(r, "w", d)
+	if err != nil {
+		return err
+	}
+	key := fmt.Sprintf("rank|%s|%d|%s", f.s, d, word)
+	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
+		view, err := s.implicitView(ctx, f, d)
+		if err != nil {
+			return nil, err
+		}
+		rank, ok := view.RankWord(word)
+		if !ok {
+			return nil, badRequest("w=%s is not a vertex of Q_%d(%s): it contains the factor", word, d, f.s)
+		}
+		return RankResponse{
+			Factor: f.s, D: d, Word: word.String(),
+			Rank: formatRank(rank), Order: formatRank(view.Order()),
+			Backend: "implicit",
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	resp := v.(RankResponse)
+	resp.Cached = cached
+	resp.Elapsed = elapsedSince(start)
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// handleUnrank serves the vertex word with a given rank.
+func (s *Server) handleUnrank(w http.ResponseWriter, r *http.Request) error {
+	start := time.Now()
+	f, err := s.parseFactor(r)
+	if err != nil {
+		return err
+	}
+	d, err := parseIntParam(r, "d", -1, 1, bitstr.MaxLen)
+	if err != nil {
+		return err
+	}
+	rank, err := parseRankParam(r, "r")
+	if err != nil {
+		return err
+	}
+	key := fmt.Sprintf("unrank|%s|%d|%d", f.s, d, rank)
+	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
+		view, err := s.implicitView(ctx, f, d)
+		if err != nil {
+			return nil, err
+		}
+		word, ok := view.UnrankWord(rank)
+		if !ok {
+			return nil, badRequest("r=%d out of range [0, %d)", rank, view.Order())
+		}
+		return UnrankResponse{
+			Factor: f.s, D: d, Rank: formatRank(rank),
+			Word: word.String(), Order: formatRank(view.Order()),
+			Backend: "implicit",
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	resp := v.(UnrankResponse)
+	resp.Cached = cached
+	resp.Elapsed = elapsedSince(start)
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// handleNeighbors serves the adjacency list of one vertex: every f-free
+// single-bit flip with its rank, in flip-position order.
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) error {
+	start := time.Now()
+	f, err := s.parseFactor(r)
+	if err != nil {
+		return err
+	}
+	d, err := parseIntParam(r, "d", -1, 1, bitstr.MaxLen)
+	if err != nil {
+		return err
+	}
+	word, err := parseWordParam(r, "w", d)
+	if err != nil {
+		return err
+	}
+	key := fmt.Sprintf("neighbors|%s|%d|%s", f.s, d, word)
+	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
+		view, err := s.implicitView(ctx, f, d)
+		if err != nil {
+			return nil, err
+		}
+		if !view.Contains(word) {
+			return nil, badRequest("w=%s is not a vertex of Q_%d(%s): it contains the factor", word, d, f.s)
+		}
+		resp := NeighborsResponse{
+			Factor: f.s, D: d, Word: word.String(),
+			Order: formatRank(view.Order()), Backend: "implicit",
+		}
+		view.NeighborsOf(word, func(rank int64, u bitstr.Word) bool {
+			resp.Neighbors = append(resp.Neighbors, Neighbor{Rank: formatRank(rank), Word: u.String()})
+			return true
+		})
+		resp.Degree = len(resp.Neighbors)
+		return resp, nil
+	})
+	if err != nil {
+		return err
+	}
+	resp := v.(NeighborsResponse)
+	resp.Cached = cached
+	resp.Elapsed = elapsedSince(start)
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}

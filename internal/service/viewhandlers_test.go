@@ -1,0 +1,200 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+)
+
+func TestRankUnrankEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Small instance, cross-checked against the explicit cube.
+	c := core.New(8, bitstr.MustParse("11"))
+	for i := int64(0); i < c.Order(); i += 5 {
+		w, _ := c.UnrankWord(i)
+		var rr RankResponse
+		url := fmt.Sprintf("%s/v1/rank?f=11&d=8&w=%s", ts.URL, w)
+		if code := getJSON(t, url, &rr); code != http.StatusOK {
+			t.Fatalf("%s: status %d", url, code)
+		}
+		if rr.Rank != fmt.Sprint(i) || rr.Backend != "implicit" {
+			t.Fatalf("rank(%s) = %s backend %s, want %d/implicit", w, rr.Rank, rr.Backend, i)
+		}
+		var ur UnrankResponse
+		url = fmt.Sprintf("%s/v1/unrank?f=11&d=8&r=%d", ts.URL, i)
+		if code := getJSON(t, url, &ur); code != http.StatusOK {
+			t.Fatalf("%s: status %d", url, code)
+		}
+		if ur.Word != w.String() {
+			t.Fatalf("unrank(%d) = %s, want %s", i, ur.Word, w)
+		}
+	}
+}
+
+func TestRankEndpointFullWidth(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// d = 62 — ~10^13 vertices, no construction possible. Round-trip a
+	// known address through both endpoints.
+	var ur UnrankResponse
+	url := ts.URL + "/v1/unrank?f=11&d=62&r=5303104928861"
+	if code := getJSON(t, url, &ur); code != http.StatusOK {
+		t.Fatalf("%s: status %d", url, code)
+	}
+	if ur.Order != "10610209857723" {
+		t.Fatalf("order = %s, want F_64 = 10610209857723", ur.Order)
+	}
+	var rr RankResponse
+	url = fmt.Sprintf("%s/v1/rank?f=11&d=62&w=%s", ts.URL, ur.Word)
+	if code := getJSON(t, url, &rr); code != http.StatusOK {
+		t.Fatalf("%s: status %d", url, code)
+	}
+	if rr.Rank != "5303104928861" {
+		t.Fatalf("rank round-trip = %s, want 5303104928861", rr.Rank)
+	}
+}
+
+func TestNeighborsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var nr NeighborsResponse
+	url := ts.URL + "/v1/neighbors?f=11&d=6&w=010010"
+	if code := getJSON(t, url, &nr); code != http.StatusOK {
+		t.Fatalf("%s: status %d", url, code)
+	}
+	c := core.New(6, bitstr.MustParse("11"))
+	wantDeg, _ := c.DegreeOf(bitstr.MustParse("010010"))
+	if nr.Degree != wantDeg || len(nr.Neighbors) != wantDeg {
+		t.Fatalf("degree = %d (%d neighbors), want %d", nr.Degree, len(nr.Neighbors), wantDeg)
+	}
+	// Every reported neighbor must match the explicit cube's ranks.
+	for _, n := range nr.Neighbors {
+		w := bitstr.MustParse(n.Word)
+		rank, ok := c.RankWord(w)
+		if !ok || fmt.Sprint(rank) != n.Rank {
+			t.Fatalf("neighbor %s has rank %s, explicit %d/%v", n.Word, n.Rank, rank, ok)
+		}
+	}
+	// Full-width neighbors work too.
+	url = ts.URL + "/v1/neighbors?f=11&d=62&w=" + "01" + "0101010101010101010101010101010101010101010101010101010101" + "01"
+	var big NeighborsResponse
+	if code := getJSON(t, url, &big); code != http.StatusOK {
+		t.Fatalf("%s: status %d", url, code)
+	}
+	if big.Degree != len(big.Neighbors) || big.Degree == 0 {
+		t.Fatalf("full-width degree = %d with %d neighbors", big.Degree, len(big.Neighbors))
+	}
+}
+
+func TestAddressingEndpointErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, url := range []string{
+		"/v1/rank?f=11&d=8&w=11000000",    // contains factor
+		"/v1/rank?f=11&d=8&w=000",         // wrong length
+		"/v1/rank?f=11&d=8",               // missing w
+		"/v1/rank?f=11&d=63&w=0",          // d beyond MaxLen
+		"/v1/unrank?f=11&d=8&r=-1",        // negative rank
+		"/v1/unrank?f=11&d=8&r=55",        // out of range (F_10 = 55)
+		"/v1/unrank?f=11&d=8&r=x",         // not a number
+		"/v1/unrank?f=11&d=8",             // missing r
+		"/v1/neighbors?f=11&d=6&w=110000", // not a vertex
+		"/v1/neighbors?f=&d=6&w=000000",   // missing factor
+	} {
+		if code := getJSON(t, ts.URL+url, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, code)
+		}
+	}
+}
+
+func TestRouteEndpointImplicit(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Beyond MaxBuildDim (default 20): the word router serves d = 62 with
+	// per-hop ranks and no construction.
+	src := "00" + "0000000000000000000000000000000000000000000000000000000000" + "00"
+	dst := "10" + "1010101010101010101010101010101010101010101010101010101010" + "10"
+	var rr RouteResponse
+	url := fmt.Sprintf("%s/v1/route?f=11&d=62&src=%s&dst=%s&router=word", ts.URL, src, dst)
+	if code := getJSON(t, url, &rr); code != http.StatusOK {
+		t.Fatalf("%s: status %d", url, code)
+	}
+	if !rr.Delivered || rr.Backend != "implicit" {
+		t.Fatalf("delivered=%v backend=%s, want true/implicit", rr.Delivered, rr.Backend)
+	}
+	if rr.Hops != 31 { // Hamming distance of the endpoints
+		t.Fatalf("hops = %d, want 31", rr.Hops)
+	}
+	if len(rr.Path) != len(rr.Ranks) || len(rr.Path) != rr.Hops+1 {
+		t.Fatalf("path/ranks lengths %d/%d, want %d", len(rr.Path), len(rr.Ranks), rr.Hops+1)
+	}
+	if rr.Ranks[0] != "0" {
+		t.Fatalf("src rank = %s, want 0", rr.Ranks[0])
+	}
+	// Small-d word routes also report ranks that the explicit cube
+	// confirms.
+	var small RouteResponse
+	url = ts.URL + "/v1/route?f=11&d=8&src=00000000&dst=10101010&router=word"
+	if code := getJSON(t, url, &small); code != http.StatusOK {
+		t.Fatalf("%s: status %d", url, code)
+	}
+	c := core.New(8, bitstr.MustParse("11"))
+	for i, ws := range small.Path {
+		rank, ok := c.RankWord(bitstr.MustParse(ws))
+		if !ok || fmt.Sprint(rank) != small.Ranks[i] {
+			t.Fatalf("hop %d: rank %s, explicit %d/%v", i, small.Ranks[i], rank, ok)
+		}
+	}
+	// The cube-backed routers stay bounded by MaxBuildDim.
+	if code := getJSON(t, ts.URL+"/v1/route?f=11&d=25&src=0&dst=0&router=greedy", nil); code != http.StatusBadRequest {
+		t.Errorf("greedy router accepted d beyond MaxBuildDim: %d", code)
+	}
+	// And the word router rejects d beyond bitstr.MaxLen.
+	if code := getJSON(t, ts.URL+"/v1/route?f=11&d=63&src=0&dst=0&router=word", nil); code != http.StatusBadRequest {
+		t.Errorf("word router accepted d=63: %d", code)
+	}
+}
+
+func TestCountBackendField(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var small CountResponse
+	getJSON(t, ts.URL+"/v1/count?f=11&d=40", &small)
+	if small.Backend != "implicit+dp" {
+		t.Fatalf("count d=40 backend = %q, want implicit+dp", small.Backend)
+	}
+	if small.V != "267914296" { // F_42
+		t.Fatalf("count d=40 V = %s, want 267914296", small.V)
+	}
+	var large CountResponse
+	getJSON(t, ts.URL+"/v1/count?f=11&d=100", &large)
+	if large.Backend != "dp" {
+		t.Fatalf("count d=100 backend = %q, want dp", large.Backend)
+	}
+}
+
+func TestSweepDegreesEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var resp SweepDegreesResponse
+	url := ts.URL + "/v1/sweep/degrees?maxlen=2&maxd=6&workers=2"
+	if code := getJSON(t, url, &resp); code != http.StatusOK {
+		t.Fatalf("%s: status %d", url, code)
+	}
+	if want := len(core.Classes(1, 2)) * 6; len(resp.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(resp.Cells), want)
+	}
+	s := core.NewScratch()
+	for _, cell := range resp.Cells {
+		c := s.Cube(cell.D, bitstr.MustParse(cell.Factor))
+		if cell.Order != fmt.Sprint(c.Order()) {
+			t.Fatalf("f=%s d=%d: order %s, explicit %d", cell.Factor, cell.D, cell.Order, c.Order())
+		}
+		mn, mx := c.DegreeStats()
+		if cell.MinDeg != mn || cell.MaxDeg != mx {
+			t.Fatalf("f=%s d=%d: degrees [%d,%d], explicit [%d,%d]",
+				cell.Factor, cell.D, cell.MinDeg, cell.MaxDeg, mn, mx)
+		}
+	}
+	// Bad grid bounds surface as 400s.
+	if code := getJSON(t, ts.URL+"/v1/sweep/degrees?maxlen=9", nil); code != http.StatusBadRequest {
+		t.Errorf("oversized maxlen accepted: %d", code)
+	}
+}

@@ -1,0 +1,55 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+
+	"gfcube/internal/core"
+)
+
+// TestDegreeGridMatchesExplicit cross-checks the graph-free degree cells
+// against the explicit cube's degree machinery on the full length <= 3
+// grid.
+func TestDegreeGridMatchesExplicit(t *testing.T) {
+	spec := GridSpec{MaxLen: 3, MinD: 1, MaxD: 8}
+	cells, err := DegreeGrid(context.Background(), spec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(core.Classes(1, 3)) * 8; len(cells) != want {
+		t.Fatalf("cells: %d, want %d", len(cells), want)
+	}
+	s := core.NewScratch()
+	for _, cell := range cells {
+		c := s.Cube(cell.D, cell.Class.Rep)
+		if cell.Order != c.Order() {
+			t.Fatalf("f=%s d=%d: order %d, explicit %d", cell.Class.Rep, cell.D, cell.Order, c.Order())
+		}
+		wantMin, wantMax := c.DegreeStats()
+		if cell.MinDeg != wantMin || cell.MaxDeg != wantMax {
+			t.Fatalf("f=%s d=%d: degrees [%d,%d], explicit [%d,%d]",
+				cell.Class.Rep, cell.D, cell.MinDeg, cell.MaxDeg, wantMin, wantMax)
+		}
+		dist := c.DegreeDistribution()
+		for k := range dist {
+			if int64(dist[k]) != cell.Dist[k] {
+				t.Fatalf("f=%s d=%d: degree %d count %d, explicit %d",
+					cell.Class.Rep, cell.D, k, cell.Dist[k], dist[k])
+			}
+		}
+	}
+}
+
+func TestDegreeGridBadSpec(t *testing.T) {
+	if _, err := DegreeGrid(context.Background(), GridSpec{MaxLen: 0}, Options{}); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestDegreeGridCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DegreeGrid(ctx, GridSpec{MaxLen: 4, MinD: 1, MaxD: 10}, Options{}); err == nil {
+		t.Error("cancelled grid returned no error")
+	}
+}

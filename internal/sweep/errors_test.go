@@ -3,6 +3,7 @@ package sweep
 import (
 	"context"
 	"errors"
+	"runtime"
 	"testing"
 
 	"gfcube/internal/core"
@@ -64,11 +65,19 @@ func TestCellTasksNormalizesMinD(t *testing.T) {
 	}
 }
 
-// The Stream buffer option is honored and a default is applied.
+// Unset (or negative) Workers must default to runtime.GOMAXPROCS(0) —
+// "use the machine" — with Buffer following Workers; explicit settings
+// win.
 func TestOptionsDefaults(t *testing.T) {
 	o := Options{}.withDefaults()
-	if o.Workers < 1 || o.Buffer < 1 {
-		t.Fatalf("defaults not applied: %+v", o)
+	if want := runtime.GOMAXPROCS(0); o.Workers != want {
+		t.Fatalf("default Workers = %d, want GOMAXPROCS = %d", o.Workers, want)
+	}
+	if o.Buffer != o.Workers {
+		t.Fatalf("default Buffer = %d, want Workers = %d", o.Buffer, o.Workers)
+	}
+	if o := (Options{Workers: -3}).withDefaults(); o.Workers != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative Workers defaulted to %d, want GOMAXPROCS", o.Workers)
 	}
 	o = Options{Workers: 3, Buffer: 9}.withDefaults()
 	if o.Workers != 3 || o.Buffer != 9 {

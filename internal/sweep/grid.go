@@ -137,6 +137,55 @@ func CountGrid(ctx context.Context, minLen, maxLen, maxD int, opts Options) ([]C
 	}, opts)
 }
 
+// DegreeCell is the order and degree profile of one (class, d) grid cell.
+type DegreeCell struct {
+	Class core.Class
+	D     int
+	Order int64
+	// MinDeg and MaxDeg are the extreme vertex degrees (0 when the cube
+	// has a single isolated vertex).
+	MinDeg, MaxDeg int
+	// Dist[k] is the number of vertices of degree k, k = 0..d — the
+	// observability profile of the follow-up literature.
+	Dist []int64
+}
+
+// DegreeGrid computes order and degree statistics for every (class, d)
+// cell on the implicit DFA-rank backend: cells that only need counts and
+// degrees never build a graph — no edge arena, no CSR — so per-cell
+// memory stays O(|f|·d) plus the d+1 counters, where the explicit path
+// materializes every edge. The spec's Method is ignored (there is no
+// verdict to decide). Enumeration still visits every vertex, so MaxD
+// stays in enumerable range.
+func DegreeGrid(ctx context.Context, spec GridSpec, opts Options) ([]DegreeCell, error) {
+	spec, err := spec.normalized()
+	if err != nil {
+		return nil, err
+	}
+	tasks := CellTasks(spec.MinLen, spec.MaxLen, spec.MinD, spec.MaxD)
+	return collect[DegreeCell](ctx, tasks, func(ctx context.Context, _ *core.Scratch, t Task) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		im := core.NewImplicit(t.D, t.Class.Rep)
+		cell := DegreeCell{Class: t.Class, D: t.D, Order: im.Order(), Dist: im.DegreeDistribution()}
+		cell.MinDeg, cell.MaxDeg = -1, 0
+		for k, n := range cell.Dist {
+			if n == 0 {
+				continue
+			}
+			if cell.MinDeg < 0 {
+				cell.MinDeg = k
+			}
+			cell.MaxDeg = k
+		}
+		if cell.MinDeg < 0 {
+			cell.MinDeg = 0
+		}
+		return cell, nil
+	}, opts)
+}
+
 // FDimRow is the f-dimension of a guest graph under one factor class.
 type FDimRow struct {
 	Class core.Class

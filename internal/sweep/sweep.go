@@ -48,8 +48,11 @@ type Func func(ctx context.Context, s *core.Scratch, t Task) (any, error)
 
 // Options tunes an engine run. The zero value is usable.
 type Options struct {
-	// Workers bounds the pool size (default runtime.GOMAXPROCS(0)). One
-	// worker reproduces the serial execution exactly.
+	// Workers bounds the pool size; zero or negative defaults to
+	// runtime.GOMAXPROCS(0), so unset means "use the machine". One worker
+	// reproduces the serial execution exactly; on a single-CPU runner
+	// every setting degenerates to that, so parallel speedups need real
+	// cores (see bench_test.go).
 	Workers int
 	// Buffer is the capacity of the delivery channel (default Workers).
 	Buffer int
