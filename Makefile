@@ -12,10 +12,11 @@ BENCHOUT ?= bench.txt
 
 # Benchmark-regression gate settings. BENCHFULL selects the gated
 # benchmarks (the paper-experiment E-suite, the sweep engine fixture,
-# cube construction — the DFA-rank edge build — and the rank/unrank
-# addressing hot path); the full run uses real iteration counts so
-# bench-full numbers are comparable, unlike the 1-iteration smoke run.
-BENCHFULL      ?= BenchmarkE[0-9]|BenchmarkSweep|BenchmarkConstructCube|BenchmarkRankUnrank
+# cube construction — the DFA-rank edge build — the rank/unrank
+# addressing hot path, the MS-BFS distance engine and the streaming
+# Θ analysis); the full run uses real iteration counts so bench-full
+# numbers are comparable, unlike the 1-iteration smoke run.
+BENCHFULL      ?= BenchmarkE[0-9]|BenchmarkSweep|BenchmarkConstructCube|BenchmarkRankUnrank|BenchmarkMSBFS|BenchmarkThetaAnalyze
 BENCHFULLOUT   ?= bench-full.txt
 BENCHBASELINE  ?= bench-baseline.txt
 BENCHTHRESHOLD ?= 1.25

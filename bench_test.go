@@ -432,6 +432,61 @@ func BenchmarkWienerGamma100(b *testing.B) {
 	}
 }
 
+// The bit-parallel multi-source distance engine vs one serial BFS per
+// source, on the full eccentricity/Wiener aggregation of Γ_16 (n = 2584).
+// The engine path is what Stats, DistanceHistogram, IsIsometric and the
+// Θ analysis all run on.
+func BenchmarkMSBFS(b *testing.B) {
+	g := core.Fibonacci(16).Graph()
+	b.Run("engine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st := g.Stats()
+			if st.Diameter != 16 {
+				b.Fatal("Γ_16 diameter wrong")
+			}
+		}
+	})
+	b.Run("serialBFS", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t := graph.NewTraverser(g)
+			dist := make([]int32, g.N())
+			var sum uint64
+			diam := int32(0)
+			for src := 0; src < g.N(); src++ {
+				t.BFS(src, dist)
+				for v, d := range dist {
+					if v > src {
+						sum += uint64(d)
+					}
+					if d > diam {
+						diam = d
+					}
+				}
+			}
+			// Consume both aggregates so neither half of the serial
+			// baseline can be dead-code eliminated.
+			if diam != 16 || sum == 0 {
+				b.Fatal("Γ_16 stats wrong")
+			}
+		}
+	})
+}
+
+// Streaming Θ-relation analysis (Winkler partial-cube test) on Γ_12: the
+// Section 7-8 machinery that formerly materialized an n×n distance matrix.
+func BenchmarkThetaAnalyze(b *testing.B) {
+	g := core.Fibonacci(12).Graph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := isometry.Analyze(g)
+		if a.Idim() != 12 {
+			b.Fatal("idim(Γ_12) wrong")
+		}
+	}
+}
+
 // Zeckendorf addressing: rank+unrank round trip at d = 60.
 func BenchmarkRankUnrankD60(b *testing.B) {
 	r := automaton.NewRanker(bitstr.Ones(2), 60)

@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	gfc-stats [-f FACTOR] [-maxd D]
+//	gfc-stats [-f FACTOR] [-maxd D] [-wiener]
+//
+// With -wiener, an exact Wiener index column is added: the true sum of
+// shortest-path distances of Q_d(f) from a full MS-BFS sweep of the
+// explicit graph, cross-checked against the Hamming-distance sum (the two
+// agree exactly when Q_d(f) is isometric in Q_d). Exact sweeps build the
+// cube, so -maxd is capped at the explicit construction limit in this
+// mode.
 package main
 
 import (
@@ -24,7 +31,12 @@ func main() {
 	log.SetPrefix("gfc-stats: ")
 	factor := flag.String("f", "110", "forbidden factor (binary string)")
 	maxD := flag.Int("maxd", 20, "largest dimension")
+	wiener := flag.Bool("wiener", false, "add exact BFS Wiener index vs Hamming sum (builds each cube)")
 	flag.Parse()
+	if *wiener && *maxD > core.MaxBuildDim {
+		log.Printf("capping -maxd to %d: -wiener builds each cube explicitly", core.MaxBuildDim)
+		*maxD = core.MaxBuildDim
+	}
 
 	f, err := bitstr.Parse(*factor)
 	if err != nil || f.Len() == 0 {
@@ -43,8 +55,16 @@ func main() {
 		recName = "recurrences (1)-(3)"
 	}
 
+	// One scratch across the d-loop: the factor DFA and the
+	// enumeration/edge arenas are reused for every cube of the column.
+	scratch := core.NewScratch()
+
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintf(w, "d\t|V|\t|E|\t|S|\tmean Hamming dist\tcross-check\t\n")
+	if *wiener {
+		fmt.Fprintf(w, "d\t|V|\t|E|\t|S|\tmean Hamming dist\tcross-check\tWiener (exact)\tWiener (Hamming)\tisom?\t\n")
+	} else {
+		fmt.Fprintf(w, "d\t|V|\t|E|\t|S|\tmean Hamming dist\tcross-check\t\n")
+	}
 	for d := 0; d <= *maxD; d++ {
 		check := "-"
 		if rec != nil {
@@ -61,7 +81,21 @@ func main() {
 			}
 		}
 		mean, _ := core.MeanHammingDistance(d, f).Float64()
-		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%.4f\t%s\t\n", d, seq[d].V, seq[d].E, seq[d].S, mean, check)
+		if *wiener {
+			exact, connected := scratch.WienerExact(scratch.Cube(d, f))
+			ham := core.WienerHamming(d, f)
+			verdict := "="
+			switch {
+			case !connected:
+				verdict = "disconnected"
+			case exact.Cmp(ham) != 0:
+				verdict = "> Hamming"
+			}
+			fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%.4f\t%s\t%s\t%s\t%s\t\n",
+				d, seq[d].V, seq[d].E, seq[d].S, mean, check, exact, ham, verdict)
+		} else {
+			fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%.4f\t%s\t\n", d, seq[d].V, seq[d].E, seq[d].S, mean, check)
+		}
 	}
 	if err := w.Flush(); err != nil {
 		log.Fatal(err)
@@ -70,4 +104,7 @@ func main() {
 		fmt.Printf("\ncross-check column: transfer-matrix DP vs %s\n", recName)
 	}
 	fmt.Println("mean Hamming dist equals the mean shortest-path distance exactly when Q_d(f) is isometric in Q_d")
+	if *wiener {
+		fmt.Println("Wiener (exact) is the BFS shortest-path sum; '=' marks cells where it equals the Hamming sum")
+	}
 }

@@ -182,7 +182,10 @@ func RecurrenceQ110(dmax int) []BigCounts { return core.RecurrenceQ110(dmax) }
 func ClosedFormsQ110(d int) BigCounts { return core.ClosedFormsQ110(d) }
 
 // WienerHamming returns the exact sum of pairwise Hamming distances of the
-// vertices of Q_d(f); for isometric cubes this is the Wiener index.
+// vertices of Q_d(f); for isometric cubes this is the Wiener index. It
+// needs no graph construction, so any d works. Cube.WienerExact is the
+// BFS ground truth on constructed cubes: equal on isometric cubes,
+// strictly larger on connected non-isometric ones.
 func WienerHamming(d int, f Word) *big.Int { return core.WienerHamming(d, f) }
 
 // MeanHammingDistance returns the exact mean pairwise Hamming distance of

@@ -3,8 +3,7 @@ package core
 import (
 	"context"
 	"math/bits"
-	"runtime"
-	"sync"
+	"sync/atomic"
 
 	"gfcube/internal/bitstr"
 	"gfcube/internal/graph"
@@ -24,81 +23,97 @@ type IsometryResult struct {
 
 // IsIsometric reports whether Q_d(f) is an isometric subgraph of Q_d, by the
 // definition in Section 2: d_{Q_d(f)}(u,v) = d_{Q_d}(u,v) for every pair of
-// vertices. The check runs one BFS per vertex, parallelized across
-// runtime.GOMAXPROCS(0) workers, and stops at the first violation.
+// vertices. Distances come from the MS-BFS engine — 64 sources per bitset
+// batch, batches fanned across runtime.GOMAXPROCS(0) workers — and the
+// sweep sheds batches that can no longer improve the witness.
 func (c *Cube) IsIsometric() IsometryResult {
 	res, _ := c.IsIsometricCtx(context.Background())
 	return res
 }
 
-// IsIsometricCtx is IsIsometric with cooperative cancellation: workers stop
-// between BFS sweeps once ctx is done, and the context error is returned
-// when the check was abandoned before reaching a verdict.
+// noWitness is the atomic witness-key sentinel (no violation found).
+const noWitness = ^uint64(0)
+
+// violationIn scans a distance block against Hamming distances and returns
+// the first violating (source, vertex) pair in (source rank, vertex rank)
+// order, if any. Unreachable vertices (-1) always violate, since distinct
+// hypercube vertices are at finite Hamming distance.
+func (c *Cube) violationIn(b *graph.DistBlock) (src, v int, bad bool) {
+	n := b.N()
+	for i, s := range b.Sources {
+		row := b.Row(i)
+		ws := c.verts[s]
+		for v := 0; v < n; v++ {
+			if v == int(s) {
+				continue
+			}
+			if row[v] != int32(bits.OnesCount64(ws^c.verts[v])) {
+				return int(s), v, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// IsIsometricCtx is IsIsometric with cooperative cancellation: remaining
+// batches are shed once ctx is done, and the context error is returned
+// whenever a batch was dropped because of cancellation — a witness found
+// in a truncated sweep may not be the minimal one, so it is discarded
+// rather than returned. On a nil error the reported witness is the
+// violating pair with the lexicographically smallest (source, vertex)
+// ranks — identical to the serial check — regardless of worker count or
+// scheduling.
 func (c *Cube) IsIsometricCtx(ctx context.Context) (IsometryResult, error) {
 	n := c.N()
 	if n <= 1 {
 		return IsometryResult{Isometric: true}, nil
 	}
-	var (
-		mu      sync.Mutex
-		found   *IsometryResult
-		wg      sync.WaitGroup
-		sources = make(chan int, n)
-	)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	nn := uint64(n)
+	var best atomic.Uint64
+	best.Store(noWitness)
+	var truncated atomic.Bool
+	opts := graph.MSOptions{
+		// A batch whose smallest source rank already exceeds the best
+		// witness key cannot improve it; the witness keys of batch b start
+		// at b·64·n. This keeps the early-exit cost of non-isometric
+		// instances at one or two batches. The sound shed is checked first
+		// so `truncated` is set only when cancellation drops a batch that
+		// could still have mattered.
+		Skip: func(batch int) bool {
+			if uint64(batch)*graph.MSBatchSize*nn >= best.Load() {
+				return true
+			}
+			if ctx.Err() != nil {
+				truncated.Store(true)
+				return true
+			}
+			return false
+		},
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			t := graph.NewTraverser(c.g)
-			dist := make([]int32, n)
-			for src := range sources {
-				if ctx.Err() != nil {
-					continue
-				}
-				mu.Lock()
-				stop := found != nil
-				mu.Unlock()
-				if stop {
-					continue
-				}
-				t.BFS(src, dist)
-				for v := 0; v < n; v++ {
-					if v == src {
-						continue
-					}
-					h := int32(bits.OnesCount64(c.verts[src] ^ c.verts[v]))
-					if dist[v] != h {
-						mu.Lock()
-						if found == nil {
-							found = &IsometryResult{
-								Isometric:   false,
-								U:           c.Word(src),
-								V:           c.Word(v),
-								CubeDist:    dist[v],
-								HammingDist: h,
-							}
-						}
-						mu.Unlock()
-						break
-					}
+	_ = c.g.ForEachSourceBatchPar(nil, opts, func(_ int, b *graph.DistBlock) error {
+		if s, v, bad := c.violationIn(b); bad {
+			key := uint64(s)*nn + uint64(v)
+			for {
+				cur := best.Load()
+				if key >= cur || best.CompareAndSwap(cur, key) {
+					break
 				}
 			}
-		}()
+		}
+		return nil
+	})
+	if truncated.Load() {
+		return IsometryResult{}, ctx.Err()
 	}
-	for src := 0; src < n; src++ {
-		sources <- src
-	}
-	close(sources)
-	wg.Wait()
-	if found != nil {
-		return *found, nil
-	}
-	if err := ctx.Err(); err != nil {
-		return IsometryResult{}, err
+	if key := best.Load(); key != noWitness {
+		s, v := int(key/nn), int(key%nn)
+		return IsometryResult{
+			Isometric:   false,
+			U:           c.Word(s),
+			V:           c.Word(v),
+			CubeDist:    c.g.Dist(s, v),
+			HammingDist: int32(bits.OnesCount64(c.verts[s] ^ c.verts[v])),
+		}, nil
 	}
 	return IsometryResult{Isometric: true}, nil
 }
@@ -107,39 +122,36 @@ func (c *Cube) IsIsometricCtx(ctx context.Context) (IsometryResult, error) {
 // for the parallelism ablation benchmark and for deterministic witnesses
 // (the violating pair with the smallest source rank).
 func (c *Cube) IsIsometricSerial() IsometryResult {
-	return isIsometricSerial(c, graph.NewTraverser(c.g), make([]int32, c.N()))
+	return isIsometricSerial(c, graph.NewMSBFS(c.g))
 }
 
-// isIsometricSerial is the exact serial check over caller-provided buffers:
-// one BFS per source, Hamming comparison against every other vertex, first
-// violation (smallest source rank) returned as the witness. Both the cold
-// path (IsIsometricSerial) and the scratch path (Scratch.IsIsometric) run
+// isIsometricSerial is the exact check over a caller-provided engine:
+// batches of 64 consecutive sources in rank order, Hamming comparison
+// against every other vertex, first violation (smallest source rank, then
+// smallest vertex rank) returned as the witness. Both the cold path
+// (IsIsometricSerial) and the scratch path (Scratch.IsIsometric) run
 // exactly this code.
-func isIsometricSerial(c *Cube, t *graph.Traverser, dist []int32) IsometryResult {
-	n := c.N()
-	for src := 0; src < n; src++ {
-		t.BFS(src, dist)
-		for v := 0; v < n; v++ {
-			if v == src {
-				continue
-			}
-			h := int32(bits.OnesCount64(c.verts[src] ^ c.verts[v]))
-			if dist[v] != h {
-				return IsometryResult{
-					Isometric:   false,
-					U:           c.Word(src),
-					V:           c.Word(v),
-					CubeDist:    dist[v],
-					HammingDist: h,
-				}
-			}
+func isIsometricSerial(c *Cube, e *graph.MSBFS) IsometryResult {
+	res := IsometryResult{Isometric: true}
+	e.RunAll(func(b *graph.DistBlock) bool {
+		s, v, bad := c.violationIn(b)
+		if !bad {
+			return true
 		}
-	}
-	return IsometryResult{Isometric: true}
+		res = IsometryResult{
+			Isometric:   false,
+			U:           c.Word(s),
+			V:           c.Word(v),
+			CubeDist:    b.Row(s - int(b.Sources[0]))[v],
+			HammingDist: int32(bits.OnesCount64(c.verts[s] ^ c.verts[v])),
+		}
+		return false
+	})
+	return res
 }
 
-// IsIsometricQuick decides embeddability for moderate d without building the
-// full distance matrix: it first screens for 2- and 3-critical words (Lemma
+// IsIsometricQuick decides embeddability for moderate d without running the
+// full distance sweep: it first screens for 2- and 3-critical words (Lemma
 // 2.4 gives non-embeddability immediately), then falls back to the exact
 // check. On every instance tested in this repository the screen alone is
 // conclusive for the negative cases, matching the follow-up literature

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 )
 
@@ -150,5 +151,29 @@ func TestQuickScreenMatchesExact(t *testing.T) {
 func TestSingleVertexAndEmptyGraphIsometric(t *testing.T) {
 	if res := New(6, w("1")).IsIsometric(); !res.Isometric {
 		t.Error("one-vertex graph must be isometric")
+	}
+}
+
+func TestIsIsometricCtxCancelled(t *testing.T) {
+	// A pre-cancelled context must yield the context error and an empty
+	// result — never a witness, which could be non-minimal when batches
+	// were shed by cancellation rather than by the sound early-exit bound.
+	c := New(9, w("101")) // non-isometric at d = 9: violations exist to find
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := c.IsIsometricCtx(ctx)
+	if err == nil {
+		t.Fatal("cancelled check returned nil error")
+	}
+	if res != (IsometryResult{}) {
+		t.Errorf("cancelled check returned non-empty result %+v", res)
+	}
+	// An undisturbed context still reaches the serial witness.
+	got, err := c.IsIsometricCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := c.IsIsometricSerial(); got != want {
+		t.Errorf("parallel witness %+v differs from serial %+v", got, want)
 	}
 }

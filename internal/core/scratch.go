@@ -9,9 +9,9 @@ import (
 // Scratch holds the reusable buffers for repeated cube constructions and
 // isometry checks across a (d, f) grid: the factor automaton of the last
 // factor, the vertex-enumeration buffer, the graph builder's edge arena and
-// the BFS queue/distance vectors. A fresh construction of Q_20(11) costs
-// ~53k allocations; through a warm Scratch it costs a handful (the cube's
-// own retained memory).
+// the MS-BFS engine's bitset planes. A fresh construction of Q_20(11)
+// costs ~53k allocations; through a warm Scratch it costs a handful (the
+// cube's own retained memory).
 //
 // A Scratch is not safe for concurrent use; allocate one per goroutine.
 // The sweep engine does exactly that, one per worker.
@@ -21,8 +21,7 @@ type Scratch struct {
 	verts   []uint64
 	rank    automaton.Ranker
 	builder *graph.Builder
-	trav    *graph.Traverser
-	dist    []int32
+	ms      *graph.MSBFS
 }
 
 // NewScratch returns an empty scratch area; buffers grow on first use.
@@ -52,29 +51,21 @@ func (s *Scratch) ranker(dfa *automaton.DFA, d int) *automaton.Ranker {
 	return &s.rank
 }
 
-// distBuf returns a distance vector of length n backed by the scratch.
-func (s *Scratch) distBuf(n int) []int32 {
-	if cap(s.dist) < n {
-		s.dist = make([]int32, n)
+// engine returns the scratch MS-BFS engine retargeted at g.
+func (s *Scratch) engine(g *graph.Graph) *graph.MSBFS {
+	if s.ms == nil {
+		s.ms = graph.NewMSBFS(g)
+		return s.ms
 	}
-	return s.dist[:n]
-}
-
-// traverser returns the scratch traverser retargeted at g.
-func (s *Scratch) traverser(g *graph.Graph) *graph.Traverser {
-	if s.trav == nil {
-		s.trav = graph.NewTraverser(g)
-		return s.trav
-	}
-	s.trav.Reset(g)
-	return s.trav
+	s.ms.Reset(g)
+	return s.ms
 }
 
 // IsIsometric is the exact single-threaded embeddability check of
-// Cube.IsIsometricSerial with the BFS buffers drawn from the scratch. Like
-// the serial variant it reports the violating pair with the smallest source
-// rank, so results are deterministic. Sweeps parallelize across grid cells,
-// one scratch per worker, rather than inside one check.
+// Cube.IsIsometricSerial with the MS-BFS planes drawn from the scratch.
+// Like the serial variant it reports the violating pair with the smallest
+// source rank, so results are deterministic. Sweeps parallelize across
+// grid cells, one scratch per worker, rather than inside one check.
 func (s *Scratch) IsIsometric(c *Cube) IsometryResult {
-	return isIsometricSerial(c, s.traverser(c.g), s.distBuf(c.N()))
+	return isIsometricSerial(c, s.engine(c.g))
 }

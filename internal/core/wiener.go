@@ -5,6 +5,7 @@ import (
 
 	"gfcube/internal/automaton"
 	"gfcube/internal/bitstr"
+	"gfcube/internal/graph"
 )
 
 // WienerHamming returns the sum over unordered vertex pairs of Q_d(f) of
@@ -68,6 +69,61 @@ func countWithBit(a *automaton.DFA, d, i int, b uint64) *big.Int {
 		total.Add(total, v)
 	}
 	return total
+}
+
+// WienerExact computes the true Wiener index of Q_d(f): the sum of
+// shortest-path distances inside the cube over unordered vertex pairs,
+// via a full MS-BFS sweep of the explicit graph. The boolean reports
+// connectivity; for a disconnected cube the sum covers reachable pairs
+// only.
+//
+// On isometric cubes WienerExact equals WienerHamming (graph distance is
+// Hamming distance); on connected non-isometric cubes it is strictly
+// larger, which is exactly the cross-check WienerGrid sweeps exploit.
+// Unlike WienerHamming it requires the explicit graph, so d is bounded by
+// MaxBuildDim.
+func (c *Cube) WienerExact() (*big.Int, bool) {
+	return c.WienerExactWorkers(0)
+}
+
+// WienerExactWorkers is WienerExact with an explicit MS-BFS worker count
+// (0 = use the machine). It deliberately shares the Stats sweep (the
+// eccentricity compare in that loop is noise next to the BFS); the
+// serial scratch path below avoids even that. Grid sweeps, which already
+// parallelize across cells, use Scratch.WienerExact.
+func (c *Cube) WienerExactWorkers(workers int) (*big.Int, bool) {
+	st := c.g.StatsWorkers(workers)
+	return new(big.Int).SetUint64(st.SumDist), st.Connected
+}
+
+// WienerExact is Cube.WienerExact over the scratch MS-BFS engine: the
+// allocation-free path for grid sweeps, which run one scratch per worker
+// and one engine worker per cell. Only the distance sum and connectivity
+// are aggregated (no eccentricities), batches of 64 consecutive sources
+// in rank order.
+func (s *Scratch) WienerExact(c *Cube) (*big.Int, bool) {
+	n := c.N()
+	var sum uint64
+	conn := true
+	s.engine(c.g).RunAll(func(b *graph.DistBlock) bool {
+		for i, src := range b.Sources {
+			row := b.Row(i)
+			if int(b.Reached[i]) == n {
+				for v := int(src) + 1; v < n; v++ {
+					sum += uint64(row[v])
+				}
+			} else {
+				conn = false
+				for v := int(src) + 1; v < n; v++ {
+					if d := row[v]; d != graph.Unreachable {
+						sum += uint64(d)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return new(big.Int).SetUint64(sum), conn
 }
 
 // MeanHammingDistance returns WienerHamming normalized by the number of

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gfcube/internal/bitstr"
+	"gfcube/internal/graph"
 )
 
 func TestWienerHammingMatchesExplicit(t *testing.T) {
@@ -36,6 +37,90 @@ func TestWienerHammingLowerBoundNonIsometric(t *testing.T) {
 		got := WienerHamming(d, f)
 		if got.Cmp(new(big.Int).SetUint64(st.SumDist)) >= 0 {
 			t.Errorf("d=%d: Hamming-Wiener %s not strictly below graph Wiener %d", d, got, st.SumDist)
+		}
+	}
+}
+
+// The full |f| <= 4, d <= 10 grid: MS-BFS distances (via WienerExact and
+// Stats) must be bit-identical to serial Traverser.BFS sweeps, and the
+// exact Wiener index must relate to the Hamming sum exactly as the
+// isometry verdict predicts: equal when isometric, strictly larger when
+// connected and non-isometric, and never smaller.
+func TestWienerExactCrossCheckGrid(t *testing.T) {
+	s := NewScratch()
+	for _, cl := range Classes(1, 4) {
+		for d := 1; d <= 10; d++ {
+			c := s.Cube(d, cl.Rep)
+			g := c.Graph()
+
+			// Serial reference: Wiener sum + connectivity by plain BFS.
+			tr := graph.NewTraverser(g)
+			dist := make([]int32, c.N())
+			var want uint64
+			conn := true
+			for src := 0; src < c.N(); src++ {
+				tr.BFS(src, dist)
+				for v := src + 1; v < c.N(); v++ {
+					if dist[v] == graph.Unreachable {
+						conn = false
+						continue
+					}
+					want += uint64(dist[v])
+				}
+			}
+
+			exact, connected := c.WienerExact()
+			if connected != conn {
+				t.Fatalf("f=%s d=%d: engine connectivity %v, serial %v", cl.Rep, d, connected, conn)
+			}
+			if exact.Cmp(new(big.Int).SetUint64(want)) != 0 {
+				t.Fatalf("f=%s d=%d: WienerExact %s, serial sum %d", cl.Rep, d, exact, want)
+			}
+			// The scratch-engine path used by grid sweeps must agree.
+			sExact, sConn := s.WienerExact(c)
+			if sConn != conn || sExact.Cmp(exact) != 0 {
+				t.Fatalf("f=%s d=%d: Scratch.WienerExact %s/%v, want %s/%v", cl.Rep, d, sExact, sConn, exact, conn)
+			}
+
+			ham := WienerHamming(d, cl.Rep)
+			iso := s.IsIsometric(c).Isometric
+			switch {
+			case iso && exact.Cmp(ham) != 0:
+				t.Errorf("f=%s d=%d: isometric but exact %s != Hamming %s", cl.Rep, d, exact, ham)
+			case connected && !iso && exact.Cmp(ham) <= 0:
+				t.Errorf("f=%s d=%d: non-isometric but exact %s not above Hamming %s", cl.Rep, d, exact, ham)
+			case exact.Cmp(ham) < 0 && connected:
+				t.Errorf("f=%s d=%d: exact %s below Hamming lower bound %s", cl.Rep, d, exact, ham)
+			}
+		}
+	}
+}
+
+// MS-BFS blocks over cube graphs must agree with serial BFS on the same
+// grid — the engine-level equivalence check on the structured (rather
+// than random) inputs the repository actually sweeps.
+func TestMSBFSMatchesSerialOnCubeGrid(t *testing.T) {
+	s := NewScratch()
+	for _, cl := range Classes(1, 4) {
+		for d := 1; d <= 10; d++ {
+			g := s.Cube(d, cl.Rep).Graph()
+			tr := graph.NewTraverser(g)
+			want := make([]int32, g.N())
+			err := g.ForEachSourceBatch(nil, graph.MSOptions{}, func(b *graph.DistBlock) error {
+				for i, src := range b.Sources {
+					tr.BFS(int(src), want)
+					row := b.Row(i)
+					for v := range want {
+						if row[v] != want[v] {
+							t.Fatalf("f=%s d=%d src=%d v=%d: MS %d, serial %d", cl.Rep, d, src, v, row[v], want[v])
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 }

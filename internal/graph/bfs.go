@@ -21,8 +21,10 @@ func (g *Graph) Distances(src int) []int32 {
 }
 
 // Dist returns the shortest-path distance between u and v, or Unreachable.
+// The search stops as soon as v is settled; callers computing many pairs
+// should hold a Traverser and use its Dist to amortize the scratch buffer.
 func (g *Graph) Dist(u, v int) int32 {
-	return g.Distances(u)[v]
+	return NewTraverser(g).Dist(u, v)
 }
 
 // Traverser owns the scratch buffers for repeated BFS runs on one graph.
@@ -30,6 +32,11 @@ func (g *Graph) Dist(u, v int) int32 {
 type Traverser struct {
 	g     *Graph
 	queue []int32
+	// Single-pair query scratch: dist[v] is only meaningful when seen[v]
+	// holds the current epoch, so Dist never reinitializes the buffers.
+	dist  []int32
+	seen  []int32
+	epoch int32
 }
 
 // NewTraverser returns a Traverser for g.
@@ -45,6 +52,52 @@ func (t *Traverser) Reset(g *Graph) {
 	if cap(t.queue) < g.N() {
 		t.queue = make([]int32, 0, g.N())
 	}
+}
+
+// Dist returns the distance between u and v, or Unreachable. Unlike a full
+// BFS it exits as soon as v is settled, and visited marks are epoch
+// stamps rather than a per-call buffer fill, so near pairs genuinely cost
+// O(ball around u) rather than O(n); route verification sweeps rely on
+// this.
+func (t *Traverser) Dist(u, v int) int32 {
+	if u == v {
+		return 0
+	}
+	g := t.g
+	n := g.N()
+	if cap(t.dist) < n {
+		t.dist = make([]int32, n)
+		t.seen = make([]int32, n)
+		t.epoch = 0
+	}
+	dist, seen := t.dist[:n], t.seen[:n]
+	if t.epoch == 1<<31-1 {
+		clear(t.seen)
+		t.epoch = 0
+	}
+	t.epoch++
+	ep := t.epoch
+	q := t.queue[:0]
+	dist[u] = 0
+	seen[u] = ep
+	q = append(q, int32(u))
+	for head := 0; head < len(q); head++ {
+		x := q[head]
+		dx := dist[x]
+		for _, w := range g.adj[x] {
+			if seen[w] != ep {
+				if int(w) == v {
+					t.queue = q
+					return dx + 1
+				}
+				seen[w] = ep
+				dist[w] = dx + 1
+				q = append(q, w)
+			}
+		}
+	}
+	t.queue = q
+	return Unreachable
 }
 
 // BFS computes distances from src into dist (length g.N()).
@@ -101,19 +154,16 @@ func (t *Traverser) BFSTree(src int, dist, parent []int32) {
 }
 
 // IsConnected reports whether the graph is connected. The empty graph and
-// the one-vertex graph are connected.
+// the one-vertex graph are connected. The verdict comes from the BFS visit
+// count (the length of the settled queue), not from scanning distances.
 func (g *Graph) IsConnected() bool {
 	if g.N() <= 1 {
 		return true
 	}
+	t := NewTraverser(g)
 	dist := make([]int32, g.N())
-	g.BFS(0, dist)
-	for _, d := range dist {
-		if d == Unreachable {
-			return false
-		}
-	}
-	return true
+	t.BFS(0, dist)
+	return len(t.queue) == g.N()
 }
 
 // Components returns the component id of every vertex (ids are 0-based,

@@ -151,23 +151,48 @@ func (g *Graph) Bridges() [][2]int32 {
 
 // DistanceHistogram returns hist where hist[k] is the number of unordered
 // vertex pairs at distance k, and the count of unreachable pairs. The
-// histogram length is diameter+1 for connected graphs.
+// histogram length is diameter+1 for connected graphs (nil for graphs with
+// fewer than two vertices, which have no pairs). Rows come from the MS-BFS
+// engine, 64 sources per batch, merged from per-worker histograms.
 func (g *Graph) DistanceHistogram() (hist []uint64, unreachable uint64) {
 	n := g.N()
-	t := NewTraverser(g)
-	dist := make([]int32, n)
-	for src := 0; src < n; src++ {
-		t.BFS(src, dist)
-		for v := src + 1; v < n; v++ {
-			d := dist[v]
-			if d == Unreachable {
-				unreachable++
-				continue
+	if n < 2 {
+		return nil, 0
+	}
+	// Pin the resolved worker count into opts so the driver cannot re-read
+	// a changed GOMAXPROCS and hand out worker ids beyond len(parts).
+	opts := MSOptions{}
+	opts.Workers = g.parWorkers(nil, opts)
+	type partial struct {
+		hist        []uint64
+		unreachable uint64
+	}
+	parts := make([]partial, opts.Workers)
+	_ = g.ForEachSourceBatchPar(nil, opts, func(worker int, b *DistBlock) error {
+		p := &parts[worker]
+		for i, s := range b.Sources {
+			row := b.Row(i)
+			for v := int(s) + 1; v < n; v++ {
+				d := row[v]
+				if d == Unreachable {
+					p.unreachable++
+					continue
+				}
+				for int(d) >= len(p.hist) {
+					p.hist = append(p.hist, 0)
+				}
+				p.hist[d]++
 			}
-			for int(d) >= len(hist) {
+		}
+		return nil
+	})
+	for i := range parts {
+		unreachable += parts[i].unreachable
+		for d, c := range parts[i].hist {
+			for d >= len(hist) {
 				hist = append(hist, 0)
 			}
-			hist[d]++
+			hist[d] += c
 		}
 	}
 	return hist, unreachable

@@ -164,8 +164,50 @@ func TestDistanceHistogram(t *testing.T) {
 	// Disconnected pairs are counted separately.
 	b := NewBuilder(3)
 	b.AddEdge(0, 1)
-	_, unreachable = b.Build().DistanceHistogram()
+	hist, unreachable = b.Build().DistanceHistogram()
 	if unreachable != 2 {
 		t.Errorf("unreachable = %d, want 2", unreachable)
+	}
+	if len(hist) != 2 || hist[1] != 1 {
+		t.Errorf("disconnected hist = %v", hist)
+	}
+}
+
+func TestDistanceHistogramDegenerate(t *testing.T) {
+	// No pairs at all: empty and single-vertex graphs.
+	for n := 0; n <= 1; n++ {
+		hist, unreachable := NewBuilder(n).Build().DistanceHistogram()
+		if hist != nil || unreachable != 0 {
+			t.Errorf("n=%d: hist=%v unreachable=%d", n, hist, unreachable)
+		}
+	}
+	// All pairs unreachable: edgeless graph on 4 vertices.
+	hist, unreachable := NewBuilder(4).Build().DistanceHistogram()
+	if len(hist) != 0 || unreachable != 6 {
+		t.Errorf("edgeless: hist=%v unreachable=%d", hist, unreachable)
+	}
+}
+
+func TestDistanceHistogramMatchesStats(t *testing.T) {
+	g := Grid(5, 7)
+	hist, unreachable := g.DistanceHistogram()
+	st := g.Stats()
+	if unreachable != 0 {
+		t.Fatalf("grid graph disconnected? unreachable=%d", unreachable)
+	}
+	var sum, pairs uint64
+	for d, c := range hist {
+		sum += uint64(d) * c
+		pairs += c
+	}
+	if sum != st.SumDist {
+		t.Errorf("histogram sum %d != SumDist %d", sum, st.SumDist)
+	}
+	n := uint64(g.N())
+	if pairs != n*(n-1)/2 {
+		t.Errorf("histogram covers %d pairs, want %d", pairs, n*(n-1)/2)
+	}
+	if int32(len(hist)-1) != st.Diameter {
+		t.Errorf("histogram length %d vs diameter %d", len(hist), st.Diameter)
 	}
 }

@@ -78,6 +78,41 @@ func TestBFSPath(t *testing.T) {
 	}
 }
 
+// The early-exit pair query must agree with full BFS on every pair,
+// including unreachable ones, and reuse one traverser across queries.
+func TestTraverserDistPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var tr *Traverser // one traverser across all graphs, via Reset
+	for iter := 0; iter < 10; iter++ {
+		n := 2 + rng.Intn(60)
+		b := NewBuilder(n)
+		for i := 0; i < n; i++ { // sparse: disconnected cases likely
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		if tr == nil {
+			tr = NewTraverser(g)
+		} else {
+			tr.Reset(g)
+		}
+		dist := make([]int32, n)
+		for src := 0; src < n; src++ {
+			g.BFS(src, dist)
+			for v := 0; v < n; v++ {
+				if got := tr.Dist(src, v); got != dist[v] {
+					t.Fatalf("Dist(%d,%d) = %d, BFS %d", src, v, got, dist[v])
+				}
+			}
+		}
+	}
+	if d := NewTraverser(Path(3)).Dist(1, 1); d != 0 {
+		t.Errorf("Dist(v,v) = %d", d)
+	}
+}
+
 func TestBFSDisconnected(t *testing.T) {
 	b := NewBuilder(4)
 	b.AddEdge(0, 1)

@@ -1,0 +1,497 @@
+package graph
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MSBatchSize is the number of BFS sources processed by one engine run: one
+// bit of a machine word per source, so every frontier/visited operation
+// advances all sources of a batch at once (the MS-BFS technique).
+const MSBatchSize = 64
+
+// DistBlock is the result of one multi-source batch: up to MSBatchSize
+// distance rows over the same graph, plus the per-source count of settled
+// vertices. Blocks delivered by the batch drivers are reused after the
+// callback returns; callers that need a row beyond the callback must copy
+// it.
+type DistBlock struct {
+	// Batch is the index of this batch in the driver's batch list.
+	Batch int
+	// Sources lists the batch's BFS sources; Row(i) is the distance row of
+	// Sources[i].
+	Sources []int32
+	// Reached[i] is the number of vertices settled from Sources[i]
+	// (including the source itself); Reached[i] == N() means every vertex
+	// is reachable, which is how consumers derive connectivity without
+	// scanning rows for Unreachable.
+	Reached []int32
+
+	n    int
+	dist []int32 // len(Sources) rows of width n
+}
+
+// N returns the row width (the graph's vertex count).
+func (b *DistBlock) N() int { return b.n }
+
+// Row returns the distance row of Sources[i]: Row(i)[v] is the distance
+// from Sources[i] to v, or Unreachable. The slice aliases the block.
+func (b *DistBlock) Row(i int) []int32 { return b.dist[i*b.n : (i+1)*b.n] }
+
+// MSBFS is a batched multi-source BFS engine over one graph's CSR
+// adjacency. It keeps three bitset planes (frontier, next, visited) with
+// one word per vertex — bit i of a word tracks source i of the current
+// batch — so one pass over the adjacency advances up to 64 searches. An
+// engine is not safe for concurrent use; the batch drivers allocate one
+// per worker, and sweep scratches keep one alive across graphs via Reset.
+type MSBFS struct {
+	g        *Graph
+	frontier []uint64
+	next     []uint64
+	visited  []uint64
+	block    DistBlock
+}
+
+// NewMSBFS returns an engine for g.
+func NewMSBFS(g *Graph) *MSBFS {
+	e := &MSBFS{}
+	e.Reset(g)
+	return e
+}
+
+// Reset retargets the engine at a different graph, retaining its planes
+// and block storage. This is the allocation-free path for sweeping many
+// graphs with one scratch engine.
+func (e *MSBFS) Reset(g *Graph) {
+	e.g = g
+	if n := g.N(); cap(e.frontier) < n {
+		e.frontier = make([]uint64, n)
+		e.next = make([]uint64, n)
+		e.visited = make([]uint64, n)
+	}
+}
+
+// Run computes the batch into the engine's internal block, which stays
+// valid until the next Run or RunInto call.
+func (e *MSBFS) Run(batch int, sources []int32) *DistBlock {
+	e.RunInto(batch, sources, &e.block)
+	return &e.block
+}
+
+// RunAll sweeps every vertex of the engine's graph serially, in batches
+// of MSBatchSize consecutive sources in rank order, invoking fn on each
+// block (the engine's internal one, reused across batches). fn returning
+// false stops the sweep. This is the shared serial path for scratch-based
+// grid cells; the parallel drivers below fan batches across workers
+// instead.
+func (e *MSBFS) RunAll(fn func(*DistBlock) bool) {
+	n := e.g.N()
+	var buf [MSBatchSize]int32
+	for lo := 0; lo < n; lo += MSBatchSize {
+		hi := lo + MSBatchSize
+		if hi > n {
+			hi = n
+		}
+		src := buf[:hi-lo]
+		for i := range src {
+			src[i] = int32(lo + i)
+		}
+		if !fn(e.Run(lo/MSBatchSize, src)) {
+			return
+		}
+	}
+}
+
+// RunInto computes distance rows for up to MSBatchSize sources into blk,
+// growing blk's storage as needed. All sources advance in lockstep: level
+// k of the search settles, for every source simultaneously, the vertices
+// at distance k, using one bitwise pass over the adjacency per level.
+func (e *MSBFS) RunInto(batch int, sources []int32, blk *DistBlock) {
+	g := e.g
+	n := g.N()
+	if len(sources) == 0 || len(sources) > MSBatchSize {
+		panic("graph: MS-BFS batch must have 1..64 sources")
+	}
+	blk.Batch = batch
+	blk.Sources = append(blk.Sources[:0], sources...)
+	blk.Reached = blk.Reached[:0]
+	blk.n = n
+	need := len(sources) * n
+	if cap(blk.dist) < need {
+		blk.dist = make([]int32, need)
+	}
+	blk.dist = blk.dist[:need]
+	for i := range blk.dist {
+		blk.dist[i] = Unreachable
+	}
+	fr := e.frontier[:n]
+	nx := e.next[:n]
+	vis := e.visited[:n]
+	clear(fr)
+	clear(nx)
+	clear(vis)
+	// Each source index owns its own bit, so even a duplicated source
+	// vertex seeds every one of its searches independently.
+	for i, s := range sources {
+		bit := uint64(1) << uint(i)
+		vis[s] |= bit
+		fr[s] |= bit
+		blk.dist[i*n+int(s)] = 0
+		blk.Reached = append(blk.Reached, 1)
+	}
+	adj := g.adj
+	for level := int32(1); ; level++ {
+		// Push: propagate every frontier word to its neighbors, clearing
+		// the frontier plane as it is consumed.
+		for v, f := range fr {
+			if f == 0 {
+				continue
+			}
+			fr[v] = 0
+			for _, w := range adj[v] {
+				nx[w] |= f
+			}
+		}
+		// Settle: newly discovered (source, vertex) pairs get this level;
+		// the next plane is drained back to zero for the following round.
+		any := false
+		for v, nw := range nx {
+			if nw == 0 {
+				continue
+			}
+			nx[v] = 0
+			nb := nw &^ vis[v]
+			if nb == 0 {
+				continue
+			}
+			vis[v] |= nb
+			fr[v] = nb
+			any = true
+			for t := nb; t != 0; t &= t - 1 {
+				i := bits.TrailingZeros64(t)
+				blk.dist[i*n+v] = level
+				blk.Reached[i]++
+			}
+		}
+		if !any {
+			return
+		}
+	}
+}
+
+// EdgeBatch groups consecutive edges of an edge list so that both endpoint
+// rows of every owned edge land in a single DistBlock: batch b owns edges
+// [Lo, Hi) of the list it was built from, and Rows[e-Lo] holds the block
+// row indices of edge e's two endpoints.
+type EdgeBatch struct {
+	Sources []int32
+	Lo, Hi  int
+	Rows    [][2]uint8
+}
+
+// EdgeBatches greedily packs consecutive edges into MS-BFS batches of at
+// most MSBatchSize distinct endpoint vertices. Sorted edge lists share
+// endpoints heavily between neighbors, so the total BFS source count stays
+// near the number of distinct endpoints rather than 2·len(edges). This is
+// the batching used by the streaming Θ-relation analysis, which needs both
+// endpoint rows of an edge at once.
+func EdgeBatches(edges [][2]int32) []EdgeBatch {
+	var out []EdgeBatch
+	row := make(map[int32]uint8, MSBatchSize)
+	cur := EdgeBatch{}
+	flush := func(hi int) {
+		if len(cur.Sources) == 0 {
+			return
+		}
+		cur.Hi = hi
+		out = append(out, cur)
+		cur = EdgeBatch{Lo: hi}
+		clear(row)
+	}
+	for e, xy := range edges {
+		need := 0
+		if _, ok := row[xy[0]]; !ok {
+			need++
+		}
+		if _, ok := row[xy[1]]; !ok && xy[0] != xy[1] {
+			need++
+		}
+		if len(cur.Sources)+need > MSBatchSize {
+			flush(e)
+		}
+		var rr [2]uint8
+		for s := 0; s < 2; s++ {
+			idx, ok := row[xy[s]]
+			if !ok {
+				idx = uint8(len(cur.Sources))
+				row[xy[s]] = idx
+				cur.Sources = append(cur.Sources, xy[s])
+			}
+			rr[s] = idx
+		}
+		cur.Rows = append(cur.Rows, rr)
+	}
+	flush(len(edges))
+	return out
+}
+
+// EdgeBatchSources extracts the per-batch source lists for ForEachBatch
+// and ForEachBatchPar.
+func EdgeBatchSources(batches []EdgeBatch) [][]int32 {
+	out := make([][]int32, len(batches))
+	for i, b := range batches {
+		out[i] = b.Sources
+	}
+	return out
+}
+
+// MSOptions tunes the batch drivers. The zero value is usable.
+type MSOptions struct {
+	// Workers bounds the number of engines running concurrently; zero or
+	// negative defaults to runtime.GOMAXPROCS(0). One worker runs the
+	// batches inline with no goroutines.
+	Workers int
+	// Skip, when non-nil, is consulted immediately before a batch's BFS
+	// runs; returning true drops the batch without computing it. Consumers
+	// with early-exit semantics (first-violation searches) use it to shed
+	// work that can no longer affect the result.
+	Skip func(batch int) bool
+}
+
+func (o MSOptions) workers(batches int) int {
+	w := o.Workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > batches {
+		w = batches
+	}
+	return w
+}
+
+// parWorkers returns the number of distinct worker ids
+// ForEachSourceBatchPar will use for these sources (nil = every vertex):
+// the slot count for per-worker accumulators. Keeping this beside the
+// driver means accumulator sizing cannot drift from the batching and
+// clamping rules. Callers with worker-indexed accumulators must pin the
+// result back into MSOptions.Workers before calling the driver, so a
+// GOMAXPROCS change between sizing and running cannot produce worker ids
+// beyond the accumulator length.
+func (g *Graph) parWorkers(sources []int32, opts MSOptions) int {
+	n := len(sources)
+	if sources == nil {
+		n = g.N()
+	}
+	return opts.workers((n + MSBatchSize - 1) / MSBatchSize)
+}
+
+// chunkSources splits sources into consecutive batches of MSBatchSize.
+// When sources is nil, every vertex of g is a source, in rank order.
+func (g *Graph) chunkSources(sources []int32) [][]int32 {
+	if sources == nil {
+		sources = make([]int32, g.N())
+		for i := range sources {
+			sources[i] = int32(i)
+		}
+	}
+	batches := make([][]int32, 0, (len(sources)+MSBatchSize-1)/MSBatchSize)
+	for len(sources) > MSBatchSize {
+		batches = append(batches, sources[:MSBatchSize])
+		sources = sources[MSBatchSize:]
+	}
+	if len(sources) > 0 {
+		batches = append(batches, sources)
+	}
+	return batches
+}
+
+// ForEachSourceBatch streams multi-source BFS over the sources (nil means
+// every vertex) in batches of MSBatchSize: batches are fanned across the
+// worker pool, and fn consumes the resulting blocks sequentially in batch
+// order, so runs are deterministic regardless of worker count. Peak memory
+// is O(n · 64 · workers) — the blocks in flight — never O(n²). A non-nil
+// error from fn stops the stream and is returned.
+func (g *Graph) ForEachSourceBatch(sources []int32, opts MSOptions, fn func(*DistBlock) error) error {
+	return g.ForEachBatch(g.chunkSources(sources), opts, fn)
+}
+
+// ForEachSourceBatchPar is ForEachSourceBatch without the ordering
+// guarantee: fn may be called concurrently from different workers (worker
+// identifies the caller, 0..Workers-1, for per-worker accumulators), and
+// blocks arrive in completion order. This is the fastest path for
+// commutative aggregations (eccentricities, distance sums, histograms).
+func (g *Graph) ForEachSourceBatchPar(sources []int32, opts MSOptions, fn func(worker int, b *DistBlock) error) error {
+	return g.ForEachBatchPar(g.chunkSources(sources), opts, fn)
+}
+
+// ForEachBatch is ForEachSourceBatch over caller-shaped batches (each with
+// 1..MSBatchSize sources, possibly overlapping between batches). Consumers
+// that need specific row groupings — e.g. both endpoints of an edge in one
+// block for the Θ test — build their own batches and use this.
+func (g *Graph) ForEachBatch(batches [][]int32, opts MSOptions, fn func(*DistBlock) error) error {
+	nb := len(batches)
+	if nb == 0 {
+		return nil
+	}
+	if opts.workers(nb) == 1 {
+		e := NewMSBFS(g)
+		for i, src := range batches {
+			if opts.Skip != nil && opts.Skip(i) {
+				continue
+			}
+			if err := fn(e.Run(i, src)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return g.forEachBatchOrdered(batches, opts, fn)
+}
+
+// forEachBatchOrdered pipelines BFS across workers while delivering blocks
+// to the single consumer in batch order. Workers draw batch indices from a
+// shared counter and buffers from a bounded pool, so at most
+// workers + 2 blocks are in flight at a time.
+func (g *Graph) forEachBatchOrdered(batches [][]int32, opts MSOptions, fn func(*DistBlock) error) error {
+	nb := len(batches)
+	workers := opts.workers(nb)
+	type item struct {
+		batch int
+		blk   *DistBlock // nil when the batch was skipped
+	}
+	pool := make(chan *DistBlock, workers+2)
+	for i := 0; i < cap(pool); i++ {
+		pool <- &DistBlock{}
+	}
+	results := make(chan item, workers+2)
+	var (
+		cursor int64 = -1
+		stop   atomic.Bool
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := NewMSBFS(g)
+			for {
+				// Acquire the buffer BEFORE claiming a batch index: claims
+				// happen in cursor order, so batch `next` is always claimed
+				// no later than any batch parked in the consumer's pending
+				// map — and with the buffer in hand its worker can never
+				// stall on an empty pool, which keeps the consumer (and
+				// hence buffer recycling) live.
+				blk := <-pool
+				b := int(atomic.AddInt64(&cursor, 1))
+				if b >= nb || stop.Load() {
+					pool <- blk
+					return
+				}
+				if opts.Skip != nil && opts.Skip(b) {
+					pool <- blk
+					results <- item{batch: b}
+					continue
+				}
+				e.RunInto(b, batches[b], blk)
+				results <- item{batch: b, blk: blk}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	var err error
+	pending := make(map[int]item, workers+2)
+	next := 0
+	for it := range results {
+		if err != nil {
+			// Drain after failure, recycling buffers so workers finish.
+			if it.blk != nil {
+				pool <- it.blk
+			}
+			continue
+		}
+		pending[it.batch] = it
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if cur.blk == nil {
+				continue
+			}
+			if e := fn(cur.blk); e != nil {
+				err = e
+				stop.Store(true)
+			}
+			pool <- cur.blk
+			if err != nil {
+				break
+			}
+		}
+	}
+	return err
+}
+
+// ForEachBatchPar runs caller-shaped batches across the worker pool with
+// concurrent delivery: fn runs on the worker that computed the block. A
+// non-nil error from fn stops new batches from being scheduled; the first
+// error observed is returned.
+func (g *Graph) ForEachBatchPar(batches [][]int32, opts MSOptions, fn func(worker int, b *DistBlock) error) error {
+	nb := len(batches)
+	if nb == 0 {
+		return nil
+	}
+	workers := opts.workers(nb)
+	if workers == 1 {
+		e := NewMSBFS(g)
+		for i, src := range batches {
+			if opts.Skip != nil && opts.Skip(i) {
+				continue
+			}
+			if err := fn(0, e.Run(i, src)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		cursor int64 = -1
+		stop   atomic.Bool
+		mu     sync.Mutex
+		first  error
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			e := NewMSBFS(g)
+			for {
+				b := int(atomic.AddInt64(&cursor, 1))
+				if b >= nb || stop.Load() {
+					return
+				}
+				if opts.Skip != nil && opts.Skip(b) {
+					continue
+				}
+				if err := fn(worker, e.Run(b, batches[b])); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return first
+}

@@ -1,0 +1,294 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// randomGraph builds a graph on n vertices with ~2n random edges.
+func randomGraph(rng *rand.Rand, n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n*2; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// checkBlockAgainstSerial compares every row of a block with a serial BFS
+// from the same source, and the Reached counts with the settled queue.
+func checkBlockAgainstSerial(t *testing.T, g *Graph, b *DistBlock) {
+	t.Helper()
+	if b.N() != g.N() {
+		t.Fatalf("block width %d, graph order %d", b.N(), g.N())
+	}
+	want := make([]int32, g.N())
+	tr := NewTraverser(g)
+	for i, s := range b.Sources {
+		tr.BFS(int(s), want)
+		row := b.Row(i)
+		reached := int32(0)
+		for v := range want {
+			if row[v] != want[v] {
+				t.Fatalf("source %d: dist[%d] = %d, serial BFS %d", s, v, row[v], want[v])
+			}
+			if want[v] != Unreachable {
+				reached++
+			}
+		}
+		if b.Reached[i] != reached {
+			t.Fatalf("source %d: Reached = %d, want %d", s, b.Reached[i], reached)
+		}
+	}
+}
+
+func TestMSBFSMatchesSerialOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 25; iter++ {
+		n := 1 + rng.Intn(200)
+		g := randomGraph(rng, n)
+		err := g.ForEachSourceBatch(nil, MSOptions{}, func(b *DistBlock) error {
+			checkBlockAgainstSerial(t, g, b)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMSBFSEngineResetAcrossGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var e *MSBFS
+	for iter := 0; iter < 10; iter++ {
+		n := 1 + rng.Intn(80)
+		g := randomGraph(rng, n)
+		if e == nil {
+			e = NewMSBFS(g)
+		} else {
+			e.Reset(g)
+		}
+		src := []int32{0, int32(n - 1), int32(n / 2)}
+		b := e.Run(0, src)
+		checkBlockAgainstSerial(t, g, b)
+	}
+}
+
+func TestMSBFSDuplicateSources(t *testing.T) {
+	g := Path(6)
+	e := NewMSBFS(g)
+	b := e.Run(0, []int32{2, 2, 5})
+	checkBlockAgainstSerial(t, g, b)
+	if b.Row(0)[5] != 3 || b.Row(1)[5] != 3 {
+		t.Errorf("duplicate source rows disagree: %v vs %v", b.Row(0), b.Row(1))
+	}
+}
+
+func TestMSBFSDisconnected(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3) // vertex 4 isolated
+	g := b.Build()
+	e := NewMSBFS(g)
+	blk := e.Run(0, []int32{0, 4})
+	if blk.Reached[0] != 2 || blk.Reached[1] != 1 {
+		t.Errorf("Reached = %v", blk.Reached)
+	}
+	if blk.Row(0)[2] != Unreachable || blk.Row(1)[0] != Unreachable {
+		t.Error("cross-component distances not Unreachable")
+	}
+	checkBlockAgainstSerial(t, g, blk)
+}
+
+// The ordered driver must deliver batches 0,1,2,... regardless of worker
+// count, and the parallel driver must cover every source exactly once.
+func TestMSBFSDriverOrderingAndCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 400)
+	for _, workers := range []int{1, 2, 5} {
+		next := 0
+		err := g.ForEachSourceBatch(nil, MSOptions{Workers: workers}, func(b *DistBlock) error {
+			if b.Batch != next {
+				return fmt.Errorf("batch %d delivered at position %d", b.Batch, next)
+			}
+			next++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if next != (400+MSBatchSize-1)/MSBatchSize {
+			t.Fatalf("workers=%d: %d batches delivered", workers, next)
+		}
+
+		var covered [400]atomic.Bool
+		err = g.ForEachSourceBatchPar(nil, MSOptions{Workers: workers}, func(_ int, b *DistBlock) error {
+			for _, s := range b.Sources {
+				if covered[s].Swap(true) {
+					return fmt.Errorf("source %d delivered twice", s)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for s := range covered {
+			if !covered[s].Load() {
+				t.Fatalf("workers=%d: source %d never delivered", workers, s)
+			}
+		}
+	}
+}
+
+// Stress the ordered driver's buffer pool under a deliberately slow
+// consumer: out-of-order blocks pile up in the resequencing map, which is
+// exactly the regime where buffer starvation would deadlock.
+func TestMSBFSOrderedDriverSlowConsumerStress(t *testing.T) {
+	g := Path(20 * MSBatchSize) // 20 batches
+	for iter := 0; iter < 30; iter++ {
+		next := 0
+		err := g.ForEachSourceBatch(nil, MSOptions{Workers: 6}, func(b *DistBlock) error {
+			if b.Batch != next {
+				return fmt.Errorf("batch %d at position %d", b.Batch, next)
+			}
+			next++
+			if next == 1 {
+				time.Sleep(time.Millisecond) // let workers run far ahead
+			}
+			return nil
+		})
+		if err != nil || next != 20 {
+			t.Fatalf("iter %d: err=%v delivered=%d", iter, err, next)
+		}
+	}
+}
+
+func TestMSBFSDriverErrorStopsStream(t *testing.T) {
+	g := Path(300)
+	sentinel := errors.New("stop")
+	for _, workers := range []int{1, 3} {
+		calls := 0
+		err := g.ForEachSourceBatch(nil, MSOptions{Workers: workers}, func(b *DistBlock) error {
+			calls++
+			if b.Batch == 1 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if calls < 2 {
+			t.Fatalf("workers=%d: only %d calls before error", workers, calls)
+		}
+		if err := g.ForEachSourceBatchPar(nil, MSOptions{Workers: workers}, func(_ int, b *DistBlock) error {
+			return sentinel
+		}); !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: par err = %v", workers, err)
+		}
+	}
+}
+
+func TestMSBFSSkipShedsBatches(t *testing.T) {
+	g := Path(300)
+	for _, workers := range []int{1, 2} {
+		var ran []int
+		err := g.ForEachSourceBatch(nil, MSOptions{
+			Workers: workers,
+			Skip:    func(batch int) bool { return batch%2 == 1 },
+		}, func(b *DistBlock) error {
+			ran = append(ran, b.Batch)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range ran {
+			if b%2 == 1 {
+				t.Fatalf("workers=%d: skipped batch %d was delivered", workers, b)
+			}
+		}
+		if len(ran) != 3 { // batches 0, 2, 4 of ceil(300/64)=5
+			t.Fatalf("workers=%d: ran %v", workers, ran)
+		}
+	}
+}
+
+func TestMSBFSEmptyAndTinyInputs(t *testing.T) {
+	if err := NewBuilder(0).Build().ForEachSourceBatch(nil, MSOptions{}, func(*DistBlock) error {
+		return errors.New("no batches expected")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g := NewBuilder(1).Build()
+	count := 0
+	if err := g.ForEachSourceBatch(nil, MSOptions{}, func(b *DistBlock) error {
+		count++
+		if b.Row(0)[0] != 0 || b.Reached[0] != 1 {
+			return errors.New("singleton row wrong")
+		}
+		return nil
+	}); err != nil || count != 1 {
+		t.Fatalf("singleton: err=%v count=%d", err, count)
+	}
+}
+
+func TestMSBFSRunRejectsBadBatch(t *testing.T) {
+	g := Path(3)
+	e := NewMSBFS(g)
+	for _, src := range [][]int32{nil, make([]int32, MSBatchSize+1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Run accepted batch of %d sources", len(src))
+				}
+			}()
+			e.Run(0, src)
+		}()
+	}
+}
+
+func TestEdgeBatchesCoverAndGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 10; iter++ {
+		g := randomGraph(rng, 30+rng.Intn(200))
+		edges := g.EdgeList()
+		batches := EdgeBatches(edges)
+		covered := 0
+		for bi, eb := range batches {
+			if len(eb.Sources) == 0 || len(eb.Sources) > MSBatchSize {
+				t.Fatalf("batch %d has %d sources", bi, len(eb.Sources))
+			}
+			if eb.Lo != covered {
+				t.Fatalf("batch %d starts at %d, want %d", bi, eb.Lo, covered)
+			}
+			for k := eb.Lo; k < eb.Hi; k++ {
+				rows := eb.Rows[k-eb.Lo]
+				if eb.Sources[rows[0]] != edges[k][0] || eb.Sources[rows[1]] != edges[k][1] {
+					t.Fatalf("batch %d edge %d: row mapping wrong", bi, k)
+				}
+			}
+			covered = eb.Hi
+		}
+		if covered != len(edges) {
+			t.Fatalf("batches cover %d of %d edges", covered, len(edges))
+		}
+		srcs := EdgeBatchSources(batches)
+		if len(srcs) != len(batches) {
+			t.Fatal("source list length mismatch")
+		}
+	}
+}
+
+func TestEdgeBatchesEmpty(t *testing.T) {
+	if got := EdgeBatches(nil); got != nil {
+		t.Errorf("EdgeBatches(nil) = %v", got)
+	}
+}

@@ -16,11 +16,17 @@ type DistanceStats struct {
 	Connected bool
 }
 
-// Stats runs a BFS from every vertex, in parallel across
-// runtime.GOMAXPROCS(0) workers, and aggregates distance statistics. For a
-// disconnected graph Connected is false, Diameter and Radius are -1 and
-// SumDist counts only reachable pairs.
-func (g *Graph) Stats() DistanceStats {
+// Stats computes distances from every vertex on the MS-BFS engine — 64
+// sources per bitset batch, batches fanned across runtime.GOMAXPROCS(0)
+// workers — and aggregates distance statistics. For a disconnected graph
+// Connected is false, Diameter and Radius are -1 and SumDist counts only
+// reachable pairs.
+func (g *Graph) Stats() DistanceStats { return g.StatsWorkers(0) }
+
+// StatsWorkers is Stats with an explicit engine worker count (0 = use the
+// machine). Grid sweeps that already parallelize across cells pass 1 to
+// keep each cell serial.
+func (g *Graph) StatsWorkers(workers int) DistanceStats {
 	n := g.N()
 	st := DistanceStats{Ecc: make([]int32, n), Diameter: -1, Radius: -1, Connected: true}
 	if n == 0 {
@@ -30,54 +36,58 @@ func (g *Graph) Stats() DistanceStats {
 		st.Diameter, st.Radius = 0, 0
 		return st
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	// Pin the resolved worker count into opts so the driver cannot re-read
+	// a changed GOMAXPROCS and hand out worker ids beyond len(parts).
+	opts := MSOptions{Workers: workers}
+	opts.Workers = g.parWorkers(nil, opts)
+	type partial struct {
+		sum  uint64
+		conn bool
+		_    [48]byte // padding: partials are written from distinct workers
 	}
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		next     = make(chan int, workers)
-		sumTotal uint64
-		conn     = true
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			t := NewTraverser(g)
-			dist := make([]int32, n)
-			var localSum uint64
-			localConn := true
-			for src := range next {
-				t.BFS(src, dist)
-				ecc := int32(0)
-				for v, d := range dist {
-					if d == Unreachable {
-						localConn = false
-						continue
+	parts := make([]partial, opts.Workers)
+	for i := range parts {
+		parts[i].conn = true
+	}
+	// The engine driver guarantees each source appears in exactly one
+	// block, so st.Ecc rows are written by exactly one worker.
+	_ = g.ForEachSourceBatchPar(nil, opts, func(worker int, b *DistBlock) error {
+		p := &parts[worker]
+		for i, s := range b.Sources {
+			row := b.Row(i)
+			ecc := int32(0)
+			if int(b.Reached[i]) == n {
+				for v, d := range row {
+					if d > ecc {
+						ecc = d
 					}
-					if v > src {
-						localSum += uint64(d)
+					if v > int(s) {
+						p.sum += uint64(d)
+					}
+				}
+			} else {
+				p.conn = false
+				for v, d := range row {
+					if d == Unreachable {
+						continue
 					}
 					if d > ecc {
 						ecc = d
 					}
+					if v > int(s) {
+						p.sum += uint64(d)
+					}
 				}
-				st.Ecc[src] = ecc // each src written by exactly one worker
 			}
-			mu.Lock()
-			sumTotal += localSum
-			conn = conn && localConn
-			mu.Unlock()
-		}()
+			st.Ecc[s] = ecc
+		}
+		return nil
+	})
+	conn := true
+	for i := range parts {
+		st.SumDist += parts[i].sum
+		conn = conn && parts[i].conn
 	}
-	for src := 0; src < n; src++ {
-		next <- src
-	}
-	close(next)
-	wg.Wait()
-	st.SumDist = sumTotal
 	st.Connected = conn
 	if conn {
 		st.Diameter, st.Radius = 0, st.Ecc[0]

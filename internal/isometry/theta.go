@@ -8,17 +8,25 @@
 package isometry
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"gfcube/internal/bitstr"
 	"gfcube/internal/graph"
 )
 
-// Analysis is the result of the Θ-relation computation on a graph.
+// Analysis is the result of the Θ-relation computation on a graph. Unlike
+// earlier revisions it never materializes an n×n distance matrix: the Θ
+// passes stream 64-source MS-BFS blocks, and post-analysis distance
+// queries go through a small LRU of BFS rows.
 type Analysis struct {
 	g     *graph.Graph
 	edges [][2]int32
-	dist  [][]int32
+
+	mu  sync.Mutex // guards lru
+	lru *rowLRU
 
 	// Class[i] is the Θ*-class of edge i; classes are 0..NumClasses-1.
 	Class      []int
@@ -35,102 +43,140 @@ type Analysis struct {
 	BadEdges [2]int
 }
 
-// Analyze computes distances, the Θ relation, Θ*-classes and the Winkler
-// transitivity test for a connected graph. It panics on a disconnected
-// graph only when asked for coordinates; Analyze itself records the defect.
-func Analyze(g *graph.Graph) *Analysis {
-	n := g.N()
-	a := &Analysis{g: g, edges: g.EdgeList()}
-	a.dist = make([][]int32, n)
-	t := graph.NewTraverser(g)
-	a.Connected = true
-	for v := 0; v < n; v++ {
-		a.dist[v] = make([]int32, n)
-		t.BFS(v, a.dist[v])
-		for _, d := range a.dist[v] {
-			if d == graph.Unreachable {
-				a.Connected = false
-			}
-		}
-	}
-	a.Bipartite, _ = g.IsBipartite()
+// errBadPairFound stops the transitivity stream at the first violation.
+var errBadPairFound = errors.New("isometry: non-transitive pair found")
 
+// Analyze computes the Θ relation, Θ*-classes and the Winkler transitivity
+// test for a graph. Distances are streamed from the MS-BFS engine in
+// blocks whose batching puts both endpoint rows of each edge in one block,
+// so peak memory is O(n·64·workers) instead of the former O(n²) matrix;
+// connectivity comes from the BFS visit count of g.IsConnected, not from
+// scanning distance rows.
+func Analyze(g *graph.Graph) *Analysis {
+	a := &Analysis{g: g, edges: g.EdgeList()}
+	a.Connected = g.IsConnected()
+	a.Bipartite, _ = g.IsBipartite()
+	a.lru = newRowLRU(g)
+	a.ThetaTransitive = true
+	a.BadEdges = [2]int{-1, -1}
 	m := len(a.edges)
-	parent := make([]int, m)
-	for i := range parent {
-		parent[i] = i
+	a.Class = make([]int, m)
+	if m == 0 {
+		return a
 	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	union := func(x, y int) {
-		rx, ry := find(x), find(y)
-		if rx != ry {
-			parent[rx] = ry
-		}
-	}
-	for i := 0; i < m; i++ {
-		for j := i + 1; j < m; j++ {
-			if a.theta(i, j) {
-				union(i, j)
+	batches := graph.EdgeBatches(a.edges)
+	sources := graph.EdgeBatchSources(batches)
+
+	// Pass 1: Θ over edge pairs. Each block owns a consecutive edge range
+	// with both endpoint rows resident; every owned edge i is tested
+	// against all j > i (each unordered pair exactly once, as in the
+	// serial analysis) and related pairs merge in a lock-free union-find.
+	uf := newAtomicUF(m)
+	_ = g.ForEachBatchPar(sources, graph.MSOptions{}, func(_ int, b *graph.DistBlock) error {
+		eb := batches[b.Batch]
+		for i := eb.Lo; i < eb.Hi; i++ {
+			rows := eb.Rows[i-eb.Lo]
+			rx := b.Row(int(rows[0]))
+			ry := b.Row(int(rows[1]))
+			for j := i + 1; j < m; j++ {
+				u, v := a.edges[j][0], a.edges[j][1]
+				if rx[u]+ry[v] != rx[v]+ry[u] {
+					uf.union(int32(i), int32(j))
+				}
 			}
 		}
-	}
-	a.Class = make([]int, m)
-	next := 0
-	ids := make(map[int]int)
+		return nil
+	})
+	// Class ids by first occurrence in edge order — identical to the
+	// serial analysis regardless of union interleaving (the final
+	// partition is order-independent).
+	ids := make(map[int32]int)
 	for i := 0; i < m; i++ {
-		r := find(i)
+		r := uf.find(int32(i))
 		id, ok := ids[r]
 		if !ok {
-			id = next
+			id = len(ids)
 			ids[r] = id
-			next++
 		}
 		a.Class[i] = id
 	}
-	a.NumClasses = next
+	a.NumClasses = len(ids)
 
-	// Transitivity: every two edges in the same Θ*-class must be Θ-related.
-	a.ThetaTransitive = true
-	a.BadEdges = [2]int{-1, -1}
-outer:
-	for i := 0; i < m; i++ {
-		for j := i + 1; j < m; j++ {
-			if a.Class[i] == a.Class[j] && !a.theta(i, j) {
-				a.ThetaTransitive = false
-				a.BadEdges = [2]int{i, j}
-				break outer
+	// Pass 2: Winkler transitivity — every two edges in the same Θ*-class
+	// must be Θ-related. Only same-class pairs are tested (classEdges
+	// lists are ascending), blocks are consumed in batch order, and the
+	// stream stops at the first violating pair, so the witness is the
+	// lexicographically first (i, j), exactly as in the serial analysis.
+	classEdges := make([][]int32, a.NumClasses)
+	for i, c := range a.Class {
+		classEdges[c] = append(classEdges[c], int32(i))
+	}
+	// A batch only needs its BFS if some owned edge has a later edge in
+	// its class (class lists are ascending, so check each list's tail).
+	// Trees and other all-singleton-class graphs shed the entire second
+	// sweep this way.
+	skipBatch := make([]bool, len(batches))
+	for bi, eb := range batches {
+		skip := true
+		for i := eb.Lo; i < eb.Hi && skip; i++ {
+			ce := classEdges[a.Class[i]]
+			skip = ce[len(ce)-1] <= int32(i)
+		}
+		skipBatch[bi] = skip
+	}
+	_ = g.ForEachBatch(sources, graph.MSOptions{Skip: func(b int) bool { return skipBatch[b] }}, func(b *graph.DistBlock) error {
+		eb := batches[b.Batch]
+		for i := eb.Lo; i < eb.Hi; i++ {
+			rows := eb.Rows[i-eb.Lo]
+			rx := b.Row(int(rows[0]))
+			ry := b.Row(int(rows[1]))
+			for _, j32 := range classEdges[a.Class[i]] {
+				j := int(j32)
+				if j <= i {
+					continue
+				}
+				u, v := a.edges[j][0], a.edges[j][1]
+				if rx[u]+ry[v] == rx[v]+ry[u] {
+					a.ThetaTransitive = false
+					a.BadEdges = [2]int{i, j}
+					return errBadPairFound
+				}
 			}
 		}
-	}
+		return nil
+	})
 	return a
 }
 
-// theta reports whether edges i and j are in relation Θ:
-// d(x,u) + d(y,v) != d(x,v) + d(y,u) for e_i = xy, e_j = uv.
-func (a *Analysis) theta(i, j int) bool {
+// Theta exposes the Θ test on edge indices (after Analyze): edges i and j
+// are related iff d(x,u) + d(y,v) != d(x,v) + d(y,u) for e_i = xy,
+// e_j = uv. Distances come from the row LRU.
+func (a *Analysis) Theta(i, j int) bool {
 	if i == j {
 		return true
 	}
 	x, y := a.edges[i][0], a.edges[i][1]
 	u, v := a.edges[j][0], a.edges[j][1]
-	return a.dist[x][u]+a.dist[y][v] != a.dist[x][v]+a.dist[y][u]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	xu := a.lru.row(x)[u]
+	yv := a.lru.row(y)[v]
+	xv := a.lru.row(x)[v]
+	yu := a.lru.row(y)[u]
+	return xu+yv != xv+yu
 }
-
-// Theta exposes the Θ test on edge indices (after Analyze).
-func (a *Analysis) Theta(i, j int) bool { return a.theta(i, j) }
 
 // Edges returns the edge list the analysis indexes refer to.
 func (a *Analysis) Edges() [][2]int32 { return a.edges }
 
-// Dist returns the precomputed distance between two vertices.
-func (a *Analysis) Dist(u, v int) int32 { return a.dist[u][v] }
+// Dist returns the distance between two vertices. Rows are BFS'd on demand
+// and kept in a fixed-size LRU, so repeated queries from the same source
+// (the common access pattern) cost one lookup. Safe for concurrent use.
+func (a *Analysis) Dist(u, v int) int32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lru.row(int32(u))[v]
+}
 
 // IsPartialCube applies Winkler's theorem: the graph embeds isometrically
 // into some hypercube iff it is connected, bipartite and Θ is transitive.
@@ -152,7 +198,9 @@ func (a *Analysis) Idim() int {
 // Q_{idim(G)}: one word per vertex, one coordinate per Θ*-class. The side of
 // each vertex relative to class k is determined by distance comparison with
 // the endpoints of a representative edge of k (the halfspaces of a partial
-// cube). The embedding is verified before being returned.
+// cube); side vectors and the final verification both stream MS-BFS blocks
+// rather than consulting a distance matrix. The embedding is verified
+// before being returned.
 func (a *Analysis) Coordinates() ([]bitstr.Word, error) {
 	if !a.IsPartialCube() {
 		return nil, fmt.Errorf("isometry: graph is not a partial cube")
@@ -162,41 +210,172 @@ func (a *Analysis) Coordinates() ([]bitstr.Word, error) {
 	if k > bitstr.MaxLen {
 		return nil, fmt.Errorf("isometry: idim %d exceeds %d-bit words", k, bitstr.MaxLen)
 	}
-	// Representative edge per class.
-	rep := make([]int, k)
-	for i := range rep {
-		rep[i] = -1
-	}
+	// Representative edge per class, batched so each class's two endpoint
+	// rows share a block.
+	repEdges := make([][2]int32, k)
+	seen := make([]bool, k)
 	for e, cl := range a.Class {
-		if rep[cl] == -1 {
-			rep[cl] = e
+		if !seen[cl] {
+			seen[cl] = true
+			repEdges[cl] = a.edges[e]
 		}
+	}
+	batches := graph.EdgeBatches(repEdges)
+	// side[cl*n+v] is 1 when v lies on the y-side of class cl's
+	// representative edge xy. Distinct classes write distinct rows, so
+	// blocks can be consumed concurrently.
+	side := make([]int8, k*n)
+	err := a.g.ForEachBatchPar(graph.EdgeBatchSources(batches), graph.MSOptions{}, func(_ int, b *graph.DistBlock) error {
+		eb := batches[b.Batch]
+		for cl := eb.Lo; cl < eb.Hi; cl++ {
+			rows := eb.Rows[cl-eb.Lo]
+			rx := b.Row(int(rows[0]))
+			ry := b.Row(int(rows[1]))
+			s := side[cl*n : (cl+1)*n]
+			for v := 0; v < n; v++ {
+				switch {
+				case rx[v] < ry[v]:
+					// x-side: bit 0.
+				case rx[v] > ry[v]:
+					s[v] = 1
+				default:
+					return fmt.Errorf("isometry: vertex %d equidistant from endpoints of class %d; not a partial cube", v, cl)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	coords := make([]bitstr.Word, n)
 	for v := 0; v < n; v++ {
 		var bits uint64
 		for cl := 0; cl < k; cl++ {
-			x, y := a.edges[rep[cl]][0], a.edges[rep[cl]][1]
-			// v is on the y-side iff it is closer to y than to x; in a
-			// partial cube every vertex is strictly closer to one endpoint.
-			switch {
-			case a.dist[v][x] < a.dist[v][y]:
-				// bit 0
-			case a.dist[v][x] > a.dist[v][y]:
+			if side[cl*n+v] == 1 {
 				bits |= 1 << uint(k-1-cl)
-			default:
-				return nil, fmt.Errorf("isometry: vertex %d equidistant from endpoints of class %d; not a partial cube", v, cl)
 			}
 		}
 		coords[v] = bitstr.Word{Bits: bits, N: k}
 	}
 	// Verify: graph distance must equal Hamming distance of coordinates.
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if int(a.dist[u][v]) != coords[u].HammingDistance(coords[v]) {
-				return nil, fmt.Errorf("isometry: coordinatization failed at pair (%d,%d)", u, v)
+	err = a.g.ForEachSourceBatchPar(nil, graph.MSOptions{}, func(_ int, b *graph.DistBlock) error {
+		for i, s := range b.Sources {
+			row := b.Row(i)
+			cs := coords[s]
+			for v := int(s) + 1; v < n; v++ {
+				if int(row[v]) != cs.HammingDistance(coords[v]) {
+					return fmt.Errorf("isometry: coordinatization failed at pair (%d,%d)", s, v)
+				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return coords, nil
+}
+
+// rowLRU caches BFS distance rows for the post-analysis Dist and Theta
+// accessors: capacity-bounded, least-recently-used eviction, row storage
+// recycled across evictions. It replaces the former n×n matrix.
+type rowLRU struct {
+	g    *graph.Graph
+	t    *graph.Traverser
+	rows map[int32]*lruRow
+	tick uint64
+}
+
+type lruRow struct {
+	dist []int32
+	last uint64
+}
+
+// lruRowCap bounds the cached rows: 64·n int32 values, mirroring one
+// MS-BFS block.
+const lruRowCap = 64
+
+func newRowLRU(g *graph.Graph) *rowLRU {
+	return &rowLRU{g: g, rows: make(map[int32]*lruRow)}
+}
+
+// row returns the distance row of src, computing it by BFS on a miss. The
+// returned slice is valid until the row is evicted; callers under the
+// Analysis lock read single entries and never retain it.
+func (c *rowLRU) row(src int32) []int32 {
+	c.tick++
+	if e, ok := c.rows[src]; ok {
+		e.last = c.tick
+		return e.dist
+	}
+	var e *lruRow
+	if len(c.rows) >= lruRowCap {
+		victim, oldest := int32(-1), ^uint64(0)
+		for s, r := range c.rows {
+			if r.last < oldest {
+				oldest, victim = r.last, s
+			}
+		}
+		e = c.rows[victim]
+		delete(c.rows, victim)
+	} else {
+		e = &lruRow{dist: make([]int32, c.g.N())}
+	}
+	if c.t == nil {
+		c.t = graph.NewTraverser(c.g)
+	}
+	c.t.BFS(int(src), e.dist)
+	e.last = c.tick
+	c.rows[src] = e
+	return e.dist
+}
+
+// atomicUF is a lock-free union-find over edge indices (Anderson–Woll
+// style): parents are updated with compare-and-swap, roots always link
+// toward the smaller index, so the final representative of every class is
+// its minimum edge — deterministic under any worker interleaving.
+type atomicUF struct {
+	parent []int32
+}
+
+func newAtomicUF(m int) *atomicUF {
+	u := &atomicUF{parent: make([]int32, m)}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+func (u *atomicUF) find(x int32) int32 {
+	for {
+		p := atomic.LoadInt32(&u.parent[x])
+		if p == x {
+			return x
+		}
+		gp := atomic.LoadInt32(&u.parent[p])
+		if gp == p {
+			return p
+		}
+		// Path halving; a lost race just means another worker compressed.
+		atomic.CompareAndSwapInt32(&u.parent[x], p, gp)
+		x = gp
+	}
+}
+
+func (u *atomicUF) union(x, y int32) {
+	for {
+		rx, ry := u.find(x), u.find(y)
+		if rx == ry {
+			return
+		}
+		if rx > ry {
+			rx, ry = ry, rx
+		}
+		// Link the larger root under the smaller; CAS failure means ry
+		// was linked concurrently — re-find and retry.
+		if atomic.CompareAndSwapInt32(&u.parent[ry], ry, rx) {
+			return
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package isometry
 
 import (
+	"runtime"
 	"testing"
 
 	"gfcube/internal/bitstr"
@@ -146,6 +147,58 @@ func TestCoordinatesFailsOnNonPartialCube(t *testing.T) {
 	a := Analyze(graph.Complete(3))
 	if _, err := a.Coordinates(); err == nil {
 		t.Error("Coordinates should fail for K_3")
+	}
+}
+
+// The streaming analysis must never materialize an n×n distance matrix:
+// total allocation during Analyze of Γ_16 (n = 2584, matrix would be
+// ~26.7 MB) must stay well under half the matrix footprint. GOMAXPROCS is
+// pinned so the worker count (hence blocks in flight) is machine
+// independent.
+func TestAnalyzeAllocationBound(t *testing.T) {
+	g := core.Fibonacci(16).Graph()
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	a := Analyze(g)
+	runtime.ReadMemStats(&after)
+	if a.Idim() != 16 {
+		t.Fatalf("idim(Γ_16) = %d", a.Idim())
+	}
+	matrix := uint64(g.N()) * uint64(g.N()) * 4
+	if alloc := after.TotalAlloc - before.TotalAlloc; alloc > matrix/2 {
+		t.Errorf("Analyze allocated %d bytes total, over half an n×n matrix (%d)", alloc, matrix)
+	}
+}
+
+// Post-analysis Dist and Theta run on the row LRU; they must agree with
+// fresh BFS distances and with the streamed Θ classes, including far past
+// the LRU capacity.
+func TestAnalysisDistLRU(t *testing.T) {
+	g := core.Fibonacci(9).Graph() // n = 89, beyond the 64-row LRU
+	a := Analyze(g)
+	n := g.N()
+	dist := make([]int32, n)
+	tr := graph.NewTraverser(g)
+	for u := 0; u < n; u++ {
+		tr.BFS(u, dist)
+		for v := 0; v < n; v++ {
+			if got := a.Dist(u, v); got != dist[v] {
+				t.Fatalf("Dist(%d,%d) = %d, BFS %d", u, v, got, dist[v])
+			}
+		}
+	}
+	// Theta agrees with the class structure on a partial cube: same class
+	// iff Θ-related.
+	edges := a.Edges()
+	for i := 0; i < len(edges); i += 7 {
+		for j := i; j < len(edges); j += 13 {
+			if got, want := a.Theta(i, j), a.Class[i] == a.Class[j]; got != want {
+				t.Fatalf("Theta(%d,%d) = %v, classes %d/%d", i, j, got, a.Class[i], a.Class[j])
+			}
+		}
 	}
 }
 

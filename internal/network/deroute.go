@@ -115,7 +115,6 @@ func (n *Network) FaultyRoute(killed []int, pairs [][2]int) RoutingStats {
 		newID[v] = i
 	}
 	t := graph.NewTraverser(sub)
-	dist := make([]int32, sub.N())
 	var st RoutingStats
 	for _, p := range pairs {
 		st.Attempts++
@@ -124,14 +123,16 @@ func (n *Network) FaultyRoute(killed []int, pairs [][2]int) RoutingStats {
 		if !okS || !okD {
 			continue // endpoint dead
 		}
-		t.BFS(s, dist)
-		if dist[d] == graph.Unreachable {
+		// Early-exit pair BFS: verification stops as soon as the
+		// destination settles instead of finishing a full sweep.
+		hops := t.Dist(s, d)
+		if hops == graph.Unreachable {
 			continue
 		}
 		st.Delivered++
-		st.TotalHops += int(dist[d])
-		if int(dist[d]) > st.MaxHops {
-			st.MaxHops = int(dist[d])
+		st.TotalHops += int(hops)
+		if int(hops) > st.MaxHops {
+			st.MaxHops = int(hops)
 		}
 	}
 	return st

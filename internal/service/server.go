@@ -134,6 +134,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweep/count", s.instrument(s.handleSweepCount))
 	mux.HandleFunc("GET /v1/sweep/fdim", s.instrument(s.handleSweepFDim))
 	mux.HandleFunc("GET /v1/sweep/degrees", s.instrument(s.handleSweepDegrees))
+	mux.HandleFunc("GET /v1/sweep/wiener", s.instrument(s.handleSweepWiener))
 	return mux
 }
 

@@ -322,6 +322,60 @@ func (s *Server) handleSweepDegrees(w http.ResponseWriter, r *http.Request) erro
 	return nil
 }
 
+// handleSweepWiener serves the Wiener-index cross-check grid: for every
+// (class, d) cell, the exact BFS Wiener index of Q_d(f) (MS-BFS sweep of
+// the explicit graph) next to the closed-form Hamming-distance sum, with
+// the match verdict. On isometric cubes the two agree; on connected
+// non-isometric ones the exact value is strictly larger.
+func (s *Server) handleSweepWiener(w http.ResponseWriter, r *http.Request) error {
+	start := time.Now()
+	// Exact cells build Q_d(f) explicitly and sweep all-pairs distances;
+	// keep the grid within the classification bounds.
+	spec, err := s.parseSweepGrid(r, 8, min(s.cfg.MaxBuildDim, 14))
+	if err != nil {
+		return err
+	}
+	workers, err := parseWorkers(r)
+	if err != nil {
+		return err
+	}
+	key := fmt.Sprintf("sweep/wiener|%d|%d|%d|%d", spec.MinLen, spec.MaxLen, spec.MinD, spec.MaxD)
+	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
+		cells, err := sweep.WienerGrid(ctx, spec, sweep.Options{Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		resp := SweepWienerResponse{
+			MinLen: spec.MinLen, MaxLen: spec.MaxLen,
+			MinD: spec.MinD, MaxD: spec.MaxD,
+			Cells: make([]SweepWienerCell, 0, len(cells)),
+		}
+		for _, c := range cells {
+			resp.Cells = append(resp.Cells, SweepWienerCell{
+				Factor:        c.Class.Rep.String(),
+				ClassSize:     c.Class.Size,
+				D:             c.D,
+				Order:         formatRank(c.Order),
+				Connected:     c.Connected,
+				Wiener:        c.Wiener.String(),
+				WienerHamming: c.WienerHamming.String(),
+				Match:         c.Match,
+				MeanDist:      c.MeanDist,
+			})
+		}
+		return resp, nil
+	})
+	if err != nil {
+		return err
+	}
+	resp := v.(SweepWienerResponse)
+	resp.Workers = workers
+	resp.Cached = cached
+	resp.Elapsed = elapsedSince(start)
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
 // handleSweepFDim serves the f-dimension of one guest graph under every
 // factor class up to maxlen (Section 7 batched over factors).
 func (s *Server) handleSweepFDim(w http.ResponseWriter, r *http.Request) error {

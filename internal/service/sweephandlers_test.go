@@ -195,6 +195,45 @@ func TestSweepFDimEndpoint(t *testing.T) {
 	}
 }
 
+// The Wiener endpoint must report exact-vs-Hamming agreement following
+// the isometry classification: f=101 matches exactly up to d=3.
+func TestSweepWienerEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var got SweepWienerResponse
+	url := ts.URL + "/v1/sweep/wiener?minlen=3&maxlen=3&maxd=6"
+	if code := getJSON(t, url, &got); code != http.StatusOK {
+		t.Fatalf("%s: status %d", url, code)
+	}
+	if want := len(core.Classes(3, 3)) * 6; len(got.Cells) != want {
+		t.Fatalf("cells: %d, want %d", len(got.Cells), want)
+	}
+	seen010 := false
+	for _, cell := range got.Cells {
+		if cell.Wiener == "" || cell.WienerHamming == "" {
+			t.Fatalf("f=%s d=%d: empty Wiener strings", cell.Factor, cell.D)
+		}
+		if cell.Match != (cell.Connected && cell.Wiener == cell.WienerHamming) {
+			t.Errorf("f=%s d=%d: match flag inconsistent", cell.Factor, cell.D)
+		}
+		// 010 is the canonical representative of the {010, 101} class,
+		// which stops being isometric (hence matching) at d = 4.
+		if cell.Factor == "010" {
+			seen010 = true
+			if cell.Match != (cell.D <= 3) {
+				t.Errorf("f=010 d=%d: match=%v", cell.D, cell.Match)
+			}
+		}
+	}
+	if !seen010 {
+		t.Fatal("factor 010 missing from grid")
+	}
+	var again SweepWienerResponse
+	getJSON(t, url, &again)
+	if !again.Cached {
+		t.Error("second identical wiener sweep not served from cache")
+	}
+}
+
 func TestSweepBadRequests(t *testing.T) {
 	ts, _ := newTestServer(t)
 	urls := []string{

@@ -300,6 +300,36 @@ type SweepDegreesResponse struct {
 	Elapsed string            `json:"elapsed"`
 }
 
+// SweepWienerCell cross-checks the exact BFS Wiener index of one
+// (class, d) cell against the closed-form Hamming sum. Values are decimal
+// strings (they overflow fixed-width integers quickly).
+type SweepWienerCell struct {
+	Factor    string `json:"factor"`
+	ClassSize int    `json:"classSize"`
+	D         int    `json:"d"`
+	Order     string `json:"order"`
+	Connected bool   `json:"connected"`
+	// Wiener is the exact shortest-path sum; WienerHamming the Hamming
+	// lower bound; Match reports their equality on a connected cell.
+	Wiener        string  `json:"wiener"`
+	WienerHamming string  `json:"wienerHamming"`
+	Match         bool    `json:"match"`
+	MeanDist      float64 `json:"meanDist"`
+}
+
+// SweepWienerResponse reports a Wiener-index grid in deterministic order:
+// classes shortest-first then by value, d ascending.
+type SweepWienerResponse struct {
+	MinLen  int               `json:"minLen"`
+	MaxLen  int               `json:"maxLen"`
+	MinD    int               `json:"minD"`
+	MaxD    int               `json:"maxD"`
+	Workers int               `json:"workers"`
+	Cells   []SweepWienerCell `json:"cells"`
+	Cached  bool              `json:"cached"`
+	Elapsed string            `json:"elapsed"`
+}
+
 // StatsResponse is the /stats ("metrics") payload.
 type StatsResponse struct {
 	UptimeSeconds   float64 `json:"uptimeSeconds"`

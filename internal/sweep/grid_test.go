@@ -125,6 +125,56 @@ func TestCountGrid(t *testing.T) {
 	}
 }
 
+// Wiener cells agree with direct per-cube computation, and the
+// exact-vs-Hamming verdict lines up with the isometry check.
+func TestWienerGrid(t *testing.T) {
+	ctx := context.Background()
+	spec := GridSpec{MinLen: 2, MaxLen: 3, MinD: 1, MaxD: 7}
+	cells, err := WienerGrid(ctx, spec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(core.Classes(2, 3)) * 7
+	if len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	s := core.NewScratch()
+	for _, cell := range cells {
+		c := s.Cube(cell.D, cell.Class.Rep)
+		exact, connected := c.WienerExactWorkers(1)
+		if cell.Connected != connected || cell.Wiener.Cmp(exact) != 0 {
+			t.Errorf("f=%s d=%d: cell %s/%v, direct %s/%v",
+				cell.Class.Rep, cell.D, cell.Wiener, cell.Connected, exact, connected)
+		}
+		if cell.WienerHamming.Cmp(core.WienerHamming(cell.D, cell.Class.Rep)) != 0 {
+			t.Errorf("f=%s d=%d: Hamming sum mismatch", cell.Class.Rep, cell.D)
+		}
+		if cell.Match != (cell.Connected && cell.Wiener.Cmp(cell.WienerHamming) == 0) {
+			t.Errorf("f=%s d=%d: Match inconsistent", cell.Class.Rep, cell.D)
+		}
+		// The verdict must line up with exact isometry: isometric cells
+		// always match; mismatching connected cells are non-isometric.
+		iso := s.IsIsometric(c).Isometric
+		if iso && !cell.Match {
+			t.Errorf("f=%s d=%d: isometric cell does not match", cell.Class.Rep, cell.D)
+		}
+		if cell.Order != int64(c.N()) {
+			t.Errorf("f=%s d=%d: order %d", cell.Class.Rep, cell.D, cell.Order)
+		}
+	}
+	// The {010, 101} class flips to mismatch exactly at d = 4 (Prop. 3.2).
+	for _, cell := range cells {
+		if cell.Class.Rep.String() == "010" {
+			if cell.Match != (cell.D <= 3) {
+				t.Errorf("f=010 d=%d: match=%v", cell.D, cell.Match)
+			}
+		}
+	}
+	if _, err := WienerGrid(ctx, GridSpec{MinLen: 2, MaxLen: 1, MinD: 1, MaxD: 3}, Options{}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
 // f-dimension rows agree with the serial search on small guests.
 func TestFDimGrid(t *testing.T) {
 	g := graph.Path(4)

@@ -152,6 +152,15 @@ func compare(baselinePath, currentPath string, threshold float64, filter string,
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "benchmark\tbaseline\tcurrent\tratio\tverdict")
 	var regressions []string
+	type delta struct {
+		name   string
+		ratio  float64
+		magn   float64 // |ratio - 1|, the sort key for the summary
+		gated  bool
+		before float64
+		after  float64
+	}
+	var deltas []delta
 	for _, name := range names {
 		b, hasB := baseline[name]
 		c, hasC := current[name]
@@ -170,11 +179,37 @@ func compare(baselinePath, currentPath string, threshold float64, filter string,
 				regressions = append(regressions, fmt.Sprintf("%s: %s -> %s (%.2fx > %.2fx)",
 					name, fmtNs(b), fmtNs(c), ratio, threshold))
 			}
+			d := delta{name: name, ratio: ratio, magn: ratio - 1, gated: gate.MatchString(name), before: b, after: c}
+			if d.magn < 0 {
+				d.magn = -d.magn
+			}
+			deltas = append(deltas, d)
 			fmt.Fprintf(w, "%s\t%s\t%s\t%.2fx\t%s\n", name, fmtNs(b), fmtNs(c), ratio, verdict)
 		}
 	}
 	if err := w.Flush(); err != nil {
 		return nil, err
+	}
+	// Top-5 movers, largest calibrated change first: the at-a-glance
+	// summary for the CI job log, covering speedups as well as slowdowns.
+	if len(deltas) > 0 {
+		sort.Slice(deltas, func(i, j int) bool { return deltas[i].magn > deltas[j].magn })
+		fmt.Fprintf(out, "\ntop deltas (of %d paired benchmarks):\n", len(deltas))
+		for i, d := range deltas {
+			if i == 5 {
+				break
+			}
+			dir := "slower"
+			if d.ratio < 1 {
+				dir = "faster"
+			}
+			tag := ""
+			if !d.gated {
+				tag = " [ungated]"
+			}
+			fmt.Fprintf(out, "  %-44s %s -> %s  %.2fx %s%s\n",
+				d.name, fmtNs(d.before), fmtNs(d.after), d.ratio, dir, tag)
+		}
 	}
 	return regressions, nil
 }

@@ -78,6 +78,21 @@ BenchmarkNew-8   	10	100000 ns/op
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
 	}
+	// The job-log summary leads with the biggest mover: the 9x ungated
+	// slowdown, tagged as such.
+	if !strings.Contains(out.String(), "top deltas (of 3 paired benchmarks):") {
+		t.Errorf("output missing top-delta summary:\n%s", out.String())
+	}
+	first := ""
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.Contains(line, "slower") || strings.Contains(line, "faster") {
+			first = line
+			break
+		}
+	}
+	if !strings.Contains(first, "BenchmarkUngated") || !strings.Contains(first, "9.00x slower [ungated]") {
+		t.Errorf("top delta line wrong: %q", first)
+	}
 
 	// A gated regression beyond 25% fails with exit 1 and names the culprit.
 	badCurrent := writeBench(t, "bad.txt", `
