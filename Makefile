@@ -30,7 +30,15 @@ COVEROUT  ?= cover.out
 # Per-target budget for the fuzz smoke gate.
 FUZZTIME  ?= 30s
 
-.PHONY: all build test race test-json lint fmt vet bench bench-full bench-gate bench-baseline fuzz-smoke cover serve clean ci
+# Latency-SLO gate settings: gfc-loadgen drives a local gfc-serve with a
+# mixed endpoint profile and checks the committed thresholds.
+SLOBASELINE ?= slo-baseline.json
+SLODUR      ?= 30s
+SLOCONC     ?= 32
+SLOOUT      ?= loadgen-report.json
+SLOADDR     ?= 127.0.0.1:8093
+
+.PHONY: all build test race test-json lint fmt vet bench bench-full bench-gate bench-baseline fuzz-smoke cover slo loadgen-compare serve clean ci
 
 all: build
 
@@ -107,10 +115,41 @@ cover:
 	awk -v t="$$total" -v min="$(COVERMIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
 		{ echo "coverage $$total% is below the $(COVERMIN)% floor"; exit 1; }
 
+# Latency-SLO gate: build gfc-serve and gfc-loadgen, run a $(SLODUR)
+# mixed-profile load at concurrency $(SLOCONC) against a local server,
+# and fail when the committed $(SLOBASELINE) thresholds are breached.
+# The loadgen report (JSON) lands in $(SLOOUT) for the CI step summary.
+slo:
+	@set -e; bindir=$$(mktemp -d); \
+	$(GO) build -o $$bindir/gfc-serve ./cmd/gfc-serve; \
+	$(GO) build -o $$bindir/gfc-loadgen ./cmd/gfc-loadgen; \
+	$$bindir/gfc-serve -addr $(SLOADDR) & srv=$$!; \
+	trap "kill $$srv 2>/dev/null || true; rm -rf $$bindir" EXIT; \
+	$$bindir/gfc-loadgen -addr http://$(SLOADDR) -waitready 15s \
+		-duration $(SLODUR) -concurrency $(SLOCONC) -profile mixed \
+		-f 11 -d 32 -slo $(SLOBASELINE) | tee $(SLOOUT)
+
+# In-process batched-vs-unbatched A/B for one (d, f) class at high
+# concurrency — the comparison committed in docs/loadgen-comparison.md.
+# In-process transport isolates the service stack from loopback-TCP
+# noise; see that document for the methodology.
+loadgen-compare:
+	@set -e; bindir=$$(mktemp -d); \
+	trap "rm -rf $$bindir" EXIT; \
+	$(GO) build -o $$bindir/gfc-loadgen ./cmd/gfc-loadgen; \
+	for seed in 1 2 3 4 5; do \
+		echo "== pair $$seed: batched"; \
+		$$bindir/gfc-loadgen -inprocess -duration 10s -warmup 2s \
+			-concurrency 32 -profile rank -f 11 -d 32 -seed $$seed; \
+		echo "== pair $$seed: unbatched"; \
+		$$bindir/gfc-loadgen -inprocess -batch-disabled -duration 10s -warmup 2s \
+			-concurrency 32 -profile rank -f 11 -d 32 -seed $$seed; \
+	done
+
 serve: build
 	$(GO) run ./cmd/gfc-serve
 
 clean:
-	rm -f $(TESTJSON) $(BENCHOUT) $(BENCHFULLOUT) $(COVEROUT)
+	rm -f $(TESTJSON) $(BENCHOUT) $(BENCHFULLOUT) $(COVEROUT) $(SLOOUT)
 
 ci: lint build test-json bench

@@ -1,0 +1,434 @@
+// Command gfc-loadgen drives synthetic load at a running gfc-serve
+// instance and reports latency quantiles, throughput, and error rate as
+// JSON. It is the measurement half of the service's micro-batching
+// front: pointed at one (f, d) class with enough concurrency it shows
+// batch coalescing directly (batch occupancy on /metrics, throughput in
+// its own report), and in CI it acts as the SLO gate — `-slo
+// slo-baseline.json` makes it exit nonzero when the measured quantiles
+// breach the committed thresholds.
+//
+// Usage:
+//
+//	gfc-loadgen [-addr http://localhost:8080] [-duration 30s]
+//	            [-concurrency 32] [-profile mixed] [-f 11] [-d 32]
+//	            [-warmup 2s] [-waitready 10s] [-seed 1] [-slo file.json]
+//
+// Profiles:
+//
+//	mixed      rank 40% / unrank 25% / neighbors 15% / count 15% / route 5%
+//	rank, unrank, neighbors, count, route
+//	           single-endpoint load (100% of requests)
+//
+// The generator constructs valid f-free query words client-side (greedy
+// suffix avoidance: appending a bit never completes f, because at most
+// one of the two bit choices can), and learns |V(Q_d(f))| from /v1/count
+// once at startup so unrank draws uniform ranks in range.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gfcube/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "base URL of the gfc-serve instance")
+	duration := flag.Duration("duration", 30*time.Second, "measured load duration")
+	concurrency := flag.Int("concurrency", 32, "concurrent client workers")
+	profile := flag.String("profile", "mixed", "endpoint mix: mixed|rank|unrank|neighbors|count|route")
+	factor := flag.String("f", "11", "forbidden factor (all load targets one class)")
+	dim := flag.Int("d", 32, "cube dimension")
+	warmup := flag.Duration("warmup", 2*time.Second, "unmeasured warm-up period")
+	waitReady := flag.Duration("waitready", 10*time.Second, "poll /healthz this long before starting (0 = don't)")
+	seed := flag.Int64("seed", 1, "PRNG seed for the request stream")
+	sloPath := flag.String("slo", "", "SLO baseline JSON; exit nonzero on breach")
+	inprocess := flag.Bool("inprocess", false, "spin up the service in-process and drive its handler directly (no TCP): isolates the service stack from loopback/client noise on small machines")
+	batchDisabled := flag.Bool("batch-disabled", false, "with -inprocess: serve requests on the unbatched per-request path")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "gfc-loadgen: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        *concurrency * 2,
+			MaxIdleConnsPerHost: *concurrency * 2,
+		},
+	}
+	if *inprocess {
+		srv := service.New(service.Config{Addr: ":0", BatchDisabled: *batchDisabled})
+		client = &http.Client{Transport: handlerTransport{h: srv.Handler()}}
+		*addr = "http://inprocess"
+		*waitReady = 0
+	}
+
+	if *waitReady > 0 {
+		if err := awaitReady(client, *addr, *waitReady); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	order, err := fetchOrder(client, *addr, *factor, *dim)
+	if err != nil {
+		fail("learning |V| from /v1/count: %v", err)
+	}
+	if order <= 0 {
+		fail("Q_%d(%s) has no vertices; pick a different f/d", *dim, *factor)
+	}
+
+	mix, err := profileMix(*profile)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	// Warm-up: populate the implicit-view cache and JIT the hot path so the
+	// measured window reflects steady state.
+	if *warmup > 0 {
+		runLoad(client, *addr, *factor, *dim, order, mix, 4, *warmup, *seed+1)
+	}
+
+	start := time.Now()
+	workers := runLoad(client, *addr, *factor, *dim, order, mix, *concurrency, *duration, *seed)
+	elapsed := time.Since(start)
+
+	report := buildReport(*addr, *profile, *factor, *dim, *concurrency, elapsed, workers)
+
+	var breaches []string
+	if *sloPath != "" {
+		slo, err := loadSLO(*sloPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		breaches = slo.check(&report)
+		report.SLO = &SLOResult{Baseline: *sloPath, Pass: len(breaches) == 0, Breaches: breaches}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fail("%v", err)
+	}
+	if len(breaches) > 0 {
+		fail("SLO breach:\n  %s", strings.Join(breaches, "\n  "))
+	}
+}
+
+// handlerTransport satisfies http.RoundTripper by invoking an
+// http.Handler directly — the -inprocess mode's "network".
+type handlerTransport struct{ h http.Handler }
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// awaitReady polls /healthz until it answers 200 or the window expires.
+func awaitReady(client *http.Client, addr string, window time.Duration) error {
+	deadline := time.Now().Add(window)
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %v", addr, window)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// fetchOrder asks /v1/count for |V(Q_d(f))|. Ranks are decimal strings in
+// the API; d <= 62 keeps them within int64.
+func fetchOrder(client *http.Client, addr, f string, d int) (int64, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/v1/count?f=%s&d=%d", addr, f, d))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("count returned %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var cr struct {
+		V string `json:"v"`
+	}
+	if err := json.Unmarshal(body, &cr); err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(cr.V, 10, 64)
+}
+
+// opShare is one endpoint's share of the generated stream.
+type opShare struct {
+	name   string
+	weight int
+}
+
+func profileMix(profile string) ([]opShare, error) {
+	switch profile {
+	case "mixed":
+		return []opShare{
+			{"rank", 40}, {"unrank", 25}, {"neighbors", 15}, {"count", 15}, {"route", 5},
+		}, nil
+	case "rank", "unrank", "neighbors", "count", "route":
+		return []opShare{{profile, 1}}, nil
+	}
+	return nil, fmt.Errorf("unknown profile %q", profile)
+}
+
+// pick draws an operation from the mix.
+func pick(r *rand.Rand, mix []opShare) string {
+	total := 0
+	for _, m := range mix {
+		total += m.weight
+	}
+	n := r.Intn(total)
+	for _, m := range mix {
+		if n < m.weight {
+			return m.name
+		}
+		n -= m.weight
+	}
+	return mix[len(mix)-1].name
+}
+
+// randomWord builds a uniform-ish f-free word of length d by greedy
+// suffix avoidance: if the appended bit completes f as a suffix, the
+// opposite bit cannot (f's last character is fixed), so flip it.
+func randomWord(r *rand.Rand, f string, d int) string {
+	b := make([]byte, 0, d)
+	for len(b) < d {
+		bit := byte('0' + r.Intn(2))
+		b = append(b, bit)
+		if len(b) >= len(f) && string(b[len(b)-len(f):]) == f {
+			b[len(b)-1] ^= 1 // '0' <-> '1'
+		}
+	}
+	return string(b)
+}
+
+// buildURL renders one request for op against the target class.
+func buildURL(r *rand.Rand, addr, op, f string, d int, order int64) string {
+	base := fmt.Sprintf("%s/v1/%s?f=%s&d=%d", addr, op, f, d)
+	switch op {
+	case "rank", "neighbors":
+		return base + "&w=" + randomWord(r, f, d)
+	case "unrank":
+		return base + "&r=" + strconv.FormatInt(r.Int63n(order), 10)
+	case "route":
+		return base + "&router=word&src=" + randomWord(r, f, d) + "&dst=" + randomWord(r, f, d)
+	default: // count
+		return base
+	}
+}
+
+// workerStats is one worker's flat sample log, merged after the run.
+type workerStats struct {
+	lat    map[string][]time.Duration
+	errors map[string]int64
+}
+
+// runLoad fires workers at the target until the window closes and
+// returns their per-endpoint latency logs.
+func runLoad(client *http.Client, addr, f string, d int, order int64, mix []opShare, concurrency int, window time.Duration, seed int64) []*workerStats {
+	var stop atomic.Bool
+	time.AfterFunc(window, func() { stop.Store(true) })
+	workers := make([]*workerStats, concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		ws := &workerStats{lat: make(map[string][]time.Duration), errors: make(map[string]int64)}
+		workers[w] = ws
+		wg.Add(1)
+		go func(ws *workerStats, seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				op := pick(r, mix)
+				url := buildURL(r, addr, op, f, d, order)
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				ok := err == nil
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					ok = resp.StatusCode == http.StatusOK
+				}
+				ws.lat[op] = append(ws.lat[op], time.Since(t0))
+				if !ok {
+					ws.errors[op]++
+				}
+			}
+		}(ws, seed+int64(w)*7919)
+	}
+	wg.Wait()
+	return workers
+}
+
+// EndpointReport is the per-operation slice of the loadgen report.
+type EndpointReport struct {
+	Endpoint  string  `json:"endpoint"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	ErrorRate float64 `json:"errorRate"`
+	P50Ms     float64 `json:"p50Ms"`
+	P99Ms     float64 `json:"p99Ms"`
+	P999Ms    float64 `json:"p999Ms"`
+	MaxMs     float64 `json:"maxMs"`
+}
+
+// Report is the loadgen's JSON output.
+type Report struct {
+	Target        string           `json:"target"`
+	Profile       string           `json:"profile"`
+	Factor        string           `json:"factor"`
+	Dim           int              `json:"dim"`
+	Concurrency   int              `json:"concurrency"`
+	DurationSec   float64          `json:"durationSec"`
+	Requests      int64            `json:"requests"`
+	Errors        int64            `json:"errors"`
+	ErrorRate     float64          `json:"errorRate"`
+	ThroughputRPS float64          `json:"throughputRps"`
+	P50Ms         float64          `json:"p50Ms"`
+	P99Ms         float64          `json:"p99Ms"`
+	P999Ms        float64          `json:"p999Ms"`
+	MaxMs         float64          `json:"maxMs"`
+	Endpoints     []EndpointReport `json:"endpoints"`
+	SLO           *SLOResult       `json:"slo,omitempty"`
+}
+
+// SLOResult reports the outcome of the -slo check.
+type SLOResult struct {
+	Baseline string   `json:"baseline"`
+	Pass     bool     `json:"pass"`
+	Breaches []string `json:"breaches,omitempty"`
+}
+
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	k := int(q * float64(len(sorted)-1))
+	return float64(sorted[k]) / 1e6
+}
+
+func buildReport(addr, profile, f string, d, concurrency int, elapsed time.Duration, workers []*workerStats) Report {
+	byOp := make(map[string][]time.Duration)
+	errsByOp := make(map[string]int64)
+	for _, ws := range workers {
+		for op, xs := range ws.lat {
+			byOp[op] = append(byOp[op], xs...)
+		}
+		for op, n := range ws.errors {
+			errsByOp[op] += n
+		}
+	}
+	var all []time.Duration
+	var totalErrs int64
+	rep := Report{
+		Target: addr, Profile: profile, Factor: f, Dim: d,
+		Concurrency: concurrency, DurationSec: elapsed.Seconds(),
+	}
+	ops := make([]string, 0, len(byOp))
+	for op := range byOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		xs := byOp[op]
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		all = append(all, xs...)
+		totalErrs += errsByOp[op]
+		rep.Endpoints = append(rep.Endpoints, EndpointReport{
+			Endpoint:  "/v1/" + op,
+			Requests:  int64(len(xs)),
+			Errors:    errsByOp[op],
+			ErrorRate: rate(errsByOp[op], int64(len(xs))),
+			P50Ms:     quantileMs(xs, 0.50),
+			P99Ms:     quantileMs(xs, 0.99),
+			P999Ms:    quantileMs(xs, 0.999),
+			MaxMs:     quantileMs(xs, 1.0),
+		})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep.Requests = int64(len(all))
+	rep.Errors = totalErrs
+	rep.ErrorRate = rate(totalErrs, rep.Requests)
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(len(all)) / elapsed.Seconds()
+	}
+	rep.P50Ms = quantileMs(all, 0.50)
+	rep.P99Ms = quantileMs(all, 0.99)
+	rep.P999Ms = quantileMs(all, 0.999)
+	rep.MaxMs = quantileMs(all, 1.0)
+	return rep
+}
+
+func rate(errs, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(errs) / float64(total)
+}
+
+// SLO is the committed baseline the CI gate enforces. Zero-valued fields
+// are not checked.
+type SLO struct {
+	Description      string  `json:"description,omitempty"`
+	MaxP50Ms         float64 `json:"max_p50_ms"`
+	MaxP99Ms         float64 `json:"max_p99_ms"`
+	MaxErrorRate     float64 `json:"max_error_rate"`
+	MinThroughputRPS float64 `json:"min_throughput_rps"`
+}
+
+func loadSLO(path string) (*SLO, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s SLO
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func (s *SLO) check(r *Report) []string {
+	var breaches []string
+	if s.MaxP50Ms > 0 && r.P50Ms > s.MaxP50Ms {
+		breaches = append(breaches, fmt.Sprintf("p50 %.2fms > limit %.2fms", r.P50Ms, s.MaxP50Ms))
+	}
+	if s.MaxP99Ms > 0 && r.P99Ms > s.MaxP99Ms {
+		breaches = append(breaches, fmt.Sprintf("p99 %.2fms > limit %.2fms", r.P99Ms, s.MaxP99Ms))
+	}
+	if s.MaxErrorRate > 0 && r.ErrorRate > s.MaxErrorRate {
+		breaches = append(breaches, fmt.Sprintf("error rate %.4f > limit %.4f", r.ErrorRate, s.MaxErrorRate))
+	}
+	if s.MinThroughputRPS > 0 && r.ThroughputRPS < s.MinThroughputRPS {
+		breaches = append(breaches, fmt.Sprintf("throughput %.1f rps < floor %.1f rps", r.ThroughputRPS, s.MinThroughputRPS))
+	}
+	return breaches
+}

@@ -8,11 +8,19 @@
 //
 //	gfc-serve [-addr :8080] [-workers N] [-timeout 30s] [-cache 256]
 //	          [-maxdim 20] [-maxcountdim 100000]
+//	          [-batch-size 32] [-batch-wait 500µs] [-batch-queue 128]
+//	          [-batch-disabled]
+//
+// The hot query endpoints (count, rank, unrank, neighbors, word-mode
+// route) sit behind a micro-batching front: concurrent requests for the
+// same (f, d) lane are coalesced into one backend invocation. Tune with
+// the -batch-* flags or turn it off with -batch-disabled.
 //
 // Endpoints (all GET, JSON responses; see internal/README.md for details):
 //
 //	/healthz                          liveness probe
-//	/stats                            cache / worker-pool metrics
+//	/stats                            cache / worker-pool / batcher metrics
+//	/metrics                          Prometheus text exposition
 //	/v1/count?f=11&d=100              exact |V|, |E|, |S| of Q_d(f)
 //	/v1/classify?f=1100&d=9           paper classification + Table 1 row
 //	/v1/isometric?f=101&d=6           exact embeddability with witness
@@ -47,6 +55,10 @@ func main() {
 	maxDim := flag.Int("maxdim", 20, "largest d for explicit cube construction")
 	maxCountDim := flag.Int("maxcountdim", 100000, "largest d for the counting DP")
 	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown drain period")
+	batchSize := flag.Int("batch-size", 0, "max requests coalesced per backend call (0 = default 32)")
+	batchWait := flag.Duration("batch-wait", 0, "batch window: how long the first request waits for followers (0 = default 500µs)")
+	batchQueue := flag.Int("batch-queue", 0, "queued requests per lane before shedding (0 = default 4×batch-size)")
+	batchDisabled := flag.Bool("batch-disabled", false, "serve every query request individually (no coalescing)")
 	flag.Parse()
 
 	srv := service.New(service.Config{
@@ -56,6 +68,12 @@ func main() {
 		CacheCapacity: *cache,
 		MaxBuildDim:   *maxDim,
 		MaxCountDim:   *maxCountDim,
+		Batch: service.BatcherConfig{
+			BatchSize:  *batchSize,
+			MaxWait:    *batchWait,
+			QueueLimit: *batchQueue,
+		},
+		BatchDisabled: *batchDisabled,
 	})
 
 	errc := make(chan error, 1)

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func randWord11(r *rand.Rand, d int) []byte {
+	buf := make([]byte, d)
+	for i := range buf {
+		buf[i] = byte('0' + r.Intn(2))
+		if i > 0 && buf[i-1] == '1' && buf[i] == '1' {
+			buf[i] = '0'
+		}
+	}
+	return buf
+}
+
+func benchRankHTTP(b *testing.B, disabled bool) {
+	srv := New(Config{Addr: ":0", MaxBuildDim: 12, BatchDisabled: disabled})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	b.SetParallelism(32)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rand.New(rand.NewSource(42))
+		for pb.Next() {
+			resp, err := http.Get(fmt.Sprintf("%s/v1/rank?f=11&d=32&w=%s", ts.URL, randWord11(r, 32)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
+}
+
+func benchRankHandler(b *testing.B, disabled bool) {
+	srv := New(Config{Addr: ":0", MaxBuildDim: 12, BatchDisabled: disabled})
+	h := srv.Handler()
+	b.SetParallelism(32)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rand.New(rand.NewSource(42))
+		for pb.Next() {
+			req := httptest.NewRequest("GET", fmt.Sprintf("/v1/rank?f=11&d=32&w=%s", randWord11(r, 32)), nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	})
+}
+
+func BenchmarkRankHTTPBatched(b *testing.B)      { benchRankHTTP(b, false) }
+func BenchmarkRankHTTPUnbatched(b *testing.B)    { benchRankHTTP(b, true) }
+func BenchmarkRankHandlerBatched(b *testing.B)   { benchRankHandler(b, false) }
+func BenchmarkRankHandlerUnbatched(b *testing.B) { benchRankHandler(b, true) }

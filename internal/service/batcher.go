@@ -1,0 +1,336 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Micro-batching front for the hot query endpoints. The backends are
+// batch-native — the implicit DFA-rank tables answer any number of
+// rank/unrank/neighbor probes for a (d, f) class after one table
+// resolution, and the counting DP is a pure function of the canonical
+// class — yet without a coalescer every concurrent request pays the
+// per-request coordination cost (cache singleflight bookkeeping, worker
+// pool slot handoff, context plumbing) on its own. The Batcher collects
+// concurrent requests for the same (operation, canonical d, f) lane into
+// one backend invocation and fans the per-request results back out over
+// response channels.
+//
+// Shape: each lane owns a bounded queue and a dispatcher goroutine. The
+// first request into an idle lane starts a batch window; the dispatcher
+// collects followers until the batch is full (BatchSize) or the window
+// expires (MaxWait), then executes the whole batch under a single worker
+// pool slot. A full queue sheds load immediately (503 + Retry-After at
+// the HTTP layer) instead of building an unbounded backlog. Canceled
+// requests are skipped at dispatch without poisoning the rest of their
+// batch. Close drains every queued request before returning, so graceful
+// shutdown never abandons an accepted request.
+
+// ErrBatchQueueFull is returned by Submit when a lane's queue is at
+// capacity; the HTTP layer maps it to 503 with a Retry-After header.
+var ErrBatchQueueFull = errors.New("service: batch queue full")
+
+// ErrBatcherClosed is returned by Submit after Close; it also maps to 503.
+var ErrBatcherClosed = errors.New("service: batcher shutting down")
+
+// errBatchUnresolved guards against an exec function that returns without
+// resolving an item; it should be unreachable.
+var errBatchUnresolved = errors.New("service: batch exec left item unresolved")
+
+// BatchExec executes one dispatched batch. Every item passed in is live
+// (its context had not expired at dispatch); exec must call Resolve on
+// each. Items the exec cannot serve individually should be resolved with
+// their error — one bad item must not fail the batch.
+type BatchExec func(items []*BatchItem)
+
+// BatchItem is one request riding in a batch.
+type BatchItem struct {
+	// Ctx is the submitting request's context. Exec functions should check
+	// it per item: a canceled item is skipped, not computed.
+	Ctx context.Context
+	// Req is the operation-specific request payload.
+	Req any
+
+	enqueued  time.Time
+	wait      time.Duration // queue wait, set at dispatch
+	batchSize int           // dispatched batch size, set at dispatch
+	val       any
+	err       error
+	resolved  bool
+	done      chan struct{}
+}
+
+// Resolve delivers the item's result to its waiting request. Exec
+// functions must call it exactly once per item; the dispatcher resolves
+// stragglers with an internal error as a bug guard.
+func (it *BatchItem) Resolve(val any, err error) {
+	if it.resolved {
+		return
+	}
+	it.resolved = true
+	it.val, it.err = val, err
+	close(it.done)
+}
+
+// Flight reports how a submitted request traveled: the size of the batch
+// it was dispatched in and how long it waited in the lane queue.
+type Flight struct {
+	BatchSize int
+	QueueWait time.Duration
+}
+
+// BatcherConfig tunes the coalescer. The zero value gets defaults from
+// withDefaults.
+type BatcherConfig struct {
+	// BatchSize is the largest batch dispatched at once (default 32).
+	BatchSize int
+	// MaxWait bounds how long the first request of a batch waits for
+	// followers (default 500µs). It is the latency floor a lone uncached
+	// request pays for coalescing.
+	MaxWait time.Duration
+	// QueueLimit bounds queued requests per lane; submissions beyond it
+	// are shed (default 4 × BatchSize).
+	QueueLimit int
+	// IdleAfter retires a lane's dispatcher goroutine after inactivity
+	// (default 5s); lanes are recreated on demand, so retirement only
+	// bounds idle goroutines, never sheds work.
+	IdleAfter time.Duration
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 500 * time.Microsecond
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 4 * c.BatchSize
+	}
+	if c.IdleAfter <= 0 {
+		c.IdleAfter = 5 * time.Second
+	}
+	return c
+}
+
+// Batcher coalesces concurrent same-lane requests into single backend
+// invocations.
+type Batcher struct {
+	cfg     BatcherConfig
+	metrics *Metrics // optional; records occupancy, queue wait, sheds
+
+	mu     sync.Mutex
+	lanes  map[string]*lane
+	closed bool
+	quit   chan struct{}
+	wg     sync.WaitGroup
+}
+
+type lane struct {
+	op   string // metrics label, e.g. "rank"
+	key  string // full lane key, e.g. "rank|11|32"
+	ch   chan *BatchItem
+	exec BatchExec // fixed by the lane's first Submit
+	// inflight bounds concurrent dispatches so the dispatcher can collect
+	// the next batch while the previous one executes — without it, a
+	// closed-loop client sees alternating collect/execute bubbles.
+	inflight chan struct{}
+}
+
+// NewBatcher returns a Batcher with cfg (zero value accepted). metrics
+// may be nil.
+func NewBatcher(cfg BatcherConfig, metrics *Metrics) *Batcher {
+	return &Batcher{
+		cfg:     cfg.withDefaults(),
+		metrics: metrics,
+		lanes:   make(map[string]*lane),
+		quit:    make(chan struct{}),
+	}
+}
+
+// Submit enqueues req on the (op, key) lane and blocks until the batch
+// executor resolves it or ctx is done. All submissions sharing a lane key
+// must pass an equivalent exec: the lane runs the exec captured at its
+// creation.
+func (b *Batcher) Submit(ctx context.Context, op, key string, req any, exec BatchExec) (any, Flight, error) {
+	it := &BatchItem{Ctx: ctx, Req: req, enqueued: time.Now(), done: make(chan struct{})}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, Flight{}, ErrBatcherClosed
+	}
+	l := b.lanes[key]
+	if l == nil {
+		l = &lane{
+			op: op, key: key,
+			ch:       make(chan *BatchItem, b.cfg.QueueLimit),
+			exec:     exec,
+			inflight: make(chan struct{}, 2),
+		}
+		b.lanes[key] = l
+		b.wg.Add(1)
+		go b.runLane(l)
+	}
+	select {
+	case l.ch <- it:
+		b.mu.Unlock()
+	default:
+		b.mu.Unlock()
+		if b.metrics != nil {
+			b.metrics.RecordShed(op)
+		}
+		return nil, Flight{}, ErrBatchQueueFull
+	}
+
+	select {
+	case <-it.done:
+		return it.val, Flight{BatchSize: it.batchSize, QueueWait: it.wait}, it.err
+	case <-ctx.Done():
+		// The dispatcher will see the expired context and resolve the item
+		// without computing it; nobody is left to read that resolution.
+		return nil, Flight{}, ctx.Err()
+	}
+}
+
+// Close stops accepting new submissions, drains every queued request
+// through its lane's exec, and waits for the dispatchers to exit.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	close(b.quit)
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+// Lanes returns the number of live lanes (for /stats).
+func (b *Batcher) Lanes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.lanes)
+}
+
+// runLane is the per-lane dispatcher: collect a batch, execute, repeat;
+// retire after IdleAfter with no traffic.
+func (b *Batcher) runLane(l *lane) {
+	defer b.wg.Done()
+	idle := time.NewTimer(b.cfg.IdleAfter)
+	defer idle.Stop()
+	for {
+		if !idle.Stop() {
+			select {
+			case <-idle.C:
+			default:
+			}
+		}
+		idle.Reset(b.cfg.IdleAfter)
+		select {
+		case it := <-l.ch:
+			batch := b.collect(l, it)
+			// Execute off the dispatcher loop so the next batch collects
+			// while this one runs; the worker pool still bounds total
+			// backend concurrency.
+			l.inflight <- struct{}{}
+			b.wg.Add(1)
+			go func() {
+				defer b.wg.Done()
+				defer func() { <-l.inflight }()
+				b.dispatch(l, batch)
+			}()
+		case <-b.quit:
+			b.drain(l)
+			return
+		case <-idle.C:
+			// Retire the lane — unless a Submit raced the timer and already
+			// holds a queue slot. Submit sends while holding b.mu, so under
+			// the lock the queue length is authoritative.
+			b.mu.Lock()
+			if len(l.ch) > 0 {
+				b.mu.Unlock()
+				continue
+			}
+			delete(b.lanes, l.key)
+			b.mu.Unlock()
+			return
+		}
+	}
+}
+
+// collect gathers a batch starting from first: followers are accepted
+// until the batch is full or MaxWait passes. On shutdown the window is
+// cut short so queued requests drain promptly.
+func (b *Batcher) collect(l *lane, first *BatchItem) []*BatchItem {
+	batch := append(make([]*BatchItem, 0, b.cfg.BatchSize), first)
+	if b.cfg.BatchSize == 1 {
+		return batch
+	}
+	window := time.NewTimer(b.cfg.MaxWait)
+	defer window.Stop()
+	for len(batch) < b.cfg.BatchSize {
+		select {
+		case it := <-l.ch:
+			batch = append(batch, it)
+		case <-window.C:
+			return batch
+		case <-b.quit:
+			return batch
+		}
+	}
+	return batch
+}
+
+// dispatch filters expired items out of the batch, hands the rest to the
+// lane's exec under one invocation, and guards against unresolved items.
+func (b *Batcher) dispatch(l *lane, batch []*BatchItem) {
+	now := time.Now()
+	live := batch[:0]
+	for _, it := range batch {
+		it.batchSize = len(batch)
+		it.wait = now.Sub(it.enqueued)
+		if it.Ctx.Err() != nil {
+			// Canceled while queued: skip it without poisoning the batch.
+			it.Resolve(nil, it.Ctx.Err())
+			continue
+		}
+		live = append(live, it)
+	}
+	if b.metrics != nil {
+		b.metrics.RecordBatch(l.op, len(batch), live)
+	}
+	if len(live) > 0 {
+		l.exec(live)
+	}
+	for _, it := range live {
+		it.Resolve(nil, errBatchUnresolved)
+	}
+}
+
+// drain serves everything still queued on l at shutdown, in batches, then
+// exits. New submissions are already rejected by Close, so this
+// terminates.
+func (b *Batcher) drain(l *lane) {
+	for {
+		select {
+		case it := <-l.ch:
+			batch := append(make([]*BatchItem, 0, b.cfg.BatchSize), it)
+			for len(batch) < b.cfg.BatchSize {
+				select {
+				case more := <-l.ch:
+					batch = append(batch, more)
+				default:
+					goto flush
+				}
+			}
+		flush:
+			b.dispatch(l, batch)
+		default:
+			return
+		}
+	}
+}

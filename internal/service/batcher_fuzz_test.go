@@ -1,0 +1,98 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fuzzReq is the payload for FuzzBatcher submissions.
+type fuzzReq struct {
+	lane int
+	val  int
+}
+
+// fuzzOracle is the serial reference the batch exec must reproduce for
+// every request, regardless of how arrivals were coalesced.
+func fuzzOracle(lane, val int) int { return lane*1000 + val }
+
+// FuzzBatcher throws random arrival patterns, lane spreads, batch-size /
+// queue-limit configurations, cancellations, and an optional mid-stream
+// Close at the Batcher, and checks that every submission either resolves
+// to the serial-oracle value or fails with one of the documented errors.
+// The race detector (make fuzz-smoke runs per-target `go test -fuzz`)
+// covers the coalescing paths: window expiry, full-batch flush, overflow
+// shedding, and shutdown drain.
+func FuzzBatcher(f *testing.F) {
+	f.Add(uint8(2), uint8(4), false, []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add(uint8(1), uint8(1), false, []byte{0x80, 0x41, 0x80, 0x41})
+	f.Add(uint8(7), uint8(2), true, []byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Add(uint8(33), uint8(0), false, []byte{})
+	f.Fuzz(func(t *testing.T, rawBatch, rawQueue uint8, closeMidway bool, data []byte) {
+		cfg := BatcherConfig{
+			BatchSize:  int(rawBatch%8) + 1,
+			QueueLimit: int(rawQueue%16) + 1,
+			MaxWait:    200 * time.Microsecond,
+			IdleAfter:  50 * time.Millisecond,
+		}
+		b := NewBatcher(cfg, nil)
+		exec := func(items []*BatchItem) {
+			for _, it := range items {
+				if err := it.Ctx.Err(); err != nil {
+					it.Resolve(nil, err)
+					continue
+				}
+				req := it.Req.(fuzzReq)
+				it.Resolve(fuzzOracle(req.lane, req.val), nil)
+			}
+		}
+
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		var wg sync.WaitGroup
+		for i, raw := range data {
+			lane := int(raw) % 3
+			val := int(raw&0x7f) + i // distinct per submission within a lane
+			canceled := raw&0x80 != 0
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx := context.Background()
+				if canceled {
+					c, cancel := context.WithCancel(ctx)
+					cancel() // canceled before (or while) queued
+					ctx = c
+				}
+				got, flight, err := b.Submit(ctx, "fuzz", fmt.Sprintf("fuzz|%d", lane),
+					fuzzReq{lane: lane, val: val}, exec)
+				switch {
+				case err == nil:
+					if got != fuzzOracle(lane, val) {
+						t.Errorf("lane %d val %d: got %v, want %d", lane, val, got, fuzzOracle(lane, val))
+					}
+					if flight.BatchSize < 1 || flight.BatchSize > cfg.BatchSize {
+						t.Errorf("batch size %d outside [1, %d]", flight.BatchSize, cfg.BatchSize)
+					}
+				case errors.Is(err, ErrBatchQueueFull),
+					errors.Is(err, ErrBatcherClosed),
+					errors.Is(err, context.Canceled):
+					// Documented outcomes under load, shutdown, or cancellation.
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+			}()
+		}
+		if closeMidway {
+			b.Close() // races the submissions; they see served or ErrBatcherClosed
+		}
+		wg.Wait()
+		b.Close()
+		if _, _, err := b.Submit(context.Background(), "fuzz", "fuzz|0", fuzzReq{}, exec); !errors.Is(err, ErrBatcherClosed) {
+			t.Errorf("Submit after Close: err = %v, want ErrBatcherClosed", err)
+		}
+	})
+}

@@ -1,0 +1,464 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoExec resolves every live item with its own request value — the
+// identity executor used by the unit tests. Items canceled mid-queue are
+// resolved with their context error, mirroring the real exec functions.
+func echoExec(items []*BatchItem) {
+	for _, it := range items {
+		if err := it.Ctx.Err(); err != nil {
+			it.Resolve(nil, err)
+			continue
+		}
+		it.Resolve(it.Req, nil)
+	}
+}
+
+func TestBatcherCoalescesConcurrentSubmits(t *testing.T) {
+	b := NewBatcher(BatcherConfig{BatchSize: 8, MaxWait: 5 * time.Millisecond}, nil)
+	defer b.Close()
+
+	const n = 32
+	var wg sync.WaitGroup
+	var maxBatch atomic.Int64
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, fl, err := b.Submit(context.Background(), "op", "lane", i, echoExec)
+			errs[i] = err
+			if err == nil && v.(int) != i {
+				errs[i] = fmt.Errorf("got %v, want %d", v, i)
+			}
+			if int64(fl.BatchSize) > maxBatch.Load() {
+				maxBatch.Store(int64(fl.BatchSize))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if maxBatch.Load() < 2 {
+		t.Errorf("no coalescing observed: max batch size %d, want >= 2", maxBatch.Load())
+	}
+}
+
+func TestBatcherMaxWaitFlushesPartialBatch(t *testing.T) {
+	// BatchSize far above the submitted count: only the MaxWait window can
+	// flush the batch.
+	b := NewBatcher(BatcherConfig{BatchSize: 64, MaxWait: 2 * time.Millisecond}, nil)
+	defer b.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	sizes := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, fl, err := b.Submit(context.Background(), "op", "lane", i, echoExec)
+			if err != nil || v.(int) != i {
+				t.Errorf("submit %d: v=%v err=%v", i, v, err)
+			}
+			sizes[i] = fl.BatchSize
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("partial batch took %v; MaxWait expiry did not flush", elapsed)
+	}
+	for i, sz := range sizes {
+		if sz < 1 || sz > 3 {
+			t.Errorf("item %d rode batch of size %d, want 1..3", i, sz)
+		}
+	}
+}
+
+func TestBatcherSingleRequestFastPath(t *testing.T) {
+	b := NewBatcher(BatcherConfig{BatchSize: 32, MaxWait: time.Millisecond}, nil)
+	defer b.Close()
+
+	start := time.Now()
+	v, fl, err := b.Submit(context.Background(), "op", "lane", 42, echoExec)
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+	if fl.BatchSize != 1 {
+		t.Errorf("lone request rode batch of size %d, want 1", fl.BatchSize)
+	}
+	// A lone request pays at most the MaxWait window (plus scheduling
+	// slack), never an unbounded wait for followers that are not coming.
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("lone request took %v, want ~MaxWait", elapsed)
+	}
+}
+
+func TestBatcherBatchSizeOneSkipsWindow(t *testing.T) {
+	b := NewBatcher(BatcherConfig{BatchSize: 1, MaxWait: time.Hour}, nil)
+	defer b.Close()
+	v, fl, err := b.Submit(context.Background(), "op", "lane", 7, echoExec)
+	if err != nil || v.(int) != 7 || fl.BatchSize != 1 {
+		t.Fatalf("v=%v fl=%+v err=%v", v, fl, err)
+	}
+}
+
+func TestBatcherQueueOverflowSheds(t *testing.T) {
+	release := make(chan struct{})
+	slow := func(items []*BatchItem) {
+		<-release
+		echoExec(items)
+	}
+	b := NewBatcher(BatcherConfig{BatchSize: 1, MaxWait: time.Millisecond, QueueLimit: 2}, nil)
+	defer b.Close()
+
+	// First submit occupies the dispatcher (blocked in slow); the next two
+	// fill the queue; everything beyond must shed.
+	var wg sync.WaitGroup
+	errsCh := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := b.Submit(context.Background(), "op", "lane", i, slow)
+			errsCh <- err
+		}(i)
+	}
+	// Give the flood time to pile up, then release the executor.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	close(errsCh)
+
+	shed, served := 0, 0
+	for err := range errsCh {
+		switch {
+		case err == nil:
+			served++
+		case errors.Is(err, ErrBatchQueueFull):
+			shed++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if shed == 0 {
+		t.Error("no submissions shed despite QueueLimit=2 and 8 concurrent submits")
+	}
+	if served == 0 {
+		t.Error("every submission shed; queue admitted nothing")
+	}
+}
+
+func TestBatcherShedMapsTo503WithRetryAfter(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeError(rec, ErrBatchQueueFull)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Error("503 shed response missing Retry-After header")
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Fatalf("shed body not an ErrorResponse: %v (%s)", err, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	writeError(rec, ErrBatcherClosed)
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("batcher-closed: status=%d retry-after=%q, want 503 + header", rec.Code, rec.Header().Get("Retry-After"))
+	}
+}
+
+func TestBatcherCanceledItemDoesNotPoisonBatch(t *testing.T) {
+	// Hold the dispatcher on a first sacrificial batch so follow-up items
+	// queue; cancel one of them while queued.
+	release := make(chan struct{})
+	gate := func(items []*BatchItem) {
+		<-release
+		echoExec(items)
+	}
+	b := NewBatcher(BatcherConfig{BatchSize: 4, MaxWait: time.Millisecond, QueueLimit: 16}, nil)
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, _, err := b.Submit(context.Background(), "op", "lane", -1, gate); err != nil {
+			t.Errorf("sacrificial submit: %v", err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // dispatcher now blocked in gate
+
+	ctx, cancel := context.WithCancel(context.Background())
+	results := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			itemCtx := context.Background()
+			if i == 2 {
+				itemCtx = ctx
+			}
+			v, _, err := b.Submit(itemCtx, "op", "lane", i, gate)
+			if err == nil && v.(int) != i {
+				err = fmt.Errorf("cross-wired result: got %v want %d", v, i)
+			}
+			results[i] = err
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // all four queued behind the gate
+	cancel()                          // item 2 canceled while queued
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	for i, err := range results {
+		if i == 2 {
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("canceled item: err = %v, want context.Canceled", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("item %d poisoned by neighbor's cancellation: %v", i, err)
+		}
+	}
+}
+
+func TestBatcherCloseDrainsQueuedItems(t *testing.T) {
+	started := make(chan struct{}, 64)
+	release := make(chan struct{})
+	var once sync.Once
+	slow := func(items []*BatchItem) {
+		once.Do(func() {
+			started <- struct{}{}
+			<-release
+		})
+		echoExec(items)
+	}
+	b := NewBatcher(BatcherConfig{BatchSize: 2, MaxWait: time.Millisecond, QueueLimit: 32}, nil)
+
+	const n = 10
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	submit := func(i int) {
+		defer wg.Done()
+		v, _, err := b.Submit(context.Background(), "op", "lane", i, slow)
+		if err == nil && v.(int) != i {
+			err = fmt.Errorf("got %v want %d", v, i)
+		}
+		errs[i] = err
+	}
+	wg.Add(1)
+	go submit(0)
+	<-started // first batch executing; followers will queue behind it
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go submit(i)
+	}
+	// Let the followers reach the lane queue (the dispatcher is blocked, so
+	// they cannot be served yet) before shutting down.
+	time.Sleep(100 * time.Millisecond)
+	closed := make(chan struct{})
+	go func() {
+		b.Close()
+		close(closed)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	<-closed
+
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("queued item %d not drained on Close: %v", i, err)
+		}
+	}
+	if _, _, err := b.Submit(context.Background(), "op", "lane", 99, slow); !errors.Is(err, ErrBatcherClosed) {
+		t.Errorf("submit after Close: err = %v, want ErrBatcherClosed", err)
+	}
+	// Close is idempotent.
+	b.Close()
+}
+
+func TestBatcherLaneRetiresWhenIdle(t *testing.T) {
+	b := NewBatcher(BatcherConfig{BatchSize: 4, MaxWait: time.Millisecond, IdleAfter: 20 * time.Millisecond}, nil)
+	defer b.Close()
+
+	if _, _, err := b.Submit(context.Background(), "op", "lane", 1, echoExec); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Lanes(); got != 1 {
+		t.Fatalf("lanes after submit = %d, want 1", got)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Lanes() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle lane never retired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// A retired lane is recreated transparently.
+	if v, _, err := b.Submit(context.Background(), "op", "lane", 2, echoExec); err != nil || v.(int) != 2 {
+		t.Fatalf("submit after retirement: v=%v err=%v", v, err)
+	}
+}
+
+func TestServerShutdownClosesBatcher(t *testing.T) {
+	s := New(Config{Workers: 2})
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	_, _, err := s.batcher.Submit(context.Background(), "rank", "lane", 0, echoExec)
+	if !errors.Is(err, ErrBatcherClosed) {
+		t.Fatalf("submit after shutdown: err = %v, want ErrBatcherClosed", err)
+	}
+}
+
+// TestBatchedEndpointsMatchSoloPath drives the batched endpoints on two
+// servers — batching on and off — and requires byte-identical payloads
+// (modulo the Elapsed timing field), so coalescing can never change an
+// answer.
+func TestBatchedEndpointsMatchSoloPath(t *testing.T) {
+	batched := httptest.NewServer(New(Config{Workers: 4, JobTimeout: time.Minute}).Handler())
+	defer batched.Close()
+	solo := httptest.NewServer(New(Config{Workers: 4, JobTimeout: time.Minute, BatchDisabled: true}).Handler())
+	defer solo.Close()
+
+	queries := []string{
+		"/v1/rank?f=11&d=10&w=0101010101",
+		"/v1/rank?f=11&d=10&w=1010101010",
+		"/v1/unrank?f=11&d=10&r=0",
+		"/v1/unrank?f=11&d=10&r=143",
+		"/v1/neighbors?f=11&d=8&w=01010101",
+		"/v1/count?f=11&d=10",
+		"/v1/count?f=00&d=10",
+		"/v1/count?f=101&d=200",
+		"/v1/route?f=11&d=10&src=0000000000&dst=0101010101",
+		"/v1/rank?f=11&d=10&w=1100000000", // contains the factor: 400
+		"/v1/unrank?f=11&d=10&r=144",      // out of range: 400
+	}
+	strip := func(body []byte) string {
+		var m map[string]any
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatalf("bad json: %v (%s)", err, body)
+		}
+		delete(m, "elapsed")
+		delete(m, "cached")
+		out, _ := json.Marshal(m)
+		return string(out)
+	}
+	for _, q := range queries {
+		get := func(base string) (int, string) {
+			resp, err := http.Get(base + q)
+			if err != nil {
+				t.Fatalf("GET %s: %v", q, err)
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			return resp.StatusCode, strip(body)
+		}
+		bCode, bBody := get(batched.URL)
+		sCode, sBody := get(solo.URL)
+		if bCode != sCode {
+			t.Errorf("%s: batched status %d, solo status %d", q, bCode, sCode)
+		}
+		if bBody != sBody {
+			t.Errorf("%s:\n  batched: %s\n  solo:    %s", q, bBody, sBody)
+		}
+	}
+}
+
+// TestCountCanonicalClassSharesCache verifies the canonicalization hoist:
+// counts are keyed by the complement/reversal class, so f=11 and its
+// complement f=00 share one cache entry while each response still echoes
+// the factor the client asked about.
+func TestCountCanonicalClassSharesCache(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var first, second CountResponse
+	if code := getJSON(t, ts.URL+"/v1/count?f=11&d=12", &first); code != http.StatusOK {
+		t.Fatalf("first status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/count?f=00&d=12", &second); code != http.StatusOK {
+		t.Fatalf("second status %d", code)
+	}
+	if !second.Cached {
+		t.Error("complement factor missed the canonical-class cache entry")
+	}
+	if first.Factor != "11" || second.Factor != "00" {
+		t.Errorf("factor echo broken: %q, %q", first.Factor, second.Factor)
+	}
+	if first.V != second.V || first.E != second.E || first.S != second.S {
+		t.Errorf("class invariance broken: %+v vs %+v", first, second)
+	}
+}
+
+// TestBatchedHammer floods one (d, f) class with concurrent addressing
+// traffic and checks every answer, plus that the metrics actually saw
+// multi-request batches.
+func TestBatchedHammer(t *testing.T) {
+	s := New(Config{Workers: 4, JobTimeout: time.Minute, CacheCapacity: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := i % 144
+			var resp UnrankResponse
+			url := fmt.Sprintf("%s/v1/unrank?f=11&d=10&r=%d", ts.URL, r)
+			if code := getJSON(t, url, &resp); code != http.StatusOK {
+				t.Errorf("rank %d: status %d", r, code)
+				return
+			}
+			if resp.Rank != fmt.Sprint(r) || resp.Order != "144" {
+				t.Errorf("rank %d: got %+v", r, resp)
+			}
+		}(i)
+	}
+	wg.Wait()
+	batches, items, _ := s.metrics.BatchTotals()
+	if items == 0 || batches == 0 {
+		t.Fatalf("hammer produced no batched traffic: batches=%d items=%d", batches, items)
+	}
+	body := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(body, `gfc_batched_requests_total{op="unrank"}`) {
+		t.Error("/metrics missing unrank batch counters")
+	}
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -15,10 +15,21 @@ import (
 	"gfcube/internal/network"
 )
 
-// factorParam is a validated forbidden-factor query parameter.
+// factorParam is a validated forbidden-factor query parameter. The
+// canonical complement/reversal class representative is resolved once at
+// parse time, so cache keys and batch lanes key on it without
+// re-deriving it per request (previously the class-invariant handlers
+// re-resolved it even on cache hits).
 type factorParam struct {
-	s string
-	w bitstr.Word
+	s      string
+	w      bitstr.Word
+	canon  string
+	canonW bitstr.Word
+}
+
+// canonical returns the factorParam of the class representative itself.
+func (f factorParam) canonical() factorParam {
+	return factorParam{s: f.canon, w: f.canonW, canon: f.canon, canonW: f.canonW}
 }
 
 func (s *Server) parseFactor(r *http.Request) (factorParam, error) {
@@ -36,7 +47,8 @@ func (s *Server) parseFactor(r *http.Request) (factorParam, error) {
 	if w.Len() == 0 {
 		return factorParam{}, badRequest("factor must be nonempty")
 	}
-	return factorParam{s: raw, w: w}, nil
+	cw := bitstr.CanonicalRepresentative(w)
+	return factorParam{s: raw, w: w, canon: cw.String(), canonW: cw}, nil
 }
 
 func parseIntParam(r *http.Request, name string, def, min, max int) (int, error) {
@@ -84,7 +96,10 @@ func elapsedSince(t time.Time) string { return time.Since(t).Round(time.Microsec
 // Up to d = bitstr.MaxLen the cached implicit backend independently
 // recomputes |V| on its uint64 tables; a disagreement between the two
 // pipelines is a server error, so every served count in that range is
-// double-checked.
+// double-checked. Counts are invariant under the complement/reversal
+// symmetry, so the cache key and the batch lane are the canonical class:
+// concurrent requests anywhere in the class fuse into one DP run, and a
+// whole class shares one cache entry.
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) error {
 	start := time.Now()
 	f, err := s.parseFactor(r)
@@ -95,33 +110,21 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	key := fmt.Sprintf("count|%s|%d", f.s, d)
-	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
-		bc, err := core.CountCtx(ctx, d, f.w)
-		if err != nil {
-			return nil, err
-		}
-		resp := CountResponse{
-			Factor: f.s, D: d,
-			V: bc.V.String(), E: bc.E.String(), S: bc.S.String(),
-			Backend: "dp",
-		}
-		if d <= bitstr.MaxLen {
-			view, err := s.implicitView(ctx, f, d)
+	key := fmt.Sprintf("count|%s|%d", f.canon, d)
+	v, cached, err := s.batched(r, "count", key, key, countReq{key: key},
+		s.countExec(f, d, key),
+		func(ctx context.Context) (any, error) {
+			resp, err := s.countOne(ctx, f, d)
 			if err != nil {
 				return nil, err
 			}
-			if got := strconv.FormatInt(view.Order(), 10); got != resp.V {
-				return nil, fmt.Errorf("count mismatch for Q_%d(%s): implicit |V| = %s, DP |V| = %s", d, f.s, got, resp.V)
-			}
-			resp.Backend = "implicit+dp"
-		}
-		return resp, nil
-	})
+			return resp, nil
+		})
 	if err != nil {
 		return err
 	}
 	resp := v.(CountResponse)
+	resp.Factor = f.s // the canonical-class cache entry serves the whole class
 	resp.Cached = cached
 	resp.Elapsed = elapsedSince(start)
 	writeJSON(w, http.StatusOK, resp)
@@ -316,31 +319,33 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
 		return badRequest("src and dst must avoid the factor %s", f.s)
 	}
 	key := fmt.Sprintf("route|%s|%d|%s|%s|%s", f.s, d, router, src, dst)
+	if router == "word" {
+		// The word router is batch-native: one view resolution per lane
+		// dispatch routes every rider.
+		lane := fmt.Sprintf("route|%s|%d", f.s, d)
+		v, cached, err := s.batched(r, "route", lane, key, routeReq{src: src, dst: dst, key: key},
+			s.routeExec(f, d),
+			func(ctx context.Context) (any, error) {
+				view, err := s.implicitView(ctx, f, d)
+				if err != nil {
+					return nil, err
+				}
+				return wordRouteOne(network.NewViewRouter(view), f, d, src, dst), nil
+			})
+		if err != nil {
+			return err
+		}
+		resp := v.(RouteResponse)
+		resp.Cached = cached
+		resp.Elapsed = elapsedSince(start)
+		writeJSON(w, http.StatusOK, resp)
+		return nil
+	}
 	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
 		resp := RouteResponse{
 			Factor: f.s, D: d,
 			Src: src.String(), Dst: dst.String(), Router: router,
 			Backend: "explicit",
-		}
-		if router == "word" {
-			view, err := s.implicitView(ctx, f, d)
-			if err != nil {
-				return nil, err
-			}
-			hops, ok := network.NewViewRouter(view).RouteWords(src, dst, 0)
-			resp.Backend = "implicit"
-			resp.Delivered = ok
-			if ok {
-				resp.Hops = len(hops) - 1
-				if h := src.HammingDistance(dst); h > 0 {
-					resp.Stretch = float64(resp.Hops) / float64(h)
-				}
-				for _, hp := range hops {
-					resp.Path = append(resp.Path, hp.Word.String())
-					resp.Ranks = append(resp.Ranks, formatRank(hp.Rank))
-				}
-			}
-			return resp, nil
 		}
 		c, err := s.cube(ctx, f, d)
 		if err != nil {

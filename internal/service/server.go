@@ -4,7 +4,11 @@
 // isometry checks, f-dimension search, routing and traffic simulation,
 // Hamiltonian search — sit behind a sharded LRU result cache with
 // singleflight deduplication and a bounded worker pool with per-request
-// timeouts, so the service stays responsive under concurrent load.
+// timeouts. The hot addressing endpoints additionally run behind a
+// micro-batching front (see batcher.go) that fuses concurrent same-class
+// traffic into single backend invocations, and every request is recorded
+// into the lock-cheap aggregates served by /metrics (see metrics.go), so
+// the service stays responsive and observable under concurrent load.
 package service
 
 import (
@@ -45,6 +49,14 @@ type Config struct {
 	MaxCountDim int
 	// MaxFactorLen caps |f| (default 24).
 	MaxFactorLen int
+	// Batch tunes the micro-batching front on the hot query endpoints
+	// (/v1/rank, /v1/unrank, /v1/neighbors, /v1/count, word-router
+	// /v1/route); see BatcherConfig for the knobs and defaults.
+	Batch BatcherConfig
+	// BatchDisabled turns the batching front off: every request computes
+	// solo through the cache/singleflight/pool path (the pre-batching
+	// behavior). Exists for A/B load comparisons.
+	BatchDisabled bool
 }
 
 func (c Config) withDefaults() Config {
@@ -78,16 +90,33 @@ func (c Config) withDefaults() Config {
 	if c.MaxFactorLen <= 0 {
 		c.MaxFactorLen = 24
 	}
+	c.Batch = c.Batch.withDefaults()
 	return c
+}
+
+// batchOps are the operations behind the micro-batching front; the list
+// fixes the op label set of the batch metrics.
+var batchOps = []string{"count", "neighbors", "rank", "route", "unrank"}
+
+// endpointPaths are the instrumented routes; the list fixes the endpoint
+// label set of the request metrics.
+var endpointPaths = []string{
+	"/v1/count", "/v1/rank", "/v1/unrank", "/v1/neighbors",
+	"/v1/classify", "/v1/isometric", "/v1/fdim", "/v1/route",
+	"/v1/simulate", "/v1/broadcast", "/v1/hamilton",
+	"/v1/sweep/classify", "/v1/sweep/survey", "/v1/sweep/count",
+	"/v1/sweep/fdim", "/v1/sweep/degrees", "/v1/sweep/wiener",
 }
 
 // Server is the gfc-serve HTTP service.
 type Server struct {
-	cfg   Config
-	cache *Cache // JSON result cache
-	cubes *Cache // constructed *core.Cube cache
-	pool  *Pool
-	start time.Time
+	cfg     Config
+	cache   *Cache // JSON result cache
+	cubes   *Cache // constructed *core.Cube cache
+	pool    *Pool
+	batcher *Batcher // nil when batching is disabled
+	metrics *Metrics
+	start   time.Time
 
 	requests atomic.Uint64
 	errors   atomic.Uint64
@@ -99,11 +128,15 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: NewCache(cfg.CacheShards, cfg.CacheCapacity),
-		cubes: NewCache(4, cfg.CubeCacheCapacity),
-		pool:  NewPool(cfg.Workers, cfg.JobTimeout),
-		start: time.Now(),
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheShards, cfg.CacheCapacity),
+		cubes:   NewCache(4, cfg.CubeCacheCapacity),
+		pool:    NewPool(cfg.Workers, cfg.JobTimeout),
+		metrics: NewMetrics(endpointPaths, batchOps),
+		start:   time.Now(),
+	}
+	if !cfg.BatchDisabled {
+		s.batcher = NewBatcher(cfg.Batch, s.metrics)
 	}
 	s.http = &http.Server{
 		Addr:              cfg.Addr,
@@ -118,43 +151,92 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /v1/count", s.instrument(s.handleCount))
-	mux.HandleFunc("GET /v1/rank", s.instrument(s.handleRank))
-	mux.HandleFunc("GET /v1/unrank", s.instrument(s.handleUnrank))
-	mux.HandleFunc("GET /v1/neighbors", s.instrument(s.handleNeighbors))
-	mux.HandleFunc("GET /v1/classify", s.instrument(s.handleClassify))
-	mux.HandleFunc("GET /v1/isometric", s.instrument(s.handleIsometric))
-	mux.HandleFunc("GET /v1/fdim", s.instrument(s.handleFDim))
-	mux.HandleFunc("GET /v1/route", s.instrument(s.handleRoute))
-	mux.HandleFunc("GET /v1/simulate", s.instrument(s.handleSimulate))
-	mux.HandleFunc("GET /v1/broadcast", s.instrument(s.handleBroadcast))
-	mux.HandleFunc("GET /v1/hamilton", s.instrument(s.handleHamilton))
-	mux.HandleFunc("GET /v1/sweep/classify", s.instrument(s.handleSweepClassify))
-	mux.HandleFunc("GET /v1/sweep/survey", s.instrument(s.handleSweepSurvey))
-	mux.HandleFunc("GET /v1/sweep/count", s.instrument(s.handleSweepCount))
-	mux.HandleFunc("GET /v1/sweep/fdim", s.instrument(s.handleSweepFDim))
-	mux.HandleFunc("GET /v1/sweep/degrees", s.instrument(s.handleSweepDegrees))
-	mux.HandleFunc("GET /v1/sweep/wiener", s.instrument(s.handleSweepWiener))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/count", s.instrument("/v1/count", s.handleCount))
+	mux.HandleFunc("GET /v1/rank", s.instrument("/v1/rank", s.handleRank))
+	mux.HandleFunc("GET /v1/unrank", s.instrument("/v1/unrank", s.handleUnrank))
+	mux.HandleFunc("GET /v1/neighbors", s.instrument("/v1/neighbors", s.handleNeighbors))
+	mux.HandleFunc("GET /v1/classify", s.instrument("/v1/classify", s.handleClassify))
+	mux.HandleFunc("GET /v1/isometric", s.instrument("/v1/isometric", s.handleIsometric))
+	mux.HandleFunc("GET /v1/fdim", s.instrument("/v1/fdim", s.handleFDim))
+	mux.HandleFunc("GET /v1/route", s.instrument("/v1/route", s.handleRoute))
+	mux.HandleFunc("GET /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
+	mux.HandleFunc("GET /v1/broadcast", s.instrument("/v1/broadcast", s.handleBroadcast))
+	mux.HandleFunc("GET /v1/hamilton", s.instrument("/v1/hamilton", s.handleHamilton))
+	mux.HandleFunc("GET /v1/sweep/classify", s.instrument("/v1/sweep/classify", s.handleSweepClassify))
+	mux.HandleFunc("GET /v1/sweep/survey", s.instrument("/v1/sweep/survey", s.handleSweepSurvey))
+	mux.HandleFunc("GET /v1/sweep/count", s.instrument("/v1/sweep/count", s.handleSweepCount))
+	mux.HandleFunc("GET /v1/sweep/fdim", s.instrument("/v1/sweep/fdim", s.handleSweepFDim))
+	mux.HandleFunc("GET /v1/sweep/degrees", s.instrument("/v1/sweep/degrees", s.handleSweepDegrees))
+	mux.HandleFunc("GET /v1/sweep/wiener", s.instrument("/v1/sweep/wiener", s.handleSweepWiener))
 	return mux
 }
 
 // ListenAndServe runs the HTTP server until Shutdown or a listener error.
 func (s *Server) ListenAndServe() error { return s.http.ListenAndServe() }
 
-// Shutdown drains in-flight requests and stops the server.
-func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+// Shutdown drains in-flight requests and stops the server: first the HTTP
+// listener (handlers blocked on batch lanes keep being served while they
+// drain), then the batching front.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.http.Shutdown(ctx)
+	if s.batcher != nil {
+		s.batcher.Close()
+	}
+	return err
+}
 
 // Addr returns the configured listen address.
 func (s *Server) Addr() string { return s.cfg.Addr }
 
-// instrument wraps a handler with request/error accounting.
-func (s *Server) instrument(h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+// sampleKey carries the request's RequestSample through context so
+// handlers can annotate batching/cache facts the middleware cannot see.
+type sampleKey struct{}
+
+func sampleFrom(ctx context.Context) *RequestSample {
+	s, _ := ctx.Value(sampleKey{}).(*RequestSample)
+	return s
+}
+
+// statusWriter captures the response status for the request metrics. It
+// forwards Flush so the streaming sweep handlers still see a Flusher.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with request/error accounting and the
+// per-request metrics sample.
+func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		s.requests.Add(1)
-		if err := h(w, r); err != nil {
+		sample := &RequestSample{Endpoint: endpoint}
+		sw := &statusWriter{ResponseWriter: w}
+		r = r.WithContext(context.WithValue(r.Context(), sampleKey{}, sample))
+		if err := h(sw, r); err != nil {
 			s.errors.Add(1)
-			writeError(w, err)
+			writeError(sw, err)
 		}
+		sample.Code = sw.code
+		if sample.Code == 0 {
+			sample.Code = http.StatusOK
+		}
+		sample.Latency = time.Since(start)
+		s.metrics.Record(sample)
 	}
 }
 
@@ -223,6 +305,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if hits+misses > 0 {
 		rate = float64(hits) / float64(hits+misses)
 	}
+	batches, batched, shed := s.metrics.BatchTotals()
+	lanes := 0
+	if s.batcher != nil {
+		lanes = s.batcher.Lanes()
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		Requests:        s.requests.Load(),
@@ -237,6 +324,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CompletedJobs:   s.pool.Completed(),
 		RejectedJobs:    s.pool.Rejected(),
 		AvgJobLatencyMs: float64(s.pool.AvgLatency()) / float64(time.Millisecond),
+		Batches:         batches,
+		BatchedRequests: batched,
+		BatchShed:       shed,
+		BatchLanes:      lanes,
 	})
 }
 
@@ -254,8 +345,14 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &httpErr):
 		code = httpErr.code
+	case errors.Is(err, ErrBatchQueueFull), errors.Is(err, ErrBatcherClosed):
+		// Shed load is retryable: the queue drains in at most a few batch
+		// windows, so tell well-behaved clients when to come back.
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, ErrPoolSaturated):
 		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, context.DeadlineExceeded):
 		code = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

@@ -345,6 +345,12 @@ type StatsResponse struct {
 	CompletedJobs   uint64  `json:"completedJobs"`
 	RejectedJobs    uint64  `json:"rejectedJobs"`
 	AvgJobLatencyMs float64 `json:"avgJobLatencyMs"`
+	// Micro-batching front counters (see /metrics for the full
+	// per-operation histograms).
+	Batches         uint64 `json:"batches"`
+	BatchedRequests uint64 `json:"batchedRequests"`
+	BatchShed       uint64 `json:"batchShed"`
+	BatchLanes      int    `json:"batchLanes"`
 }
 
 // HealthResponse is the /healthz payload.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"gfcube/internal/bitstr"
@@ -50,23 +51,26 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	key := fmt.Sprintf("rank|%s|%d|%s", f.s, d, word)
-	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
-		view, err := s.implicitView(ctx, f, d)
-		if err != nil {
-			return nil, err
-		}
-		rank, ok := view.RankWord(word)
-		if !ok {
-			return nil, badRequest("w=%s is not a vertex of Q_%d(%s): it contains the factor", word, d, f.s)
-		}
-		return RankResponse{
-			Factor: f.s, D: d, Word: word.String(),
-			Rank: formatRank(rank), Order: formatRank(view.Order()),
-			Backend: "implicit",
-		}, nil
-	})
+	lane := key[:strings.LastIndexByte(key, '|')]
+	v, cached, err := s.batched(r, "rank", lane, key, rankReq{word: word, key: key},
+		s.rankExec(f, d),
+		func(ctx context.Context) (any, error) {
+			view, err := s.implicitView(ctx, f, d)
+			if err != nil {
+				return nil, err
+			}
+			resp, err := rankOne(view, f, d, word)
+			if err != nil {
+				return nil, err
+			}
+			return resp, nil
+		})
 	if err != nil {
 		return err
+	}
+	if p, ok := v.(prerendered); ok {
+		writePrerendered(w, p, elapsedSince(start))
+		return nil
 	}
 	resp := v.(RankResponse)
 	resp.Cached = cached
@@ -91,23 +95,26 @@ func (s *Server) handleUnrank(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	key := fmt.Sprintf("unrank|%s|%d|%d", f.s, d, rank)
-	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
-		view, err := s.implicitView(ctx, f, d)
-		if err != nil {
-			return nil, err
-		}
-		word, ok := view.UnrankWord(rank)
-		if !ok {
-			return nil, badRequest("r=%d out of range [0, %d)", rank, view.Order())
-		}
-		return UnrankResponse{
-			Factor: f.s, D: d, Rank: formatRank(rank),
-			Word: word.String(), Order: formatRank(view.Order()),
-			Backend: "implicit",
-		}, nil
-	})
+	lane := key[:strings.LastIndexByte(key, '|')]
+	v, cached, err := s.batched(r, "unrank", lane, key, unrankReq{rank: rank, key: key},
+		s.unrankExec(f, d),
+		func(ctx context.Context) (any, error) {
+			view, err := s.implicitView(ctx, f, d)
+			if err != nil {
+				return nil, err
+			}
+			resp, err := unrankOne(view, f, d, rank)
+			if err != nil {
+				return nil, err
+			}
+			return resp, nil
+		})
 	if err != nil {
 		return err
+	}
+	if p, ok := v.(prerendered); ok {
+		writePrerendered(w, p, elapsedSince(start))
+		return nil
 	}
 	resp := v.(UnrankResponse)
 	resp.Cached = cached
@@ -133,25 +140,20 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	key := fmt.Sprintf("neighbors|%s|%d|%s", f.s, d, word)
-	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
-		view, err := s.implicitView(ctx, f, d)
-		if err != nil {
-			return nil, err
-		}
-		if !view.Contains(word) {
-			return nil, badRequest("w=%s is not a vertex of Q_%d(%s): it contains the factor", word, d, f.s)
-		}
-		resp := NeighborsResponse{
-			Factor: f.s, D: d, Word: word.String(),
-			Order: formatRank(view.Order()), Backend: "implicit",
-		}
-		view.NeighborsOf(word, func(rank int64, u bitstr.Word) bool {
-			resp.Neighbors = append(resp.Neighbors, Neighbor{Rank: formatRank(rank), Word: u.String()})
-			return true
+	lane := key[:strings.LastIndexByte(key, '|')]
+	v, cached, err := s.batched(r, "neighbors", lane, key, neighborsReq{word: word, key: key},
+		s.neighborsExec(f, d),
+		func(ctx context.Context) (any, error) {
+			view, err := s.implicitView(ctx, f, d)
+			if err != nil {
+				return nil, err
+			}
+			resp, err := neighborsOne(view, f, d, word)
+			if err != nil {
+				return nil, err
+			}
+			return resp, nil
 		})
-		resp.Degree = len(resp.Neighbors)
-		return resp, nil
-	})
 	if err != nil {
 		return err
 	}
