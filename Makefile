@@ -38,7 +38,16 @@ SLOCONC     ?= 32
 SLOOUT      ?= loadgen-report.json
 SLOADDR     ?= 127.0.0.1:8093
 
-.PHONY: all build test race test-json lint fmt vet bench bench-full bench-gate bench-baseline fuzz-smoke cover slo loadgen-compare serve clean ci
+# Warm-start pack and store-gate settings. PACKDIR is where `make pack`
+# writes the shipped |f| <= 5, d <= 12 pack; the store gate builds its
+# own throwaway pack over the smaller STOREMAXLEN/STOREMAXD grid.
+PACKDIR       ?= packs/default
+STOREBASELINE ?= store-baseline.json
+STOREOUT      ?= store-report.json
+STOREMAXLEN   ?= 4
+STOREMAXD     ?= 10
+
+.PHONY: all build test race test-json lint fmt vet bench bench-full bench-gate bench-baseline fuzz-smoke cover slo loadgen-compare pack store-gate serve clean ci
 
 all: build
 
@@ -146,10 +155,36 @@ loadgen-compare:
 			-concurrency 32 -profile rank -f 11 -d 32 -seed $$seed; \
 	done
 
+# Build the shipped warm-start pack: artifacts + verdict sidecar for
+# every |f| <= 5, d <= 12 cell. Mount it with gfc-serve -warm-pack.
+pack:
+	$(GO) run ./cmd/gfc-pack -dir $(PACKDIR)
+
+# Cold-vs-warm A/B for server restarts: the `first` profile sweeps every
+# canonical class cell of the gate grid exactly once, so every request
+# pays first-touch backend resolution — a build on the cold server, an
+# artifact mmap-load on the warm one. The cold pass is printed for
+# comparison; the warm pass is the gate, checked against the committed
+# $(STOREBASELINE) first-request p99 threshold.
+store-gate:
+	@set -e; bindir=$$(mktemp -d); packdir=$$(mktemp -d); \
+	trap "rm -rf $$bindir $$packdir" EXIT; \
+	$(GO) build -o $$bindir/gfc-pack ./cmd/gfc-pack; \
+	$(GO) build -o $$bindir/gfc-loadgen ./cmd/gfc-loadgen; \
+	echo "== building gate pack (|f| <= $(STOREMAXLEN), d <= $(STOREMAXD))"; \
+	$$bindir/gfc-pack -dir $$packdir -maxflen $(STOREMAXLEN) -maxd $(STOREMAXD) >/dev/null; \
+	echo "== cold restart sweep (no store)"; \
+	$$bindir/gfc-loadgen -inprocess -profile first \
+		-first-maxlen $(STOREMAXLEN) -first-maxd $(STOREMAXD); \
+	echo "== warm restart sweep (-warm-pack)"; \
+	$$bindir/gfc-loadgen -inprocess -profile first \
+		-first-maxlen $(STOREMAXLEN) -first-maxd $(STOREMAXD) \
+		-warm-pack $$packdir -slo $(STOREBASELINE) | tee $(STOREOUT)
+
 serve: build
 	$(GO) run ./cmd/gfc-serve
 
 clean:
-	rm -f $(TESTJSON) $(BENCHOUT) $(BENCHFULLOUT) $(COVEROUT) $(SLOOUT)
+	rm -f $(TESTJSON) $(BENCHOUT) $(BENCHFULLOUT) $(COVEROUT) $(SLOOUT) $(STOREOUT)
 
 ci: lint build test-json bench

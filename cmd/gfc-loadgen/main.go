@@ -18,6 +18,11 @@
 //	mixed      rank 40% / unrank 25% / neighbors 15% / count 15% / route 5%
 //	rank, unrank, neighbors, count, route
 //	           single-endpoint load (100% of requests)
+//	first      one sequential pass over every canonical factor class and
+//	           dimension in [-first-maxlen, -first-maxd]: one /v1/rank and
+//	           one /v1/isometric per cell, so every request is the FIRST
+//	           for its (f, d). Measures restart cost: cold servers build
+//	           each backend, warm servers (-warm-pack) load artifacts.
 //
 // The generator constructs valid f-free query words client-side (greedy
 // suffix avoidance: appending a bit never completes f, because at most
@@ -41,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gfcube/internal/core"
 	"gfcube/internal/service"
 )
 
@@ -57,6 +63,11 @@ func main() {
 	sloPath := flag.String("slo", "", "SLO baseline JSON; exit nonzero on breach")
 	inprocess := flag.Bool("inprocess", false, "spin up the service in-process and drive its handler directly (no TCP): isolates the service stack from loopback/client noise on small machines")
 	batchDisabled := flag.Bool("batch-disabled", false, "with -inprocess: serve requests on the unbatched per-request path")
+	storeDir := flag.String("store-dir", "", "with -inprocess: artifact store directory for the service")
+	warmPack := flag.String("warm-pack", "", "with -inprocess: warm-start pack directory for the service")
+	storeDisabled := flag.Bool("store-disabled", false, "with -inprocess: force the service to pure compute")
+	firstMaxLen := flag.Int("first-maxlen", 4, "first profile: largest factor length swept")
+	firstMaxD := flag.Int("first-maxd", 10, "first profile: largest dimension swept")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -72,7 +83,16 @@ func main() {
 		},
 	}
 	if *inprocess {
-		srv := service.New(service.Config{Addr: ":0", BatchDisabled: *batchDisabled})
+		srv, err := service.New(service.Config{
+			Addr:          ":0",
+			BatchDisabled: *batchDisabled,
+			StoreDir:      *storeDir,
+			WarmPack:      *warmPack,
+			StoreDisabled: *storeDisabled,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
 		client = &http.Client{Transport: handlerTransport{h: srv.Handler()}}
 		*addr = "http://inprocess"
 		*waitReady = 0
@@ -82,6 +102,14 @@ func main() {
 		if err := awaitReady(client, *addr, *waitReady); err != nil {
 			fail("%v", err)
 		}
+	}
+
+	if *profile == "first" {
+		start := time.Now()
+		ws := runFirst(client, *addr, *firstMaxLen, *firstMaxD)
+		report := buildReport(*addr, *profile, "grid", *firstMaxD, 1, time.Since(start), []*workerStats{ws})
+		finish(report, *sloPath, fail)
+		return
 	}
 
 	order, err := fetchOrder(client, *addr, *factor, *dim)
@@ -108,15 +136,20 @@ func main() {
 	elapsed := time.Since(start)
 
 	report := buildReport(*addr, *profile, *factor, *dim, *concurrency, elapsed, workers)
+	finish(report, *sloPath, fail)
+}
 
+// finish renders the report, applies the optional SLO gate, and exits
+// nonzero on breach.
+func finish(report Report, sloPath string, fail func(string, ...any)) {
 	var breaches []string
-	if *sloPath != "" {
-		slo, err := loadSLO(*sloPath)
+	if sloPath != "" {
+		slo, err := loadSLO(sloPath)
 		if err != nil {
 			fail("%v", err)
 		}
 		breaches = slo.check(&report)
-		report.SLO = &SLOResult{Baseline: *sloPath, Pass: len(breaches) == 0, Breaches: breaches}
+		report.SLO = &SLOResult{Baseline: sloPath, Pass: len(breaches) == 0, Breaches: breaches}
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -127,6 +160,40 @@ func main() {
 	if len(breaches) > 0 {
 		fail("SLO breach:\n  %s", strings.Join(breaches, "\n  "))
 	}
+}
+
+// runFirst walks every canonical factor class with |f| <= maxLen and
+// every d in [1, maxD], issuing exactly one /v1/rank and one
+// /v1/isometric per cell — so every request is the first its server has
+// seen for that (f, d) and pays the full backend resolution (build on a
+// cold server, artifact load on a warm one). Sequential on purpose:
+// first-request latency is the quantity, concurrency would let slow
+// builds overlap and hide.
+func runFirst(client *http.Client, addr string, maxLen, maxD int) *workerStats {
+	ws := &workerStats{lat: make(map[string][]time.Duration), errors: make(map[string]int64)}
+	r := rand.New(rand.NewSource(1)) // deterministic words: identical cold and warm streams
+	get := func(op, url string) {
+		t0 := time.Now()
+		resp, err := client.Get(url)
+		ok := err == nil
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+		}
+		ws.lat[op] = append(ws.lat[op], time.Since(t0))
+		if !ok {
+			ws.errors[op]++
+		}
+	}
+	for _, cl := range core.Classes(1, maxLen) {
+		f := cl.Rep.String()
+		for d := 1; d <= maxD; d++ {
+			get("rank", fmt.Sprintf("%s/v1/rank?f=%s&d=%d&w=%s", addr, f, d, randomWord(r, f, d)))
+			get("isometric", fmt.Sprintf("%s/v1/isometric?f=%s&d=%d", addr, f, d))
+		}
+	}
+	return ws
 }
 
 // handlerTransport satisfies http.RoundTripper by invoking an

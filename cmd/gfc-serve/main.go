@@ -10,16 +10,25 @@
 //	          [-maxdim 20] [-maxcountdim 100000]
 //	          [-batch-size 32] [-batch-wait 500µs] [-batch-queue 128]
 //	          [-batch-disabled]
+//	          [-store-dir DIR] [-warm-pack DIR] [-store-max-bytes N]
+//	          [-store-disabled]
 //
 // The hot query endpoints (count, rank, unrank, neighbors, word-mode
 // route) sit behind a micro-batching front: concurrent requests for the
 // same (f, d) lane are coalesced into one backend invocation. Tune with
 // the -batch-* flags or turn it off with -batch-disabled.
 //
-// Endpoints (all GET, JSON responses; see internal/README.md for details):
+// With -store-dir the expensive backends (explicit cube adjacency, DFA
+// ranker tables) persist as content-addressed artifacts: restarts load
+// them zero-copy via mmap instead of rebuilding. -warm-pack additionally
+// mounts a read-only pack built by gfc-pack, preloading its precomputed
+// verdicts at startup. Corrupt artifacts always fall back to compute.
+//
+// Endpoints (all GET unless noted, JSON responses; see internal/README.md
+// for details):
 //
 //	/healthz                          liveness probe
-//	/stats                            cache / worker-pool / batcher metrics
+//	/stats                            cache / worker-pool / batcher / store metrics
 //	/metrics                          Prometheus text exposition
 //	/v1/count?f=11&d=100              exact |V|, |E|, |S| of Q_d(f)
 //	/v1/classify?f=1100&d=9           paper classification + Table 1 row
@@ -29,6 +38,8 @@
 //	/v1/simulate?f=11&d=8             store-and-forward traffic simulation
 //	/v1/broadcast?f=11&d=8&root=..    one-to-all BFS-tree broadcast
 //	/v1/hamilton?f=11&d=8             bounded Hamiltonian path/cycle search
+//	/v1/admin/store                   artifact-store inventory and counters
+//	/v1/admin/warm (POST)             preload backends from the store/pack
 package main
 
 import (
@@ -59,9 +70,13 @@ func main() {
 	batchWait := flag.Duration("batch-wait", 0, "batch window: how long the first request waits for followers (0 = default 500µs)")
 	batchQueue := flag.Int("batch-queue", 0, "queued requests per lane before shedding (0 = default 4×batch-size)")
 	batchDisabled := flag.Bool("batch-disabled", false, "serve every query request individually (no coalescing)")
+	storeDir := flag.String("store-dir", "", "artifact store directory: load precomputed backends, write back misses")
+	warmPack := flag.String("warm-pack", "", "read-only warm-start pack directory built by gfc-pack")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "store directory size cap in bytes (0 = uncapped)")
+	storeDisabled := flag.Bool("store-disabled", false, "force pure-compute operation even with -store-dir/-warm-pack")
 	flag.Parse()
 
-	srv := service.New(service.Config{
+	srv, err := service.New(service.Config{
 		Addr:          *addr,
 		Workers:       *workers,
 		JobTimeout:    *timeout,
@@ -74,7 +89,14 @@ func main() {
 			QueueLimit: *batchQueue,
 		},
 		BatchDisabled: *batchDisabled,
+		StoreDir:      *storeDir,
+		WarmPack:      *warmPack,
+		StoreMaxBytes: *storeMaxBytes,
+		StoreDisabled: *storeDisabled,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	errc := make(chan error, 1)
 	go func() {

@@ -12,7 +12,7 @@
 // Usage:
 //
 //	gfc-survey [-len L] [-minlen L0] [-maxd D] [-method exact|screen|quick]
-//	           [-parallel N] [-json] [-progress]
+//	           [-parallel N] [-json] [-progress] [-store-dir DIR]
 package main
 
 import (
@@ -28,6 +28,7 @@ import (
 	"text/tabwriter"
 
 	"gfcube/internal/core"
+	"gfcube/internal/store"
 	"gfcube/internal/sweep"
 )
 
@@ -50,6 +51,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep workers")
 	jsonOut := flag.Bool("json", false, "emit rows as a JSON array instead of a table")
 	progress := flag.Bool("progress", false, "report per-class progress on stderr")
+	storeDir := flag.String("store-dir", "", "artifact store directory: load precomputed cubes and write back misses")
 	flag.Parse()
 	if *length < 1 || *length > 10 {
 		log.Fatalf("length %d out of range [1,10]", *length)
@@ -74,6 +76,14 @@ func main() {
 	defer stop()
 
 	opts := sweep.Options{Workers: *parallel}
+	if *storeDir != "" {
+		st, err := store.Open(store.Config{Dir: *storeDir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		opts.Provider = store.NewProvider(st)
+	}
 	if *progress {
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rclasses %d/%d", done, total)

@@ -31,6 +31,10 @@ type Ranker struct {
 	// s by k more symbols without seeing the factor.
 	suffix []uint64
 	total  uint64
+	// shared marks a suffix table adopted zero-copy from a mapped artifact
+	// (see LoadRanker): the memory may be read-only, so Reset must
+	// reallocate instead of writing into it.
+	shared bool
 	// walkStates/walkRanks are FlipUpRanks scratch (prefix path of the
 	// probed word), allocated on first use and reused.
 	walkStates []int
@@ -63,6 +67,11 @@ func (r *Ranker) Reset(a *DFA, d int) {
 	m := a.m
 	stride := d + 1
 	need := m * stride
+	if r.shared {
+		// The current table aliases a mapped (possibly read-only) artifact:
+		// drop it rather than write through it.
+		r.suffix, r.shared = nil, false
+	}
 	if cap(r.suffix) < need {
 		r.suffix = make([]uint64, need)
 	} else {

@@ -1,0 +1,88 @@
+package automaton
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/memview"
+)
+
+// Serialization of rank tables for the artifact store. The payload is a
+// fixed little-endian uint64 sequence with no framing of its own (the
+// store wraps it in a checksummed header):
+//
+//	uint64 d      ranked dimension
+//	uint64 m      automaton live-state count (= |f|)
+//	uint64 total  |V(Q_d(f))| = suffix[d]
+//	uint64 suffix[m*(d+1)]  completion counts, row-major as in Ranker
+//
+// LoadRanker re-verifies the full counting recurrence against the
+// automaton, so a table that decodes successfully is provably identical
+// to a freshly computed one: corruption that survives the store checksum
+// still fails closed here, never into wrong ranks.
+
+// SuffixTable exposes the flat m x (d+1) completion-count table, row
+// major, for serialization. The returned slice is the ranker's live
+// table; callers must not modify it.
+func (r *Ranker) SuffixTable() []uint64 { return r.suffix }
+
+// AppendBinary appends the ranker's serialized form to dst and returns
+// the extended slice.
+func (r *Ranker) AppendBinary(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.d))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.dfa.m))
+	dst = binary.LittleEndian.AppendUint64(dst, r.total)
+	for _, v := range r.suffix {
+		dst = binary.LittleEndian.AppendUint64(dst, v)
+	}
+	return dst
+}
+
+// LoadRanker reconstructs a Ranker over automaton a from data written by
+// AppendBinary, adopting the table zero-copy when the platform allows.
+// The table is validated in full — dimensions, base cases, the counting
+// recurrence, and the total — so any error means the caller must fall
+// back to computing; a nil error means query answers are byte-identical
+// to a rebuilt ranker. The loaded table may alias read-only mapped
+// memory: Reset on the result reallocates instead of writing through it.
+func LoadRanker(a *DFA, data []byte) (*Ranker, error) {
+	vals, ok := memview.Uint64(data)
+	if !ok || len(vals) < 3 {
+		return nil, fmt.Errorf("automaton: ranker payload %d bytes, want 8-multiple >= 24", len(data))
+	}
+	d, m, total := vals[0], vals[1], vals[2]
+	if d > bitstr.MaxLen {
+		return nil, fmt.Errorf("automaton: ranker dimension %d out of range [0, %d]", d, bitstr.MaxLen)
+	}
+	if int(m) != a.m {
+		return nil, fmt.Errorf("automaton: ranker has %d states, automaton for %s has %d", m, a.factor, a.m)
+	}
+	stride := int(d) + 1
+	suffix := vals[3:]
+	if len(suffix) != a.m*stride {
+		return nil, fmt.Errorf("automaton: ranker table has %d entries, want %d", len(suffix), a.m*stride)
+	}
+	for s := 0; s < a.m; s++ {
+		if suffix[s*stride] != 1 {
+			return nil, fmt.Errorf("automaton: ranker base case broken at state %d", s)
+		}
+	}
+	for k := 1; k <= int(d); k++ {
+		for s := 0; s < a.m; s++ {
+			var want uint64
+			for c := 0; c < 2; c++ {
+				if t := a.delta[s][c]; t != a.m {
+					want += suffix[t*stride+k-1]
+				}
+			}
+			if suffix[s*stride+k] != want {
+				return nil, fmt.Errorf("automaton: ranker recurrence broken at state %d length %d", s, k)
+			}
+		}
+	}
+	if total != suffix[d] {
+		return nil, fmt.Errorf("automaton: ranker total %d, table says %d", total, suffix[d])
+	}
+	return &Ranker{dfa: a, d: int(d), suffix: suffix, total: total, shared: true}, nil
+}

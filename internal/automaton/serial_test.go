@@ -1,0 +1,112 @@
+package automaton
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"gfcube/internal/bitstr"
+)
+
+func w(s string) bitstr.Word { return bitstr.MustParse(s) }
+
+// Serialize → load must reproduce the ranker exactly: same serialized
+// bytes, same total, same rank/unrank answers on every vertex.
+func TestRankerSerialRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		f string
+		d int
+	}{
+		{"11", 10}, {"11", 0}, {"101", 9}, {"0110", 12}, {"1", 6},
+	} {
+		dfa := New(w(tc.f))
+		orig := dfa.Ranker(tc.d)
+		blob := orig.AppendBinary(nil)
+		got, err := LoadRanker(dfa, blob)
+		if err != nil {
+			t.Fatalf("f=%s d=%d: LoadRanker: %v", tc.f, tc.d, err)
+		}
+		if string(got.AppendBinary(nil)) != string(blob) {
+			t.Fatalf("f=%s d=%d: reserialization differs", tc.f, tc.d)
+		}
+		if got.TotalU64() != orig.TotalU64() || got.D() != orig.D() {
+			t.Fatalf("f=%s d=%d: total/d mismatch", tc.f, tc.d)
+		}
+		for r := uint64(0); r < orig.TotalU64(); r++ {
+			ow, err1 := orig.UnrankU64(r)
+			gw, err2 := got.UnrankU64(r)
+			if err1 != nil || err2 != nil || ow != gw {
+				t.Fatalf("f=%s d=%d rank %d: unrank %v/%v vs %v/%v", tc.f, tc.d, r, ow, err1, gw, err2)
+			}
+			if rr, ok := got.RankBits(ow.Bits); !ok || rr != r {
+				t.Fatalf("f=%s d=%d: rank(unrank(%d)) = %d, %v", tc.f, tc.d, r, rr, ok)
+			}
+		}
+	}
+}
+
+// A ranker loaded from an artifact marks its table shared; Reset must
+// reallocate rather than write through potentially read-only memory.
+func TestLoadedRankerResetReallocates(t *testing.T) {
+	dfa := New(w("11"))
+	blob := dfa.Ranker(8).AppendBinary(nil)
+	rk, err := LoadRanker(dfa, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := rk.SuffixTable()
+	rk.Reset(dfa, 8)
+	if &rk.SuffixTable()[0] == &shared[0] {
+		t.Error("Reset on a loaded ranker reused the shared table")
+	}
+	if rk.TotalU64() != dfa.Ranker(8).TotalU64() {
+		t.Error("Reset after load computed a wrong total")
+	}
+}
+
+// Every corruption class must be rejected with an error, never a
+// wrong-answering ranker.
+func TestLoadRankerRejectsCorruption(t *testing.T) {
+	dfa := New(w("11"))
+	blob := dfa.Ranker(8).AppendBinary(nil)
+
+	mut := func(name string, f func([]byte) []byte, wantSub string) {
+		t.Helper()
+		b := f(append([]byte(nil), blob...))
+		if _, err := LoadRanker(dfa, b); err == nil {
+			t.Errorf("%s: corrupted payload accepted", name)
+		} else if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%s: error %q missing %q", name, err, wantSub)
+		}
+	}
+
+	mut("truncated", func(b []byte) []byte { return b[:len(b)-8] }, "entries")
+	mut("ragged length", func(b []byte) []byte { return b[:len(b)-3] }, "8-multiple")
+	mut("empty", func(b []byte) []byte { return nil }, "")
+	mut("huge d", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b, 63)
+		return b
+	}, "out of range")
+	mut("wrong state count", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[8:], 7)
+		return b
+	}, "states")
+	mut("broken base case", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[24:], 9) // suffix[0][0] must be 1
+		return b
+	}, "base case")
+	mut("broken recurrence", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[len(b)-8:], 1<<40)
+		return b
+	}, "")
+	mut("wrong total", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[16:], 5)
+		return b
+	}, "total")
+
+	// Loading against the wrong automaton (the "wrong class key" case at
+	// the payload layer) must also fail: table shape depends on |f|.
+	if _, err := LoadRanker(New(w("101")), blob); err == nil {
+		t.Error("ranker for f=11 accepted by automaton for f=101")
+	}
+}

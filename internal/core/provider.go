@@ -1,0 +1,58 @@
+package core
+
+import (
+	"context"
+
+	"gfcube/internal/bitstr"
+)
+
+// Source attributes where a resolved backend (or a response derived from
+// one) came from. The values appear verbatim in the service's `source`
+// response field.
+type Source string
+
+const (
+	// SourceComputed means the backend was built from scratch this request.
+	SourceComputed Source = "computed"
+	// SourceStore means the backend was loaded from a disk artifact.
+	SourceStore Source = "store"
+	// SourceCache means an in-memory cache already held the answer.
+	SourceCache Source = "cache"
+)
+
+// Provider is the compute-or-load seam for cube backends: everything
+// that needs a Q_d(f) backend — the service view cache, the sweep
+// engine, CLIs — resolves through a Provider, so a disk artifact store
+// can substitute loads for builds without the call sites knowing.
+// Implementations must be safe for concurrent use and must return
+// backends that answer queries identically to freshly computed ones.
+type Provider interface {
+	// Cube resolves the explicit backend for Q_d(f); d must be within
+	// [0, MaxBuildDim] and f nonempty (callers validate, as with New).
+	Cube(ctx context.Context, d int, f bitstr.Word) (*Cube, Source, error)
+	// Implicit resolves the DFA-rank backend for Q_d(f); d must be within
+	// [0, bitstr.MaxLen] and f nonempty.
+	Implicit(ctx context.Context, d int, f bitstr.Word) (*Implicit, Source, error)
+}
+
+// Compute is the Provider that always builds from scratch — the
+// behavior of the system with no store configured.
+type Compute struct{}
+
+// Cube builds Q_d(f) explicitly.
+func (Compute) Cube(ctx context.Context, d int, f bitstr.Word) (*Cube, Source, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, SourceComputed, err
+	}
+	return New(d, f), SourceComputed, nil
+}
+
+// Implicit builds the DFA-rank backend.
+func (Compute) Implicit(ctx context.Context, d int, f bitstr.Word) (*Implicit, Source, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, SourceComputed, err
+	}
+	return NewImplicit(d, f), SourceComputed, nil
+}
+
+var _ Provider = Compute{}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"gfcube/internal/automaton"
 	"gfcube/internal/bitstr"
 	"gfcube/internal/graph"
@@ -22,6 +24,12 @@ type Scratch struct {
 	rank    automaton.Ranker
 	builder *graph.Builder
 	ms      *graph.MSBFS
+
+	// Provider, when non-nil, is consulted by Cube before building: a
+	// store-backed provider substitutes artifact loads for constructions,
+	// which is how grid sweeps warm-start. A load that fails for any
+	// reason falls through to the normal build path.
+	Provider Provider
 }
 
 // NewScratch returns an empty scratch area; buffers grow on first use.
@@ -36,6 +44,11 @@ func NewScratch() *Scratch {
 func (s *Scratch) Cube(d int, f bitstr.Word) *Cube {
 	if f.Len() == 0 {
 		panic("core: empty forbidden factor")
+	}
+	if s.Provider != nil {
+		if c, _, err := s.Provider.Cube(context.Background(), d, f); err == nil {
+			return c
+		}
 	}
 	if s.dfa == nil || s.dfaF != f {
 		s.dfa = automaton.New(f)

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"gfcube/internal/bitstr"
+)
+
+// Explicit-cube payloads must round-trip byte-identically and answer
+// every CubeView query exactly like the built cube.
+func TestCubeSerialRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		f string
+		d int
+	}{
+		{"11", 8}, {"101", 7}, {"0110", 9}, {"11", 0},
+	} {
+		f := w(tc.f)
+		orig := New(tc.d, f)
+		blob := orig.AppendBinary(nil)
+		got, err := LoadCube(blob, tc.d, f)
+		if err != nil {
+			t.Fatalf("Q_%d(%s): LoadCube: %v", tc.d, tc.f, err)
+		}
+		if string(got.AppendBinary(nil)) != string(blob) {
+			t.Fatalf("Q_%d(%s): reserialization differs", tc.d, tc.f)
+		}
+		if got.Order() != orig.Order() {
+			t.Fatalf("Q_%d(%s): order %d, want %d", tc.d, tc.f, got.Order(), orig.Order())
+		}
+		oc, gc := orig.CountsExplicit(), got.CountsExplicit()
+		if oc != gc {
+			t.Fatalf("Q_%d(%s): counts %+v, want %+v", tc.d, tc.f, gc, oc)
+		}
+		for r := int64(0); r < orig.Order(); r++ {
+			ow, _ := orig.UnrankWord(r)
+			gw, ok := got.UnrankWord(r)
+			if !ok || ow != gw {
+				t.Fatalf("Q_%d(%s) rank %d: %v vs %v", tc.d, tc.f, r, ow, gw)
+			}
+		}
+	}
+}
+
+func TestImplicitSerialRoundTrip(t *testing.T) {
+	f := w("101")
+	orig := NewImplicit(40, f)
+	blob := orig.AppendBinary(nil)
+	got, err := LoadImplicit(blob, 40, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.AppendBinary(nil)) != string(blob) {
+		t.Fatal("reserialization differs")
+	}
+	if got.Order() != orig.Order() {
+		t.Fatalf("order %d, want %d", got.Order(), orig.Order())
+	}
+	for _, r := range []int64{0, 1, orig.Order() / 2, orig.Order() - 1} {
+		ow, _ := orig.UnrankWord(r)
+		gw, ok := got.UnrankWord(r)
+		if !ok || ow != gw {
+			t.Fatalf("rank %d: %v vs %v", r, ow, gw)
+		}
+	}
+}
+
+// The load paths refuse wrong identities and structural damage rather
+// than building a backend over them.
+func TestLoadCubeRejectsBadPayloads(t *testing.T) {
+	f := w("11")
+	blob := New(6, f).AppendBinary(nil)
+
+	if _, err := LoadCube(blob, 6, bitstr.Word{}); err == nil {
+		t.Error("empty factor accepted")
+	}
+	if _, err := LoadCube(blob, MaxBuildDim+1, f); err == nil {
+		t.Error("out-of-range dimension accepted")
+	}
+	if _, err := LoadCube(blob[:16], 6, f); err == nil {
+		t.Error("short payload accepted")
+	}
+	if _, err := LoadCube(blob, 7, f); err == nil {
+		t.Error("payload for d=6 accepted as d=7")
+	}
+	if _, err := LoadCube(blob, 6, w("101")); err == nil {
+		t.Error("payload for f=11 accepted as f=101 (wrong class key)")
+	}
+
+	mut := func(name string, f2 func([]byte) []byte) {
+		t.Helper()
+		if _, err := LoadCube(f2(append([]byte(nil), blob...)), 6, f); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	mut("wrong vertex count", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[24:], 3)
+		return b
+	})
+	mut("truncated vertex section", func(b []byte) []byte { return b[:40] })
+	mut("out-of-place vertex", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[32:], 1<<5) // rank 0 slot must hold word 0…0
+		return b
+	})
+	mut("graph truncated", func(b []byte) []byte { return b[:len(b)-4] })
+}
+
+func TestLoadImplicitRejectsBadPayloads(t *testing.T) {
+	f := w("11")
+	blob := NewImplicit(10, f).AppendBinary(nil)
+	if _, err := LoadImplicit(blob, 10, bitstr.Word{}); err == nil {
+		t.Error("empty factor accepted")
+	}
+	if _, err := LoadImplicit(blob, -1, f); err == nil {
+		t.Error("negative dimension accepted")
+	}
+	if _, err := LoadImplicit(blob, 11, f); err == nil {
+		t.Error("payload for d=10 accepted as d=11")
+	}
+	if _, err := LoadImplicit(blob[:8], 10, f); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}

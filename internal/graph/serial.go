@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gfcube/internal/memview"
+)
+
+// CSR serialization for the artifact store. The payload is little-endian
+// and laid out so a mapped copy is usable in place:
+//
+//	uint64 n            vertex count
+//	uint64 m            edge count
+//	int32  off[n+1]     CSR row offsets into flat (off[0]=0, off[n]=2m)
+//	int32  flat[2m]     concatenated sorted adjacency rows
+//
+// The header is 16 bytes, so when the payload itself starts 8-aligned
+// (the store guarantees this) both int32 sections are naturally aligned
+// and LoadFrom adopts them zero-copy on little-endian hosts.
+
+// AppendBinary appends the graph's serialized CSR form to dst and
+// returns the extended slice.
+func (g *Graph) AppendBinary(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(g.adj)))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(g.m))
+	off := int32(0)
+	dst = binary.LittleEndian.AppendUint32(dst, 0)
+	for v := range g.adj {
+		off += int32(len(g.adj[v]))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(off))
+	}
+	for v := range g.adj {
+		for _, w := range g.adj[v] {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(w))
+		}
+	}
+	return dst
+}
+
+// LoadFrom reconstructs a Graph from data written by AppendBinary,
+// adopting the offset and adjacency arenas zero-copy when the platform
+// allows. The structure is validated in full — monotonic offsets,
+// strictly increasing rows, endpoints in range, no self-loops, mirrored
+// degree sum — so any error means the caller must fall back to
+// computing. The rows may alias read-only mapped memory; Graph never
+// mutates them after construction.
+func LoadFrom(data []byte) (*Graph, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("graph: payload %d bytes, want >= 16", len(data))
+	}
+	n64 := binary.LittleEndian.Uint64(data)
+	m64 := binary.LittleEndian.Uint64(data[8:])
+	if n64 > math.MaxInt32-1 || m64 > math.MaxInt32/2 {
+		return nil, fmt.Errorf("graph: size %d vertices / %d edges exceeds int32 layout", n64, m64)
+	}
+	n, m := int(n64), int(m64)
+	want := 16 + 4*uint64(n+1) + 8*m64
+	if uint64(len(data)) != want {
+		return nil, fmt.Errorf("graph: payload %d bytes, layout needs %d", len(data), want)
+	}
+	off, ok := memview.Int32(data[16 : 16+4*(n+1)])
+	if !ok {
+		return nil, fmt.Errorf("graph: misaligned offset section")
+	}
+	flat, ok := memview.Int32(data[16+4*(n+1):])
+	if !ok {
+		return nil, fmt.Errorf("graph: misaligned adjacency section")
+	}
+	if off[0] != 0 || off[n] != int32(2*m) {
+		return nil, fmt.Errorf("graph: offset bounds [%d, %d], want [0, %d]", off[0], off[n], 2*m)
+	}
+	adj := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		lo, hi := off[v], off[v+1]
+		if lo > hi {
+			return nil, fmt.Errorf("graph: offsets decrease at vertex %d", v)
+		}
+		row := flat[lo:hi:hi]
+		for i, w := range row {
+			if w < 0 || w >= int32(n) || w == int32(v) {
+				return nil, fmt.Errorf("graph: bad neighbor %d of vertex %d", w, v)
+			}
+			if i > 0 && row[i-1] >= w {
+				return nil, fmt.Errorf("graph: adjacency row %d not strictly increasing", v)
+			}
+		}
+		adj[v] = row
+	}
+	return &Graph{adj: adj, m: m}, nil
+}

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// Serialize → load → reserialize must be byte-identical, and the loaded
+// graph must answer structural queries exactly like the original.
+func TestGraphSerialRoundTrip(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"cycle8":    Cycle(8),
+		"path1":     Path(1),
+		"star5":     Star(5),
+		"grid3x4":   Grid(3, 4),
+		"complete6": Complete(6),
+	} {
+		blob := g.AppendBinary(nil)
+		got, err := LoadFrom(blob)
+		if err != nil {
+			t.Fatalf("%s: LoadFrom: %v", name, err)
+		}
+		if string(got.AppendBinary(nil)) != string(blob) {
+			t.Fatalf("%s: reserialization differs", name)
+		}
+		if got.N() != g.N() || got.M() != g.M() {
+			t.Fatalf("%s: size %d/%d, want %d/%d", name, got.N(), got.M(), g.N(), g.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			if got.Degree(v) != g.Degree(v) {
+				t.Fatalf("%s: degree(%d) differs", name, v)
+			}
+		}
+	}
+}
+
+// Structural validation must reject every corruption class: a LoadFrom
+// that succeeds is safe to answer distance and routing queries from.
+func TestLoadFromRejectsCorruption(t *testing.T) {
+	blob := Cycle(6).AppendBinary(nil)
+
+	mut := func(name string, f func([]byte) []byte) {
+		t.Helper()
+		if _, err := LoadFrom(f(append([]byte(nil), blob...))); err == nil {
+			t.Errorf("%s: corrupted payload accepted", name)
+		}
+	}
+
+	mut("empty", func(b []byte) []byte { return nil })
+	mut("truncated", func(b []byte) []byte { return b[:len(b)-4] })
+	mut("padded", func(b []byte) []byte { return append(b, 0, 0, 0, 0) })
+	mut("giant n", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b, 1<<40)
+		return b
+	})
+	mut("giant m", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[8:], 1<<40)
+		return b
+	})
+	mut("offset bounds", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[16:], 1) // off[0] must be 0
+		return b
+	})
+	mut("decreasing offsets", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[20:], 12) // off[1] > off[6] = 12 forces a later decrease
+		binary.LittleEndian.PutUint32(b[24:], 2)
+		return b
+	})
+	mut("self loop", func(b []byte) []byte {
+		// First adjacency entry (vertex 0's first neighbor) set to 0.
+		binary.LittleEndian.PutUint32(b[16+4*7:], 0)
+		return b
+	})
+	mut("neighbor out of range", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[16+4*7:], 99)
+		return b
+	})
+	mut("row not increasing", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[16+4*8:], 1) // vertex 0's row becomes [1, 1]
+		return b
+	})
+}

@@ -1,0 +1,61 @@
+// Package memview reinterprets byte slices as little-endian numeric
+// slices for the artifact load path: a mapped artifact payload becomes a
+// live []uint64 or []int32 table without copying whenever the host is
+// little-endian and the bytes are naturally aligned, and decodes a copy
+// otherwise. Writers always emit little-endian via encoding/binary, so
+// artifacts are portable across hosts; only the zero-copy fast path is
+// endianness- and alignment-dependent.
+package memview
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// hostLittleEndian reports whether the running machine stores integers
+// little-endian; only then can a little-endian file be viewed in place.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Uint64 returns data viewed as a []uint64. The view aliases data (no
+// copy) when the host is little-endian and data is 8-byte aligned;
+// otherwise the values are decoded into a fresh slice. ok is false when
+// len(data) is not a multiple of 8.
+func Uint64(data []byte) (vals []uint64, ok bool) {
+	if len(data)%8 != 0 {
+		return nil, false
+	}
+	if len(data) == 0 {
+		return nil, true
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&data[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&data[0])), len(data)/8), true
+	}
+	out := make([]uint64, len(data)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	return out, true
+}
+
+// Int32 returns data viewed as a []int32, zero-copy when the host is
+// little-endian and data is 4-byte aligned, decoded otherwise. ok is
+// false when len(data) is not a multiple of 4.
+func Int32(data []byte) (vals []int32, ok bool) {
+	if len(data)%4 != 0 {
+		return nil, false
+	}
+	if len(data) == 0 {
+		return nil, true
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&data[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&data[0])), len(data)/4), true
+	}
+	out := make([]int32, len(data)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(data[i*4:]))
+	}
+	return out, true
+}

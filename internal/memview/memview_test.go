@@ -1,0 +1,98 @@
+package memview
+
+import (
+	"encoding/binary"
+	"testing"
+	"unsafe"
+)
+
+func TestUint64RoundTrip(t *testing.T) {
+	want := []uint64{0, 1, 1<<62 - 3, ^uint64(0)}
+	var data []byte
+	for _, v := range want {
+		data = binary.LittleEndian.AppendUint64(data, v)
+	}
+	got, ok := Uint64(data)
+	if !ok || len(got) != len(want) {
+		t.Fatalf("Uint64: ok=%v len=%d", ok, len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d: %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUint64ZeroCopyWhenAligned(t *testing.T) {
+	if !hostLittleEndian {
+		t.Skip("zero-copy fast path needs a little-endian host")
+	}
+	data := make([]byte, 16) // make([]byte) is at least 8-aligned
+	binary.LittleEndian.PutUint64(data, 7)
+	vals, ok := Uint64(data)
+	if !ok {
+		t.Fatal("aligned view rejected")
+	}
+	if unsafe.Pointer(&vals[0]) != unsafe.Pointer(&data[0]) {
+		t.Error("aligned little-endian view copied instead of aliasing")
+	}
+}
+
+func TestUint64MisalignedCopies(t *testing.T) {
+	buf := make([]byte, 17)
+	data := buf[1:] // 8k+1 offset: misaligned on every platform
+	binary.LittleEndian.PutUint64(data, 42)
+	binary.LittleEndian.PutUint64(data[8:], 43)
+	vals, ok := Uint64(data)
+	if !ok || vals[0] != 42 || vals[1] != 43 {
+		t.Fatalf("misaligned decode: ok=%v vals=%v", ok, vals)
+	}
+	if hostLittleEndian && unsafe.Pointer(&vals[0]) == unsafe.Pointer(&data[0]) {
+		t.Error("misaligned input must be decoded into a fresh slice")
+	}
+}
+
+func TestUint64BadLength(t *testing.T) {
+	if _, ok := Uint64(make([]byte, 12)); ok {
+		t.Error("length not a multiple of 8 accepted")
+	}
+	vals, ok := Uint64(nil)
+	if !ok || vals != nil {
+		t.Errorf("empty input: vals=%v ok=%v", vals, ok)
+	}
+}
+
+func TestInt32RoundTrip(t *testing.T) {
+	want := []int32{0, -1, 1 << 30, -(1 << 30)}
+	var data []byte
+	for _, v := range want {
+		data = binary.LittleEndian.AppendUint32(data, uint32(v))
+	}
+	got, ok := Int32(data)
+	if !ok || len(got) != len(want) {
+		t.Fatalf("Int32: ok=%v len=%d", ok, len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d: %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInt32MisalignedAndBadLength(t *testing.T) {
+	buf := make([]byte, 9)
+	data := buf[1:]
+	neg := int32(-5)
+	binary.LittleEndian.PutUint32(data, uint32(neg))
+	binary.LittleEndian.PutUint32(data[4:], 6)
+	vals, ok := Int32(data)
+	if !ok || vals[0] != -5 || vals[1] != 6 {
+		t.Fatalf("misaligned decode: ok=%v vals=%v", ok, vals)
+	}
+	if _, ok := Int32(make([]byte, 6)); ok {
+		t.Error("length not a multiple of 4 accepted")
+	}
+	if vals, ok := Int32(nil); !ok || vals != nil {
+		t.Errorf("empty input: vals=%v ok=%v", vals, ok)
+	}
+}

@@ -21,7 +21,7 @@ func randWord11(r *rand.Rand, d int) []byte {
 }
 
 func benchRankHTTP(b *testing.B, disabled bool) {
-	srv := New(Config{Addr: ":0", MaxBuildDim: 12, BatchDisabled: disabled})
+	srv := mustNew(b, Config{Addr: ":0", MaxBuildDim: 12, BatchDisabled: disabled})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	b.SetParallelism(32)
@@ -43,7 +43,7 @@ func benchRankHTTP(b *testing.B, disabled bool) {
 }
 
 func benchRankHandler(b *testing.B, disabled bool) {
-	srv := New(Config{Addr: ":0", MaxBuildDim: 12, BatchDisabled: disabled})
+	srv := mustNew(b, Config{Addr: ":0", MaxBuildDim: 12, BatchDisabled: disabled})
 	h := srv.Handler()
 	b.SetParallelism(32)
 	b.ResetTimer()

@@ -176,8 +176,14 @@ func TestBatcherShedMapsTo503WithRetryAfter(t *testing.T) {
 		t.Error("503 shed response missing Retry-After header")
 	}
 	var e ErrorResponse
-	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error.Message == "" {
 		t.Fatalf("shed body not an ErrorResponse: %v (%s)", err, rec.Body.String())
+	}
+	if e.Error.Code != CodeOverloaded {
+		t.Errorf("shed error code %q, want %q", e.Error.Code, CodeOverloaded)
+	}
+	if e.Error.RetryAfterMs <= 0 {
+		t.Errorf("shed error missing retry_after_ms: %+v", e.Error)
 	}
 
 	rec = httptest.NewRecorder()
@@ -324,7 +330,7 @@ func TestBatcherLaneRetiresWhenIdle(t *testing.T) {
 }
 
 func TestServerShutdownClosesBatcher(t *testing.T) {
-	s := New(Config{Workers: 2})
+	s := mustNew(t, Config{Workers: 2})
 	if err := s.Shutdown(context.Background()); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
@@ -339,9 +345,9 @@ func TestServerShutdownClosesBatcher(t *testing.T) {
 // (modulo the Elapsed timing field), so coalescing can never change an
 // answer.
 func TestBatchedEndpointsMatchSoloPath(t *testing.T) {
-	batched := httptest.NewServer(New(Config{Workers: 4, JobTimeout: time.Minute}).Handler())
+	batched := httptest.NewServer(mustNew(t, Config{Workers: 4, JobTimeout: time.Minute}).Handler())
 	defer batched.Close()
-	solo := httptest.NewServer(New(Config{Workers: 4, JobTimeout: time.Minute, BatchDisabled: true}).Handler())
+	solo := httptest.NewServer(mustNew(t, Config{Workers: 4, JobTimeout: time.Minute, BatchDisabled: true}).Handler())
 	defer solo.Close()
 
 	queries := []string{
@@ -416,7 +422,7 @@ func TestCountCanonicalClassSharesCache(t *testing.T) {
 // traffic and checks every answer, plus that the metrics actually saw
 // multi-request batches.
 func TestBatchedHammer(t *testing.T) {
-	s := New(Config{Workers: 4, JobTimeout: time.Minute, CacheCapacity: 4})
+	s := mustNew(t, Config{Workers: 4, JobTimeout: time.Minute, CacheCapacity: 4})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

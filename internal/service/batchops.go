@@ -41,9 +41,9 @@ type prerendered struct {
 	resp any
 }
 
-// renderRankHead encodes a RankResponse through its "backend" field.
+// renderRankHead encodes a RankResponse through its "source" field.
 func renderRankHead(r *RankResponse) []byte {
-	b := make([]byte, 0, 128+len(r.Factor)+len(r.Word)+len(r.Rank)+len(r.Order))
+	b := make([]byte, 0, 160+len(r.Factor)+len(r.Word)+len(r.Rank)+len(r.Order))
 	b = append(b, "{\n  \"factor\": \""...)
 	b = append(b, r.Factor...)
 	b = append(b, "\",\n  \"d\": "...)
@@ -56,13 +56,15 @@ func renderRankHead(r *RankResponse) []byte {
 	b = append(b, r.Order...)
 	b = append(b, "\",\n  \"backend\": \""...)
 	b = append(b, r.Backend...)
+	b = append(b, "\",\n  \"source\": \""...)
+	b = append(b, r.Source...)
 	b = append(b, "\","...)
 	return b
 }
 
-// renderUnrankHead encodes an UnrankResponse through its "backend" field.
+// renderUnrankHead encodes an UnrankResponse through its "source" field.
 func renderUnrankHead(r *UnrankResponse) []byte {
-	b := make([]byte, 0, 128+len(r.Factor)+len(r.Word)+len(r.Rank)+len(r.Order))
+	b := make([]byte, 0, 160+len(r.Factor)+len(r.Word)+len(r.Rank)+len(r.Order))
 	b = append(b, "{\n  \"factor\": \""...)
 	b = append(b, r.Factor...)
 	b = append(b, "\",\n  \"d\": "...)
@@ -75,6 +77,8 @@ func renderUnrankHead(r *UnrankResponse) []byte {
 	b = append(b, r.Order...)
 	b = append(b, "\",\n  \"backend\": \""...)
 	b = append(b, r.Backend...)
+	b = append(b, "\",\n  \"source\": \""...)
+	b = append(b, r.Source...)
 	b = append(b, "\","...)
 	return b
 }
@@ -180,7 +184,7 @@ func rankOne(view *core.Implicit, f factorParam, d int, w bitstr.Word) (RankResp
 func (s *Server) rankExec(f factorParam, d int) BatchExec {
 	return func(items []*BatchItem) {
 		s.runBatch(items, func(ctx context.Context) error {
-			view, err := s.implicitView(ctx, f, d)
+			view, src, err := s.implicitView(ctx, f, d)
 			if err != nil {
 				return err
 			}
@@ -195,6 +199,7 @@ func (s *Server) rankExec(f factorParam, d int) BatchExec {
 					it.Resolve(nil, err)
 					continue
 				}
+				resp.Source = string(src)
 				s.cache.Put(rq.key, resp)
 				it.Resolve(prerendered{head: renderRankHead(&resp), resp: resp}, nil)
 			}
@@ -219,7 +224,7 @@ func unrankOne(view *core.Implicit, f factorParam, d int, rank int64) (UnrankRes
 func (s *Server) unrankExec(f factorParam, d int) BatchExec {
 	return func(items []*BatchItem) {
 		s.runBatch(items, func(ctx context.Context) error {
-			view, err := s.implicitView(ctx, f, d)
+			view, src, err := s.implicitView(ctx, f, d)
 			if err != nil {
 				return err
 			}
@@ -234,6 +239,7 @@ func (s *Server) unrankExec(f factorParam, d int) BatchExec {
 					it.Resolve(nil, err)
 					continue
 				}
+				resp.Source = string(src)
 				s.cache.Put(rq.key, resp)
 				it.Resolve(prerendered{head: renderUnrankHead(&resp), resp: resp}, nil)
 			}
@@ -262,7 +268,7 @@ func neighborsOne(view *core.Implicit, f factorParam, d int, w bitstr.Word) (Nei
 func (s *Server) neighborsExec(f factorParam, d int) BatchExec {
 	return func(items []*BatchItem) {
 		s.runBatch(items, func(ctx context.Context) error {
-			view, err := s.implicitView(ctx, f, d)
+			view, src, err := s.implicitView(ctx, f, d)
 			if err != nil {
 				return err
 			}
@@ -277,6 +283,7 @@ func (s *Server) neighborsExec(f factorParam, d int) BatchExec {
 					it.Resolve(nil, err)
 					continue
 				}
+				resp.Source = string(src)
 				s.cache.Put(rq.key, resp)
 				it.Resolve(resp, nil)
 			}
@@ -300,9 +307,12 @@ func (s *Server) countOne(ctx context.Context, f factorParam, d int) (CountRespo
 		Factor: cf.s, D: d,
 		V: bc.V.String(), E: bc.E.String(), S: bc.S.String(),
 		Backend: "dp",
+		// The DP always runs fresh — the count itself is never loaded from
+		// disk, only warm-pack sidecar entries carry Source "store".
+		Source: string(core.SourceComputed),
 	}
 	if d <= bitstr.MaxLen {
-		view, err := s.implicitView(ctx, cf, d)
+		view, _, err := s.implicitView(ctx, cf, d)
 		if err != nil {
 			return CountResponse{}, err
 		}
@@ -358,7 +368,7 @@ func wordRouteOne(rt *network.ViewRouter, f factorParam, d int, src, dst bitstr.
 func (s *Server) routeExec(f factorParam, d int) BatchExec {
 	return func(items []*BatchItem) {
 		s.runBatch(items, func(ctx context.Context) error {
-			view, err := s.implicitView(ctx, f, d)
+			view, _, err := s.implicitView(ctx, f, d)
 			if err != nil {
 				return err
 			}

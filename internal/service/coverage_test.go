@@ -91,7 +91,7 @@ func TestConfigDefaults(t *testing.T) {
 
 // Server lifecycle: ListenAndServe on a real port, then graceful Shutdown.
 func TestServerLifecycle(t *testing.T) {
-	s := New(Config{Addr: "127.0.0.1:0"})
+	s := mustNew(t, Config{Addr: "127.0.0.1:0"})
 	if s.Addr() != "127.0.0.1:0" {
 		t.Fatalf("Addr = %q", s.Addr())
 	}

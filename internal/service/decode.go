@@ -1,0 +1,126 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+)
+
+// Shared request decoding for the v1 endpoints. Every handler parses its
+// query through these helpers, so parameter names, bounds checks and
+// error wording are defined exactly once.
+
+// factorParam is a validated forbidden-factor query parameter. The
+// canonical complement/reversal class representative is resolved once at
+// parse time, so cache keys and batch lanes key on it without
+// re-deriving it per request (previously the class-invariant handlers
+// re-resolved it even on cache hits).
+type factorParam struct {
+	s      string
+	w      bitstr.Word
+	canon  string
+	canonW bitstr.Word
+}
+
+// canonical returns the factorParam of the class representative itself.
+func (f factorParam) canonical() factorParam {
+	return factorParam{s: f.canon, w: f.canonW, canon: f.canon, canonW: f.canonW}
+}
+
+func (s *Server) parseFactor(r *http.Request) (factorParam, error) {
+	raw := r.URL.Query().Get("f")
+	if raw == "" {
+		return factorParam{}, badRequest("missing required parameter f (forbidden factor, e.g. f=11)")
+	}
+	if len(raw) > s.cfg.MaxFactorLen {
+		return factorParam{}, badRequest("factor longer than %d bits", s.cfg.MaxFactorLen)
+	}
+	w, err := bitstr.Parse(raw)
+	if err != nil {
+		return factorParam{}, badRequest("invalid factor %q: %v", raw, err)
+	}
+	if w.Len() == 0 {
+		return factorParam{}, badRequest("factor must be nonempty")
+	}
+	cw := bitstr.CanonicalRepresentative(w)
+	return factorParam{s: raw, w: w, canon: cw.String(), canonW: cw}, nil
+}
+
+// decodeFD parses the (f, d) pair shared by every addressed endpoint,
+// bounding d to [minD, maxD]. A negative default makes d required.
+func (s *Server) decodeFD(r *http.Request, defD, minD, maxD int) (factorParam, int, error) {
+	f, err := s.parseFactor(r)
+	if err != nil {
+		return factorParam{}, 0, err
+	}
+	d, err := parseIntParam(r, "d", defD, minD, maxD)
+	if err != nil {
+		return factorParam{}, 0, err
+	}
+	return f, d, nil
+}
+
+func parseIntParam(r *http.Request, name string, def, min, max int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		if def < min {
+			return 0, badRequest("missing required parameter %s", name)
+		}
+		// A server configured with tight caps (e.g. a low MaxBuildDim) must
+		// bound defaulted parameters too, not just explicit ones.
+		if def > max {
+			def = max
+		}
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequest("invalid %s=%q: not an integer", name, raw)
+	}
+	if v < min || v > max {
+		return 0, badRequest("%s=%d out of range [%d, %d]", name, v, min, max)
+	}
+	return v, nil
+}
+
+func parseWordParam(r *http.Request, name string, d int) (bitstr.Word, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return bitstr.Word{}, badRequest("missing required parameter %s (a %d-bit binary word)", name, d)
+	}
+	w, err := bitstr.Parse(raw)
+	if err != nil {
+		return bitstr.Word{}, badRequest("invalid %s=%q: %v", name, raw, err)
+	}
+	if w.Len() != d {
+		return bitstr.Word{}, badRequest("%s must have length d=%d, got %d", name, d, w.Len())
+	}
+	return w, nil
+}
+
+// parseRankParam parses a nonnegative int64 query parameter (a vertex
+// rank).
+func parseRankParam(r *http.Request, name string) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, badRequest("missing required parameter %s (a vertex rank)", name)
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || v < 0 {
+		return 0, badRequest("invalid %s=%q: want a nonnegative integer rank", name, raw)
+	}
+	return v, nil
+}
+
+// cacheSource maps a cached response's recorded Source to the one served
+// on a result-cache hit: "cache", except that warm-pack/store provenance
+// is preserved — a hit on an entry that was loaded from the store still
+// reports "store", which is what the warm-start accounting observes.
+func cacheSource(src string) string {
+	if src == string(core.SourceStore) {
+		return src
+	}
+	return string(core.SourceCache)
+}

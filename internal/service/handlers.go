@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"net/http"
-	"strconv"
 	"time"
 
 	"gfcube/internal/bitstr"
@@ -14,80 +13,6 @@ import (
 	"gfcube/internal/isometry"
 	"gfcube/internal/network"
 )
-
-// factorParam is a validated forbidden-factor query parameter. The
-// canonical complement/reversal class representative is resolved once at
-// parse time, so cache keys and batch lanes key on it without
-// re-deriving it per request (previously the class-invariant handlers
-// re-resolved it even on cache hits).
-type factorParam struct {
-	s      string
-	w      bitstr.Word
-	canon  string
-	canonW bitstr.Word
-}
-
-// canonical returns the factorParam of the class representative itself.
-func (f factorParam) canonical() factorParam {
-	return factorParam{s: f.canon, w: f.canonW, canon: f.canon, canonW: f.canonW}
-}
-
-func (s *Server) parseFactor(r *http.Request) (factorParam, error) {
-	raw := r.URL.Query().Get("f")
-	if raw == "" {
-		return factorParam{}, badRequest("missing required parameter f (forbidden factor, e.g. f=11)")
-	}
-	if len(raw) > s.cfg.MaxFactorLen {
-		return factorParam{}, badRequest("factor longer than %d bits", s.cfg.MaxFactorLen)
-	}
-	w, err := bitstr.Parse(raw)
-	if err != nil {
-		return factorParam{}, badRequest("invalid factor %q: %v", raw, err)
-	}
-	if w.Len() == 0 {
-		return factorParam{}, badRequest("factor must be nonempty")
-	}
-	cw := bitstr.CanonicalRepresentative(w)
-	return factorParam{s: raw, w: w, canon: cw.String(), canonW: cw}, nil
-}
-
-func parseIntParam(r *http.Request, name string, def, min, max int) (int, error) {
-	raw := r.URL.Query().Get(name)
-	if raw == "" {
-		if def < min {
-			return 0, badRequest("missing required parameter %s", name)
-		}
-		// A server configured with tight caps (e.g. a low MaxBuildDim) must
-		// bound defaulted parameters too, not just explicit ones.
-		if def > max {
-			def = max
-		}
-		return def, nil
-	}
-	v, err := strconv.Atoi(raw)
-	if err != nil {
-		return 0, badRequest("invalid %s=%q: not an integer", name, raw)
-	}
-	if v < min || v > max {
-		return 0, badRequest("%s=%d out of range [%d, %d]", name, v, min, max)
-	}
-	return v, nil
-}
-
-func parseWordParam(r *http.Request, name string, d int) (bitstr.Word, error) {
-	raw := r.URL.Query().Get(name)
-	if raw == "" {
-		return bitstr.Word{}, badRequest("missing required parameter %s (a %d-bit binary word)", name, d)
-	}
-	w, err := bitstr.Parse(raw)
-	if err != nil {
-		return bitstr.Word{}, badRequest("invalid %s=%q: %v", name, raw, err)
-	}
-	if w.Len() != d {
-		return bitstr.Word{}, badRequest("%s must have length d=%d, got %d", name, d, w.Len())
-	}
-	return w, nil
-}
 
 func elapsedSince(t time.Time) string { return time.Since(t).Round(time.Microsecond).String() }
 
@@ -102,11 +27,7 @@ func elapsedSince(t time.Time) string { return time.Since(t).Round(time.Microsec
 // whole class shares one cache entry.
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) error {
 	start := time.Now()
-	f, err := s.parseFactor(r)
-	if err != nil {
-		return err
-	}
-	d, err := parseIntParam(r, "d", -1, 0, s.cfg.MaxCountDim)
+	f, d, err := s.decodeFD(r, -1, 0, s.cfg.MaxCountDim)
 	if err != nil {
 		return err
 	}
@@ -126,6 +47,9 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) error {
 	resp := v.(CountResponse)
 	resp.Factor = f.s // the canonical-class cache entry serves the whole class
 	resp.Cached = cached
+	if cached {
+		resp.Source = cacheSource(resp.Source)
+	}
 	resp.Elapsed = elapsedSince(start)
 	writeJSON(w, http.StatusOK, resp)
 	return nil
@@ -135,11 +59,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) error {
 // Table 1 row for the factor's symmetry class.
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) error {
 	start := time.Now()
-	f, err := s.parseFactor(r)
-	if err != nil {
-		return err
-	}
-	d, err := parseIntParam(r, "d", -1, 0, 1<<30)
+	f, d, err := s.decodeFD(r, -1, 0, 1<<30)
 	if err != nil {
 		return err
 	}
@@ -173,17 +93,13 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) error {
 // constructed cube (critical-pair screen, then parallel BFS verification).
 func (s *Server) handleIsometric(w http.ResponseWriter, r *http.Request) error {
 	start := time.Now()
-	f, err := s.parseFactor(r)
-	if err != nil {
-		return err
-	}
-	d, err := parseIntParam(r, "d", -1, 0, s.cfg.MaxBuildDim)
+	f, d, err := s.decodeFD(r, -1, 0, s.cfg.MaxBuildDim)
 	if err != nil {
 		return err
 	}
 	key := fmt.Sprintf("iso|%s|%d", f.s, d)
 	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
-		c, err := s.cube(ctx, f, d)
+		c, _, err := s.cube(ctx, f, d)
 		if err != nil {
 			return nil, err
 		}
@@ -326,7 +242,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
 		v, cached, err := s.batched(r, "route", lane, key, routeReq{src: src, dst: dst, key: key},
 			s.routeExec(f, d),
 			func(ctx context.Context) (any, error) {
-				view, err := s.implicitView(ctx, f, d)
+				view, _, err := s.implicitView(ctx, f, d)
 				if err != nil {
 					return nil, err
 				}
@@ -347,7 +263,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
 			Src: src.String(), Dst: dst.String(), Router: router,
 			Backend: "explicit",
 		}
-		c, err := s.cube(ctx, f, d)
+		c, _, err := s.cube(ctx, f, d)
 		if err != nil {
 			return nil, err
 		}
@@ -384,11 +300,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) error {
 // standard traffic pattern.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	start := time.Now()
-	f, err := s.parseFactor(r)
-	if err != nil {
-		return err
-	}
-	d, err := parseIntParam(r, "d", -1, 1, s.cfg.MaxBuildDim)
+	f, d, err := s.decodeFD(r, -1, 1, s.cfg.MaxBuildDim)
 	if err != nil {
 		return err
 	}
@@ -410,7 +322,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	}
 	key := fmt.Sprintf("sim|%s|%d|%s|%s|%d|%d", f.s, d, pattern, router, count, seed)
 	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
-		c, err := s.cube(ctx, f, d)
+		c, _, err := s.cube(ctx, f, d)
 		if err != nil {
 			return nil, err
 		}
@@ -463,11 +375,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 // handleBroadcast runs a one-to-all BFS-tree broadcast from a root word.
 func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request) error {
 	start := time.Now()
-	f, err := s.parseFactor(r)
-	if err != nil {
-		return err
-	}
-	d, err := parseIntParam(r, "d", -1, 1, s.cfg.MaxBuildDim)
+	f, d, err := s.decodeFD(r, -1, 1, s.cfg.MaxBuildDim)
 	if err != nil {
 		return err
 	}
@@ -480,7 +388,7 @@ func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request) error {
 	}
 	key := fmt.Sprintf("bcast|%s|%d|%s", f.s, d, root)
 	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
-		c, err := s.cube(ctx, f, d)
+		c, _, err := s.cube(ctx, f, d)
 		if err != nil {
 			return nil, err
 		}
@@ -525,7 +433,7 @@ func (s *Server) handleHamilton(w http.ResponseWriter, r *http.Request) error {
 	}
 	key := fmt.Sprintf("ham|%s|%d|%t|%d", f.s, d, cycle, budget)
 	v, cached, err := s.compute(r.Context(), key, func(ctx context.Context) (any, error) {
-		c, err := s.cube(ctx, f, d)
+		c, _, err := s.cube(ctx, f, d)
 		if err != nil {
 			return nil, err
 		}

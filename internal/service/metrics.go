@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"gfcube/internal/store"
 )
 
 // Observability layer: flat per-request samples recorded into lock-cheap
@@ -269,8 +271,9 @@ func writeHistogram(b *strings.Builder, name, labels string, h *histogram) {
 }
 
 // Render writes the whole registry in Prometheus text exposition format.
-// cache and pool contribute their live gauges; either may be nil.
-func (m *Metrics) Render(cache *Cache, pool *Pool, batcher *Batcher) string {
+// cache, pool, batcher, st and provider contribute their live gauges and
+// counters; any of them may be nil.
+func (m *Metrics) Render(cache *Cache, pool *Pool, batcher *Batcher, st *store.Store, provider *store.Provider) string {
 	var b strings.Builder
 
 	fmt.Fprintf(&b, "# HELP gfc_uptime_seconds Time since server start.\n# TYPE gfc_uptime_seconds gauge\n")
@@ -354,11 +357,27 @@ func (m *Metrics) Render(cache *Cache, pool *Pool, batcher *Batcher) string {
 	if batcher != nil {
 		fmt.Fprintf(&b, "# HELP gfc_batch_lanes Live batch lanes.\n# TYPE gfc_batch_lanes gauge\ngfc_batch_lanes %d\n", batcher.Lanes())
 	}
+	if st != nil {
+		stats := st.Stats()
+		fmt.Fprintf(&b, "# HELP gfc_store_hits_total Artifact loads served from disk or the mapping cache.\n# TYPE gfc_store_hits_total counter\ngfc_store_hits_total %d\n", stats.Hits)
+		fmt.Fprintf(&b, "# HELP gfc_store_misses_total Artifact loads that found no artifact.\n# TYPE gfc_store_misses_total counter\ngfc_store_misses_total %d\n", stats.Misses)
+		fmt.Fprintf(&b, "# HELP gfc_store_writes_total Artifacts written back after compute.\n# TYPE gfc_store_writes_total counter\ngfc_store_writes_total %d\n", stats.Writes)
+		fmt.Fprintf(&b, "# HELP gfc_store_corrupt_total Artifacts that failed validation and fell back to compute.\n# TYPE gfc_store_corrupt_total counter\ngfc_store_corrupt_total %d\n", stats.Corrupt)
+		fmt.Fprintf(&b, "# HELP gfc_store_evictions_total Artifacts evicted by the size cap.\n# TYPE gfc_store_evictions_total counter\ngfc_store_evictions_total %d\n", stats.Evictions)
+		fmt.Fprintf(&b, "# HELP gfc_store_artifacts Artifacts on disk in the store directory.\n# TYPE gfc_store_artifacts gauge\ngfc_store_artifacts %d\n", stats.Artifacts)
+		fmt.Fprintf(&b, "# HELP gfc_store_bytes Artifact bytes on disk in the store directory.\n# TYPE gfc_store_bytes gauge\ngfc_store_bytes %d\n", stats.Bytes)
+		fmt.Fprintf(&b, "# HELP gfc_store_pack_artifacts Artifacts in the mounted warm pack.\n# TYPE gfc_store_pack_artifacts gauge\ngfc_store_pack_artifacts %d\n", stats.PackArtifacts)
+		fmt.Fprintf(&b, "# HELP gfc_store_pack_bytes Artifact bytes in the mounted warm pack.\n# TYPE gfc_store_pack_bytes gauge\ngfc_store_pack_bytes %d\n", stats.PackBytes)
+		fmt.Fprintf(&b, "# HELP gfc_store_resident Artifacts mapped in memory.\n# TYPE gfc_store_resident gauge\ngfc_store_resident %d\n", stats.Resident)
+	}
+	if provider != nil {
+		fmt.Fprintf(&b, "# HELP gfc_store_computed_total Backends built from scratch (store misses and corruption fallbacks).\n# TYPE gfc_store_computed_total counter\ngfc_store_computed_total %d\n", provider.Computed())
+	}
 	return b.String()
 }
 
 // handleMetrics serves the Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = w.Write([]byte(s.metrics.Render(s.cache, s.pool, s.batcher)))
+	_, _ = w.Write([]byte(s.metrics.Render(s.cache, s.pool, s.batcher, s.store, s.provider)))
 }

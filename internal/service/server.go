@@ -14,7 +14,6 @@ package service
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -22,6 +21,7 @@ import (
 	"time"
 
 	"gfcube/internal/core"
+	"gfcube/internal/store"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -57,6 +57,19 @@ type Config struct {
 	// solo through the cache/singleflight/pool path (the pre-batching
 	// behavior). Exists for A/B load comparisons.
 	BatchDisabled bool
+	// StoreDir is the read-write artifact store directory: cube and ranker
+	// backends load from it when a valid artifact exists and write back
+	// when computed. Empty (with no WarmPack) disables the store.
+	StoreDir string
+	// WarmPack mounts a read-only warm-start pack directory (built by
+	// gfc-pack): its artifacts back the store read path and its verdict
+	// sidecar is preloaded into the result cache at startup.
+	WarmPack string
+	// StoreMaxBytes caps StoreDir's size (see store.Config.MaxBytes).
+	StoreMaxBytes int64
+	// StoreDisabled forces pure-compute operation even when StoreDir or
+	// WarmPack is set. Exists for cold/warm A/B load comparisons.
+	StoreDisabled bool
 }
 
 func (c Config) withDefaults() Config {
@@ -106,17 +119,21 @@ var endpointPaths = []string{
 	"/v1/simulate", "/v1/broadcast", "/v1/hamilton",
 	"/v1/sweep/classify", "/v1/sweep/survey", "/v1/sweep/count",
 	"/v1/sweep/fdim", "/v1/sweep/degrees", "/v1/sweep/wiener",
+	"/v1/admin/store", "/v1/admin/warm",
 }
 
 // Server is the gfc-serve HTTP service.
 type Server struct {
-	cfg     Config
-	cache   *Cache // JSON result cache
-	cubes   *Cache // constructed *core.Cube cache
-	pool    *Pool
-	batcher *Batcher // nil when batching is disabled
-	metrics *Metrics
-	start   time.Time
+	cfg      Config
+	cache    *Cache // JSON result cache
+	cubes    *Cache // backend view cache (cubes + implicit rankers)
+	pool     *Pool
+	batcher  *Batcher        // nil when batching is disabled
+	store    *store.Store    // nil when the store is disabled
+	provider *store.Provider // never nil; degenerates to compute
+	pack     *store.Manifest // mounted warm-pack manifest, nil without one
+	metrics  *Metrics
+	start    time.Time
 
 	requests atomic.Uint64
 	errors   atomic.Uint64
@@ -124,8 +141,13 @@ type Server struct {
 	http *http.Server
 }
 
-// New builds a Server from cfg (zero value accepted).
-func New(cfg Config) *Server {
+// New builds a Server from cfg (zero value accepted). It fails only on
+// store configuration errors: an unreadable store directory, or a
+// missing/corrupt warm-pack manifest or verdict sidecar — a mounted pack
+// that cannot be trusted is a startup error, not something to limp past.
+// Artifact-level corruption, in contrast, never fails anything: it falls
+// back to compute at request time.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -135,6 +157,26 @@ func New(cfg Config) *Server {
 		metrics: NewMetrics(endpointPaths, batchOps),
 		start:   time.Now(),
 	}
+	if !cfg.StoreDisabled && (cfg.StoreDir != "" || cfg.WarmPack != "") {
+		st, err := store.Open(store.Config{Dir: cfg.StoreDir, PackDir: cfg.WarmPack, MaxBytes: cfg.StoreMaxBytes})
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		if cfg.WarmPack != "" {
+			man, err := store.LoadManifest(cfg.WarmPack)
+			if err != nil {
+				return nil, err
+			}
+			s.pack = &man
+			verdicts, err := store.LoadVerdicts(cfg.WarmPack)
+			if err != nil {
+				return nil, err
+			}
+			s.warmVerdicts(verdicts)
+		}
+	}
+	s.provider = store.NewProvider(s.store)
 	if !cfg.BatchDisabled {
 		s.batcher = NewBatcher(cfg.Batch, s.metrics)
 	}
@@ -143,7 +185,7 @@ func New(cfg Config) *Server {
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	return s
+	return s, nil
 }
 
 // Handler returns the route table; it is exported for tests and embedding.
@@ -169,6 +211,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweep/fdim", s.instrument("/v1/sweep/fdim", s.handleSweepFDim))
 	mux.HandleFunc("GET /v1/sweep/degrees", s.instrument("/v1/sweep/degrees", s.handleSweepDegrees))
 	mux.HandleFunc("GET /v1/sweep/wiener", s.instrument("/v1/sweep/wiener", s.handleSweepWiener))
+	mux.HandleFunc("GET /v1/admin/store", s.instrument("/v1/admin/store", s.handleAdminStore))
+	mux.HandleFunc("POST /v1/admin/warm", s.instrument("/v1/admin/warm", s.handleAdminWarm))
 	return mux
 }
 
@@ -258,41 +302,66 @@ func (s *Server) compute(ctx context.Context, key string, fn func(context.Contex
 	})
 }
 
-// cube returns the explicitly constructed Q_d(f), building it at most once
-// per (f, d) across concurrent requests.
-func (s *Server) cube(ctx context.Context, f factorParam, d int) (*core.Cube, error) {
-	key := fmt.Sprintf("cube|%s|%d", f.s, d)
-	v, _, err := s.cubes.Do(ctx, key, func(ctx context.Context) (any, error) {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		return core.New(d, f.w), nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*core.Cube), nil
+// cubeEntry and implEntry pair a resolved backend with where the
+// provider got it, so LRU-cached views keep reporting their provenance.
+type cubeEntry struct {
+	c   *core.Cube
+	src core.Source
 }
 
-// implicitView returns the implicit DFA-rank backend for Q_d(f), building
-// its O(|f|·d) ranker tables at most once per (f, d) across concurrent
-// requests. The addressing endpoints (/v1/rank, /v1/unrank,
-// /v1/neighbors) and word routing always use it — the tables are far
-// cheaper than any explicit construction, the answers agree exactly with
-// the explicit cube, and d may exceed MaxBuildDim all the way to
-// bitstr.MaxLen. The tables share the LRU that caches constructed cubes.
-func (s *Server) implicitView(ctx context.Context, f factorParam, d int) (*core.Implicit, error) {
-	key := fmt.Sprintf("impl|%s|%d", f.s, d)
-	v, _, err := s.cubes.Do(ctx, key, func(ctx context.Context) (any, error) {
-		if err := ctx.Err(); err != nil {
+type implEntry struct {
+	im  *core.Implicit
+	src core.Source
+}
+
+// cube returns the explicitly constructed Q_d(f), resolving it through
+// the artifact-store provider (load-or-compute) at most once per (f, d)
+// across concurrent requests. The Source is "store" or "computed" when
+// this call resolved the view, "cache" when the view LRU already held it.
+func (s *Server) cube(ctx context.Context, f factorParam, d int) (*core.Cube, core.Source, error) {
+	key := fmt.Sprintf("cube|%s|%d", f.s, d)
+	v, cached, err := s.cubes.Do(ctx, key, func(ctx context.Context) (any, error) {
+		c, src, err := s.provider.Cube(ctx, d, f.w)
+		if err != nil {
 			return nil, err
 		}
-		return core.NewImplicit(d, f.w), nil
+		return cubeEntry{c: c, src: src}, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, core.SourceComputed, err
 	}
-	return v.(*core.Implicit), nil
+	e := v.(cubeEntry)
+	if cached {
+		return e.c, core.SourceCache, nil
+	}
+	return e.c, e.src, nil
+}
+
+// implicitView returns the implicit DFA-rank backend for Q_d(f),
+// resolving its O(|f|·d) ranker tables through the artifact-store
+// provider at most once per (f, d) across concurrent requests. The
+// addressing endpoints (/v1/rank, /v1/unrank, /v1/neighbors) and word
+// routing always use it — the tables are far cheaper than any explicit
+// construction, the answers agree exactly with the explicit cube, and d
+// may exceed MaxBuildDim all the way to bitstr.MaxLen. The tables share
+// the LRU that caches constructed cubes; Source semantics match cube.
+func (s *Server) implicitView(ctx context.Context, f factorParam, d int) (*core.Implicit, core.Source, error) {
+	key := fmt.Sprintf("impl|%s|%d", f.s, d)
+	v, cached, err := s.cubes.Do(ctx, key, func(ctx context.Context) (any, error) {
+		im, src, err := s.provider.Implicit(ctx, d, f.w)
+		if err != nil {
+			return nil, err
+		}
+		return implEntry{im: im, src: src}, nil
+	})
+	if err != nil {
+		return nil, core.SourceComputed, err
+	}
+	e := v.(implEntry)
+	if cached {
+		return e.im, core.SourceCache, nil
+	}
+	return e.im, e.src, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -310,7 +379,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.batcher != nil {
 		lanes = s.batcher.Lanes()
 	}
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		Requests:        s.requests.Load(),
 		Errors:          s.errors.Load(),
@@ -328,7 +397,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BatchedRequests: batched,
 		BatchShed:       shed,
 		BatchLanes:      lanes,
-	})
+	}
+	if s.store != nil {
+		resp.Store = &StoreStatsResponse{
+			Stats:    s.store.Stats(),
+			Computed: s.provider.Computed(),
+			WarmPack: s.pack,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -337,38 +414,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
-	var httpErr *apiError
-	switch {
-	case errors.As(err, &httpErr):
-		code = httpErr.code
-	case errors.Is(err, ErrBatchQueueFull), errors.Is(err, ErrBatcherClosed):
-		// Shed load is retryable: the queue drains in at most a few batch
-		// windows, so tell well-behaved clients when to come back.
-		code = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "1")
-	case errors.Is(err, ErrPoolSaturated):
-		code = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "1")
-	case errors.Is(err, context.DeadlineExceeded):
-		code = http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		code = 499 // client closed request
-	}
-	writeJSON(w, code, ErrorResponse{Error: err.Error()})
-}
-
-// apiError carries an HTTP status with a message.
-type apiError struct {
-	code int
-	msg  string
-}
-
-func (e *apiError) Error() string { return e.msg }
-
-func badRequest(format string, args ...any) error {
-	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }

@@ -14,9 +14,20 @@ import (
 	"gfcube/internal/core"
 )
 
+// mustNew builds a Server or fails the test; every config in this
+// package's tests is expected to be valid.
+func mustNew(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return s
+}
+
 func newTestServer(t *testing.T) (*httptest.Server, *Server) {
 	t.Helper()
-	s := New(Config{Workers: 4, JobTimeout: time.Minute})
+	s := mustNew(t, Config{Workers: 4, JobTimeout: time.Minute})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return ts, s
@@ -261,9 +272,12 @@ func TestBadRequests(t *testing.T) {
 	for _, u := range urls {
 		var e ErrorResponse
 		if code := getJSON(t, ts.URL+u, &e); code != http.StatusBadRequest {
-			t.Errorf("%s: status %d (%s), want 400", u, code, e.Error)
+			t.Errorf("%s: status %d (%s), want 400", u, code, e.Error.Message)
 		}
-		if e.Error == "" {
+		if e.Error.Code != CodeBadRequest {
+			t.Errorf("%s: error code %q, want %q", u, e.Error.Code, CodeBadRequest)
+		}
+		if e.Error.Message == "" {
 			t.Errorf("%s: empty error message", u)
 		}
 	}

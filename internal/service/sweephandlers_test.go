@@ -250,7 +250,7 @@ func TestSweepBadRequests(t *testing.T) {
 	for _, u := range urls {
 		var e ErrorResponse
 		if code := getJSON(t, ts.URL+u, &e); code != http.StatusBadRequest {
-			t.Errorf("%s: status %d (%s), want 400", u, code, e.Error)
+			t.Errorf("%s: status %d (%s), want 400", u, code, e.Error.Message)
 		}
 	}
 }

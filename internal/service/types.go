@@ -1,12 +1,25 @@
 package service
 
+import "gfcube/internal/store"
+
 // Response envelopes for the JSON API. Exact counts are decimal strings
 // because |V(Q_d(f))| overflows every fixed-width integer long before the
 // dimensions the transfer-matrix DP handles.
 
+// ErrorBody is the error object of the v1 error envelope. Code is one of
+// the stable machine-readable codes in errors.go (bad_request, not_found,
+// overloaded, timeout, canceled, internal); Message is human-readable and
+// free to change. RetryAfterMs accompanies overloaded errors and mirrors
+// the Retry-After header.
+type ErrorBody struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
 // ErrorResponse is the body of every non-2xx reply.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error ErrorBody `json:"error"`
 }
 
 // CountResponse reports exact vertex/edge/square counts of Q_d(f).
@@ -20,6 +33,10 @@ type CountResponse struct {
 	// (d <= 62), whose uint64 tables independently confirm |V|; "dp" when
 	// only the arbitrary-dimension big-int DP applies.
 	Backend string `json:"backend"`
+	// Source reports where the answer came from: "computed" (built this
+	// request), "store" (loaded from a disk artifact or the warm pack) or
+	// "cache" (served from the in-memory result cache).
+	Source  string `json:"source"`
 	Cached  bool   `json:"cached"`
 	Elapsed string `json:"elapsed"`
 }
@@ -34,6 +51,7 @@ type RankResponse struct {
 	Rank    string `json:"rank"`
 	Order   string `json:"order"`
 	Backend string `json:"backend"`
+	Source  string `json:"source"` // computed | store | cache
 	Cached  bool   `json:"cached"`
 	Elapsed string `json:"elapsed"`
 }
@@ -46,6 +64,7 @@ type UnrankResponse struct {
 	Word    string `json:"word"`
 	Order   string `json:"order"`
 	Backend string `json:"backend"`
+	Source  string `json:"source"` // computed | store | cache
 	Cached  bool   `json:"cached"`
 	Elapsed string `json:"elapsed"`
 }
@@ -66,6 +85,7 @@ type NeighborsResponse struct {
 	Neighbors []Neighbor `json:"neighbors"`
 	Order     string     `json:"order"`
 	Backend   string     `json:"backend"`
+	Source    string     `json:"source"` // computed | store | cache
 	Cached    bool       `json:"cached"`
 	Elapsed   string     `json:"elapsed"`
 }
@@ -351,6 +371,42 @@ type StatsResponse struct {
 	BatchedRequests uint64 `json:"batchedRequests"`
 	BatchShed       uint64 `json:"batchShed"`
 	BatchLanes      int    `json:"batchLanes"`
+	// Store is the artifact-store snapshot, absent when the store is
+	// disabled.
+	Store *StoreStatsResponse `json:"store,omitempty"`
+}
+
+// StoreStatsResponse is the artifact-store section of /stats and the body
+// of GET /v1/admin/store: the disk inventory and lifetime counters plus
+// the provider's compute count and the mounted warm-pack manifest.
+type StoreStatsResponse struct {
+	store.Stats
+	// Computed counts backends built from scratch (store misses and
+	// corruption fallbacks); a pure warm start keeps it at zero.
+	Computed uint64          `json:"computed"`
+	WarmPack *store.Manifest `json:"warmPack,omitempty"`
+}
+
+// WarmRequest is the body of POST /v1/admin/warm. Either Pack requests
+// preloading every artifact of the mounted warm pack, or Factors lists
+// explicit forbidden factors to warm across dimensions [MinD, MaxD]
+// (defaults 1..12). Cubes additionally warms explicit cube artifacts
+// (bounded by the server's MaxBuildDim); rankers are always warmed.
+type WarmRequest struct {
+	Pack    bool     `json:"pack"`
+	Factors []string `json:"factors"`
+	MinD    int      `json:"minD"`
+	MaxD    int      `json:"maxD"`
+	Cubes   bool     `json:"cubes"`
+}
+
+// WarmResponse reports a warm run: how many (f, d) backends were
+// resolved, split by where they came from.
+type WarmResponse struct {
+	Warmed   int    `json:"warmed"`
+	Store    int    `json:"store"`
+	Computed int    `json:"computed"`
+	Elapsed  string `json:"elapsed"`
 }
 
 // HealthResponse is the /healthz payload.

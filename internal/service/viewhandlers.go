@@ -18,31 +18,13 @@ import (
 // in the JSON: they reach 2^62, beyond the exact-integer range of JSON
 // consumers that read numbers as float64.
 
-// parseRankParam parses a nonnegative int64 query parameter (a vertex
-// rank).
-func parseRankParam(r *http.Request, name string) (int64, error) {
-	raw := r.URL.Query().Get(name)
-	if raw == "" {
-		return 0, badRequest("missing required parameter %s (a vertex rank)", name)
-	}
-	v, err := strconv.ParseInt(raw, 10, 64)
-	if err != nil || v < 0 {
-		return 0, badRequest("invalid %s=%q: want a nonnegative integer rank", name, raw)
-	}
-	return v, nil
-}
-
 func formatRank(r int64) string { return strconv.FormatInt(r, 10) }
 
 // handleRank serves the index of a vertex word in the increasing
 // enumeration of V(Q_d(f)) — the generalized Zeckendorf address.
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) error {
 	start := time.Now()
-	f, err := s.parseFactor(r)
-	if err != nil {
-		return err
-	}
-	d, err := parseIntParam(r, "d", -1, 1, bitstr.MaxLen)
+	f, d, err := s.decodeFD(r, -1, 1, bitstr.MaxLen)
 	if err != nil {
 		return err
 	}
@@ -55,7 +37,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) error {
 	v, cached, err := s.batched(r, "rank", lane, key, rankReq{word: word, key: key},
 		s.rankExec(f, d),
 		func(ctx context.Context) (any, error) {
-			view, err := s.implicitView(ctx, f, d)
+			view, src, err := s.implicitView(ctx, f, d)
 			if err != nil {
 				return nil, err
 			}
@@ -63,6 +45,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) error {
 			if err != nil {
 				return nil, err
 			}
+			resp.Source = string(src)
 			return resp, nil
 		})
 	if err != nil {
@@ -74,6 +57,9 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) error {
 	}
 	resp := v.(RankResponse)
 	resp.Cached = cached
+	if cached {
+		resp.Source = cacheSource(resp.Source)
+	}
 	resp.Elapsed = elapsedSince(start)
 	writeJSON(w, http.StatusOK, resp)
 	return nil
@@ -82,11 +68,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) error {
 // handleUnrank serves the vertex word with a given rank.
 func (s *Server) handleUnrank(w http.ResponseWriter, r *http.Request) error {
 	start := time.Now()
-	f, err := s.parseFactor(r)
-	if err != nil {
-		return err
-	}
-	d, err := parseIntParam(r, "d", -1, 1, bitstr.MaxLen)
+	f, d, err := s.decodeFD(r, -1, 1, bitstr.MaxLen)
 	if err != nil {
 		return err
 	}
@@ -99,7 +81,7 @@ func (s *Server) handleUnrank(w http.ResponseWriter, r *http.Request) error {
 	v, cached, err := s.batched(r, "unrank", lane, key, unrankReq{rank: rank, key: key},
 		s.unrankExec(f, d),
 		func(ctx context.Context) (any, error) {
-			view, err := s.implicitView(ctx, f, d)
+			view, src, err := s.implicitView(ctx, f, d)
 			if err != nil {
 				return nil, err
 			}
@@ -107,6 +89,7 @@ func (s *Server) handleUnrank(w http.ResponseWriter, r *http.Request) error {
 			if err != nil {
 				return nil, err
 			}
+			resp.Source = string(src)
 			return resp, nil
 		})
 	if err != nil {
@@ -118,6 +101,9 @@ func (s *Server) handleUnrank(w http.ResponseWriter, r *http.Request) error {
 	}
 	resp := v.(UnrankResponse)
 	resp.Cached = cached
+	if cached {
+		resp.Source = cacheSource(resp.Source)
+	}
 	resp.Elapsed = elapsedSince(start)
 	writeJSON(w, http.StatusOK, resp)
 	return nil
@@ -127,11 +113,7 @@ func (s *Server) handleUnrank(w http.ResponseWriter, r *http.Request) error {
 // single-bit flip with its rank, in flip-position order.
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) error {
 	start := time.Now()
-	f, err := s.parseFactor(r)
-	if err != nil {
-		return err
-	}
-	d, err := parseIntParam(r, "d", -1, 1, bitstr.MaxLen)
+	f, d, err := s.decodeFD(r, -1, 1, bitstr.MaxLen)
 	if err != nil {
 		return err
 	}
@@ -144,7 +126,7 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) error {
 	v, cached, err := s.batched(r, "neighbors", lane, key, neighborsReq{word: word, key: key},
 		s.neighborsExec(f, d),
 		func(ctx context.Context) (any, error) {
-			view, err := s.implicitView(ctx, f, d)
+			view, src, err := s.implicitView(ctx, f, d)
 			if err != nil {
 				return nil, err
 			}
@@ -152,6 +134,7 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) error {
 			if err != nil {
 				return nil, err
 			}
+			resp.Source = string(src)
 			return resp, nil
 		})
 	if err != nil {
@@ -159,6 +142,9 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) error {
 	}
 	resp := v.(NeighborsResponse)
 	resp.Cached = cached
+	if cached {
+		resp.Source = cacheSource(resp.Source)
+	}
 	resp.Elapsed = elapsedSince(start)
 	writeJSON(w, http.StatusOK, resp)
 	return nil

@@ -1,0 +1,147 @@
+// Package store is the disk-backed, content-addressed artifact store for
+// precomputed cube backends: serialized CSR adjacency arenas (explicit
+// cubes) and flat DFA rank tables (implicit backends), wrapped in a
+// versioned, checksummed container that is usable zero-copy via mmap and
+// shared across processes through the page cache. A JSON sidecar of
+// classification/count/isometry verdicts rides along in warm-start packs
+// (see pack.go). Corrupted, truncated or mismatched artifacts fail
+// closed into ErrCorrupt — callers recompute; they never serve a wrong
+// answer from disk. See docs/artifact-format.md for the layout contract.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"gfcube/internal/bitstr"
+)
+
+// FormatVersion is the current artifact container version. Readers
+// refuse any other version (fail closed, recompute); bump it on any
+// layout change, including payload-level ones.
+const FormatVersion = 1
+
+// magic opens every artifact file: "gfcube artifact" + a format anchor.
+const magic = "GFCART01"
+
+// headerSize is the fixed container header length. It is a multiple of 8
+// so the payload starts 8-aligned within the (page-aligned) mapping, as
+// the zero-copy payload layouts require.
+const headerSize = 72
+
+// Kind says what a payload deserializes into.
+type Kind uint32
+
+const (
+	// KindRanker is a flat DFA rank table (automaton.Ranker payload).
+	KindRanker Kind = 1
+	// KindCube is an explicit cube: vertex enumeration + CSR graph.
+	KindCube Kind = 2
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRanker:
+		return "ranker"
+	case KindCube:
+		return "cube"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint32(k))
+	}
+}
+
+// Key identifies one artifact: the exact (d, f) pair plus the backend
+// kind. Keys use the exact factor, not its canonical class
+// representative: rank tables and vertex enumerations are not invariant
+// under the complement/reversal symmetry (only the sidecar verdicts
+// are), so each class member gets its own artifact.
+type Key struct {
+	Kind Kind
+	F    bitstr.Word
+	D    int
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s|%s|%d", k.Kind, k.F, k.D)
+}
+
+// Filename returns the content-addressed file name for k: a hex prefix
+// of the SHA-256 of the key string, so names are stable across runs,
+// filesystem-safe for any factor, and collision-free in practice.
+func (k Key) Filename() string {
+	sum := sha256.Sum256([]byte("gfa1|" + k.String()))
+	return hex.EncodeToString(sum[:12]) + ".gfa"
+}
+
+// ErrCorrupt wraps every decode failure: bad magic, wrong version, wrong
+// key, truncation, checksum mismatch. A store load that returns it must
+// be answered by recomputing.
+var ErrCorrupt = errors.New("store: corrupt artifact")
+
+// ErrNotFound reports a clean miss: no artifact file for the key.
+var ErrNotFound = errors.New("store: artifact not found")
+
+// EncodeArtifact wraps payload in the versioned, checksummed container
+// for key k:
+//
+//	offset  size  field
+//	0       8     magic "GFCART01"
+//	8       4     format version (uint32)
+//	12      4     kind (uint32)
+//	16      4     d (uint32)
+//	20      4     |f| (uint32)
+//	24      8     f packed bits (uint64)
+//	32      8     payload length (uint64)
+//	40      32    SHA-256 of payload
+//	72      ...   payload
+//
+// All integers little-endian.
+func EncodeArtifact(k Key, payload []byte) []byte {
+	out := make([]byte, headerSize, headerSize+len(payload))
+	copy(out, magic)
+	binary.LittleEndian.PutUint32(out[8:], FormatVersion)
+	binary.LittleEndian.PutUint32(out[12:], uint32(k.Kind))
+	binary.LittleEndian.PutUint32(out[16:], uint32(k.D))
+	binary.LittleEndian.PutUint32(out[20:], uint32(k.F.Len()))
+	binary.LittleEndian.PutUint64(out[24:], k.F.Bits)
+	binary.LittleEndian.PutUint64(out[32:], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(out[40:], sum[:])
+	return append(out, payload...)
+}
+
+// DecodeArtifact validates data as an artifact for exactly the key k and
+// returns the payload, which aliases data (zero-copy). Every failure —
+// truncation, bad magic, version or key mismatch, checksum mismatch —
+// wraps ErrCorrupt; there is no partial success.
+func DecodeArtifact(k Key, data []byte) ([]byte, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes, header needs %d", ErrCorrupt, len(data), headerSize)
+	}
+	if string(data[:8]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: format version %d, reader supports %d", ErrCorrupt, v, FormatVersion)
+	}
+	kind := Kind(binary.LittleEndian.Uint32(data[12:]))
+	d := binary.LittleEndian.Uint32(data[16:])
+	flen := binary.LittleEndian.Uint32(data[20:])
+	fbits := binary.LittleEndian.Uint64(data[24:])
+	if kind != k.Kind || d != uint32(k.D) || flen != uint32(k.F.Len()) || fbits != k.F.Bits {
+		return nil, fmt.Errorf("%w: artifact is %s|d=%d, want %s", ErrCorrupt, kind, d, k)
+	}
+	plen := binary.LittleEndian.Uint64(data[32:])
+	if plen != uint64(len(data)-headerSize) {
+		return nil, fmt.Errorf("%w: payload length %d, file holds %d", ErrCorrupt, plen, len(data)-headerSize)
+	}
+	payload := data[headerSize:]
+	sum := sha256.Sum256(payload)
+	if string(sum[:]) != string(data[40:72]) {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}

@@ -1,0 +1,37 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+)
+
+// FuzzArtifactDecode hammers the container decoder with arbitrary
+// bytes. Invariants: never panic; on success the payload must re-encode
+// to exactly the input (the header is a pure function of key + payload),
+// so a decoder that accepts two different byte strings for one artifact
+// — or silently tolerates damage — fails the round-trip check.
+func FuzzArtifactDecode(f *testing.F) {
+	key := Key{Kind: KindRanker, F: bitstr.MustParse("11"), D: 8}
+	valid := EncodeArtifact(key, core.NewImplicit(8, bitstr.MustParse("11")).AppendBinary(nil))
+	f.Add(valid)
+	f.Add(valid[:headerSize])
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte("GFCART01"))
+	f.Add([]byte{})
+	cube := EncodeArtifact(Key{Kind: KindCube, F: bitstr.MustParse("11"), D: 4},
+		core.New(4, bitstr.MustParse("11")).AppendBinary(nil))
+	f.Add(cube)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := DecodeArtifact(key, data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeArtifact(key, payload), data) {
+			t.Fatalf("accepted artifact does not re-encode to itself (%d bytes)", len(data))
+		}
+	})
+}

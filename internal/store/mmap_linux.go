@@ -1,0 +1,40 @@
+//go:build linux
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile returns the file's contents, memory-mapped read-only when
+// possible so repeated loads across processes share the page cache;
+// mapped reports whether unmapFile must eventually release the bytes.
+// Any mmap failure falls back to a plain read.
+func mapFile(path string) (data []byte, mapped bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, false, nil
+	}
+	if size == int64(int(size)) {
+		if b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED); err == nil {
+			return b, true, nil
+		}
+	}
+	b, err := os.ReadFile(path)
+	return b, false, err
+}
+
+// unmapFile releases a mapping returned by mapFile.
+func unmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,19 @@
+//go:build !linux
+
+package store
+
+import "os"
+
+// mapFile reads the file's contents; on non-linux platforms the store
+// skips mmap and pays one copy per artifact load. mapped is always
+// false, so unmapFile is never called on these bytes.
+func mapFile(path string) (data []byte, mapped bool, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, false, nil
+}
+
+// unmapFile is unreachable on non-linux builds (mapFile never maps).
+func unmapFile([]byte) error { return nil }

@@ -1,0 +1,313 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Config configures a Store. At least one of Dir and PackDir must be
+// set.
+type Config struct {
+	// Dir is the read-write artifact directory: loads consult it first
+	// and computed misses are written back to it. Empty means read-only
+	// operation (loads come only from PackDir, Save is a no-op).
+	Dir string
+	// PackDir is an optional read-only warm-start pack directory,
+	// consulted when Dir has no artifact. Corrupt pack artifacts are
+	// reported but never deleted.
+	PackDir string
+	// MaxBytes caps the artifact bytes in Dir; when a write pushes the
+	// directory over the cap, least-recently-modified artifacts are
+	// deleted (and counted as evictions) until it fits. 0 means no cap.
+	MaxBytes int64
+}
+
+// Store is the disk artifact store. Loads are served zero-copy from a
+// per-store mapping cache: each artifact file is mapped (or read) once
+// and the validated payload is reused for the store's lifetime, so the
+// memory bound is the set of distinct artifacts touched — the same
+// artifacts whose backends the caller retains anyway. Close releases
+// every mapping; callers must not use loaded payloads (or backends built
+// over them) after Close.
+//
+// All methods are safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu   sync.Mutex
+	maps map[string]*mapping // by absolute file path
+	done bool
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	writes    atomic.Uint64
+	corrupt   atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// mapping is one validated, resident artifact file.
+type mapping struct {
+	data    []byte // whole file
+	payload []byte // checksummed payload view into data
+	mapped  bool   // true when data must be munmap'd
+}
+
+// Open creates the store, creating Dir if necessary.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" && cfg.PackDir == "" {
+		return nil, fmt.Errorf("store: no directory configured")
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	if cfg.PackDir != "" {
+		if st, err := os.Stat(cfg.PackDir); err != nil {
+			return nil, fmt.Errorf("store: warm pack: %w", err)
+		} else if !st.IsDir() {
+			return nil, fmt.Errorf("store: warm pack %s is not a directory", cfg.PackDir)
+		}
+	}
+	return &Store{cfg: cfg, maps: make(map[string]*mapping)}, nil
+}
+
+// Close unmaps every resident artifact. The store must not be used —
+// and backends loaded from it must not be queried — afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for path, m := range s.maps {
+		if m.mapped {
+			if err := unmapFile(m.data); err != nil && first == nil {
+				first = err
+			}
+		}
+		delete(s.maps, path)
+	}
+	s.done = true
+	return first
+}
+
+// Load returns the validated payload of the artifact for k, mapping the
+// file on first touch and serving the resident payload afterwards. It
+// returns ErrNotFound on a clean miss and an error wrapping ErrCorrupt
+// when an artifact exists but fails validation; either way the caller
+// computes. A corrupt artifact in Dir is deleted so a later write-back
+// heals it; corrupt pack artifacts are left in place and skipped.
+func (s *Store) Load(k Key) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil, fmt.Errorf("store: closed")
+	}
+	name := k.Filename()
+	var corrupt error
+	for _, dir := range []string{s.cfg.Dir, s.cfg.PackDir} {
+		if dir == "" {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		if m, ok := s.maps[path]; ok {
+			s.hits.Add(1)
+			return m.payload, nil
+		}
+		data, mapped, err := mapFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		payload, err := DecodeArtifact(k, data)
+		if err != nil {
+			if mapped {
+				_ = unmapFile(data)
+			}
+			s.corrupt.Add(1)
+			corrupt = err
+			if dir == s.cfg.Dir {
+				_ = os.Remove(path)
+			}
+			continue
+		}
+		s.maps[path] = &mapping{data: data, payload: payload, mapped: mapped}
+		s.hits.Add(1)
+		return payload, nil
+	}
+	if corrupt != nil {
+		return nil, corrupt
+	}
+	s.misses.Add(1)
+	return nil, ErrNotFound
+}
+
+// NoteCorrupt records that the payload Load returned for k failed
+// downstream (structural) validation: the mapping is dropped, the Dir
+// copy deleted so a write-back heals it, and the corrupt counter
+// incremented. Downstream validation is deterministic, so no concurrent
+// loader can be holding a usable backend over the dropped mapping.
+func (s *Store) NoteCorrupt(k Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.corrupt.Add(1)
+	name := k.Filename()
+	for _, dir := range []string{s.cfg.Dir, s.cfg.PackDir} {
+		if dir == "" {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		if m, ok := s.maps[path]; ok {
+			if m.mapped {
+				_ = unmapFile(m.data)
+			}
+			delete(s.maps, path)
+		}
+		if dir == s.cfg.Dir {
+			_ = os.Remove(path)
+		}
+	}
+}
+
+// Save atomically writes the artifact for k into Dir (temp file +
+// rename), then enforces the MaxBytes cap. With no Dir configured it is
+// a no-op, so read-only stores accept write-through calls silently.
+func (s *Store) Save(k Key, payload []byte) error {
+	if s.cfg.Dir == "" {
+		return nil
+	}
+	blob := EncodeArtifact(k, payload)
+	tmp, err := os.CreateTemp(s.cfg.Dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("store: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.cfg.Dir, k.Filename())); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	s.writes.Add(1)
+	s.enforceCap()
+	return nil
+}
+
+// enforceCap deletes least-recently-modified artifacts from Dir until
+// the directory fits MaxBytes. Deleting a currently-mapped artifact is
+// safe: the mapping (and the page cache behind it) outlives the
+// directory entry, and the in-memory mapping cache keeps serving it.
+func (s *Store) enforceCap() {
+	if s.cfg.MaxBytes <= 0 {
+		return
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	var files []entry
+	var total int64
+	ents, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".gfa" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, entry{filepath.Join(s.cfg.Dir, e.Name()), info.Size(), info.ModTime().UnixNano()})
+		total += info.Size()
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	for _, f := range files {
+		if total <= s.cfg.MaxBytes {
+			return
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+			s.evictions.Add(1)
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the store: on-disk inventory
+// (scanned per call) plus lifetime counters.
+type Stats struct {
+	Dir           string `json:"dir,omitempty"`
+	Pack          string `json:"pack,omitempty"`
+	Artifacts     int    `json:"artifacts"`
+	Bytes         int64  `json:"bytes"`
+	PackArtifacts int    `json:"packArtifacts"`
+	PackBytes     int64  `json:"packBytes"`
+	Resident      int    `json:"resident"` // artifacts mapped in memory
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Writes        uint64 `json:"writes"`
+	Corrupt       uint64 `json:"corrupt"`
+	Evictions     uint64 `json:"evictions"`
+}
+
+// Stats scans the directories and snapshots the counters.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Dir:       s.cfg.Dir,
+		Pack:      s.cfg.PackDir,
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Writes:    s.writes.Load(),
+		Corrupt:   s.corrupt.Load(),
+		Evictions: s.evictions.Load(),
+	}
+	st.Artifacts, st.Bytes = scanDir(s.cfg.Dir)
+	st.PackArtifacts, st.PackBytes = scanDir(s.cfg.PackDir)
+	s.mu.Lock()
+	st.Resident = len(s.maps)
+	s.mu.Unlock()
+	return st
+}
+
+func scanDir(dir string) (count int, bytes int64) {
+	if dir == "" {
+		return 0, 0
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".gfa" {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			count++
+			bytes += info.Size()
+		}
+	}
+	return count, bytes
+}
+
+// Hits returns the lifetime artifact-load hit count.
+func (s *Store) Hits() uint64 { return s.hits.Load() }
+
+// Misses returns the lifetime clean-miss count.
+func (s *Store) Misses() uint64 { return s.misses.Load() }
+
+// Corrupt returns the lifetime count of artifacts that failed
+// validation and fell back to compute.
+func (s *Store) Corrupt() uint64 { return s.corrupt.Load() }

@@ -1,0 +1,488 @@
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+)
+
+func w(s string) bitstr.Word { return bitstr.MustParse(s) }
+
+// TestArtifactRoundTripGrid is the round-trip property over the pack
+// grid: for every factor with |f| <= 4 and every d <= 10, build both
+// backends, serialize them through the store (save → mmap-load →
+// decode), and require the loaded backend to be byte-identical — its
+// reserialization equals the original bytes — and to answer queries
+// exactly like the built one.
+func TestArtifactRoundTripGrid(t *testing.T) {
+	st, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for n := 1; n <= 4; n++ {
+		for bits := uint64(0); bits < 1<<uint(n); bits++ {
+			f := bitstr.Word{Bits: bits, N: n}
+			for d := 1; d <= 10; d++ {
+				im := core.NewImplicit(d, f)
+				rkKey := Key{Kind: KindRanker, F: f, D: d}
+				rkBlob := im.AppendBinary(nil)
+				if err := st.Save(rkKey, rkBlob); err != nil {
+					t.Fatalf("%s: save: %v", rkKey, err)
+				}
+				payload, err := st.Load(rkKey)
+				if err != nil {
+					t.Fatalf("%s: load: %v", rkKey, err)
+				}
+				got, err := core.LoadImplicit(payload, d, f)
+				if err != nil {
+					t.Fatalf("%s: decode: %v", rkKey, err)
+				}
+				if string(got.AppendBinary(nil)) != string(rkBlob) {
+					t.Fatalf("%s: loaded ranker reserializes differently", rkKey)
+				}
+				if got.Order() != im.Order() {
+					t.Fatalf("%s: order %d, want %d", rkKey, got.Order(), im.Order())
+				}
+				for r := int64(0); r < im.Order(); r++ {
+					ow, _ := im.UnrankWord(r)
+					gw, ok := got.UnrankWord(r)
+					if !ok || ow != gw {
+						t.Fatalf("%s rank %d: %v vs %v", rkKey, r, ow, gw)
+					}
+				}
+
+				c := core.New(d, f)
+				cKey := Key{Kind: KindCube, F: f, D: d}
+				cBlob := c.AppendBinary(nil)
+				if err := st.Save(cKey, cBlob); err != nil {
+					t.Fatalf("%s: save: %v", cKey, err)
+				}
+				payload, err = st.Load(cKey)
+				if err != nil {
+					t.Fatalf("%s: load: %v", cKey, err)
+				}
+				gc, err := core.LoadCube(payload, d, f)
+				if err != nil {
+					t.Fatalf("%s: decode: %v", cKey, err)
+				}
+				if string(gc.AppendBinary(nil)) != string(cBlob) {
+					t.Fatalf("%s: loaded cube reserializes differently", cKey)
+				}
+				if gc.CountsExplicit() != c.CountsExplicit() {
+					t.Fatalf("%s: counts differ", cKey)
+				}
+			}
+		}
+	}
+	if st.Corrupt() != 0 || st.Misses() != 0 {
+		t.Errorf("clean round trips recorded corrupt=%d misses=%d", st.Corrupt(), st.Misses())
+	}
+}
+
+// A second Load of the same key must be served from the resident
+// mapping (no re-read), and a Load of an absent key is a clean miss.
+func TestStoreMappingCacheAndMiss(t *testing.T) {
+	st, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	k := Key{Kind: KindRanker, F: w("11"), D: 8}
+	if err := st.Save(k, core.NewImplicit(8, w("11")).AppendBinary(nil)); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := st.Load(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := st.Load(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p1[0] != &p2[0] {
+		t.Error("second load did not reuse the resident mapping")
+	}
+	if _, err := st.Load(Key{Kind: KindRanker, F: w("101"), D: 8}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("absent key: %v, want ErrNotFound", err)
+	}
+	s := st.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Writes != 1 || s.Resident != 1 {
+		t.Errorf("stats %+v, want hits=2 misses=1 writes=1 resident=1", s)
+	}
+	if st.Hits() != s.Hits || st.Misses() != s.Misses || st.Corrupt() != s.Corrupt {
+		t.Error("counter accessors disagree with Stats")
+	}
+}
+
+// Save surfaces I/O failures instead of pretending to persist.
+func TestSaveIOError(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sub")
+	st, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Kind: KindRanker, F: w("11"), D: 4}
+	if err := st.Save(k, core.NewImplicit(4, w("11")).AppendBinary(nil)); err == nil {
+		t.Error("Save into a vanished directory reported success")
+	}
+}
+
+func TestPackOptionsDefaults(t *testing.T) {
+	o := PackOptions{}.withDefaults()
+	if o.MinLen != 1 || o.MaxLen != 5 || o.MaxD != 12 {
+		t.Errorf("defaults %+v, want shipped grid 1..5 x 1..12", o)
+	}
+	o = PackOptions{MinLen: 2, MaxLen: 3, MaxD: 4}.withDefaults()
+	if o.MinLen != 2 || o.MaxLen != 3 || o.MaxD != 4 {
+		t.Errorf("explicit options rewritten: %+v", o)
+	}
+}
+
+// corruptionCases damages a valid on-disk artifact in every way the
+// format must detect.
+var corruptionCases = []struct {
+	name string
+	mut  func(t *testing.T, path string)
+}{
+	{"truncated", func(t *testing.T, path string) {
+		data := readFile(t, path)
+		writeFile(t, path, data[:len(data)/2])
+	}},
+	{"flipped payload byte", func(t *testing.T, path string) {
+		data := readFile(t, path)
+		data[headerSize+3] ^= 0x40
+		writeFile(t, path, data)
+	}},
+	{"flipped header byte", func(t *testing.T, path string) {
+		data := readFile(t, path)
+		data[2] ^= 0x01
+		writeFile(t, path, data)
+	}},
+	{"wrong format version", func(t *testing.T, path string) {
+		data := readFile(t, path)
+		binary.LittleEndian.PutUint32(data[8:], FormatVersion+1)
+		writeFile(t, path, data)
+	}},
+	{"empty file", func(t *testing.T, path string) {
+		writeFile(t, path, nil)
+	}},
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func writeFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProviderCorruptionFallsBackToCompute damages stored artifacts and
+// requires the provider to (a) serve the exact computed answer anyway,
+// (b) report Source "computed", (c) count the corruption, and (d) heal
+// the directory by writing the recomputed artifact back.
+func TestProviderCorruptionFallsBackToCompute(t *testing.T) {
+	f, d := w("11"), 8
+	want := core.NewImplicit(d, f)
+	wantCube := core.New(d, f)
+	for _, tc := range corruptionCases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			seed, err := Open(Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rkKey := Key{Kind: KindRanker, F: f, D: d}
+			cKey := Key{Kind: KindCube, F: f, D: d}
+			if err := seed.Save(rkKey, want.AppendBinary(nil)); err != nil {
+				t.Fatal(err)
+			}
+			if err := seed.Save(cKey, wantCube.AppendBinary(nil)); err != nil {
+				t.Fatal(err)
+			}
+			seed.Close()
+			tc.mut(t, filepath.Join(dir, rkKey.Filename()))
+			tc.mut(t, filepath.Join(dir, cKey.Filename()))
+
+			st, err := Open(Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			p := NewProvider(st)
+			im, src, err := p.Implicit(context.Background(), d, f)
+			if err != nil {
+				t.Fatalf("Implicit: %v", err)
+			}
+			if src != core.SourceComputed {
+				t.Errorf("source %q, want computed", src)
+			}
+			if im.Order() != want.Order() {
+				t.Errorf("order %d, want %d", im.Order(), want.Order())
+			}
+			c, src, err := p.Cube(context.Background(), d, f)
+			if err != nil {
+				t.Fatalf("Cube: %v", err)
+			}
+			if src != core.SourceComputed {
+				t.Errorf("cube source %q, want computed", src)
+			}
+			if c.CountsExplicit() != wantCube.CountsExplicit() {
+				t.Errorf("cube counts differ from computed")
+			}
+			if st.Corrupt() < 2 {
+				t.Errorf("corrupt counter %d, want >= 2", st.Corrupt())
+			}
+			if p.Computed() != 2 {
+				t.Errorf("computed counter %d, want 2", p.Computed())
+			}
+
+			// The fallback wrote the recomputed artifacts back: a fresh
+			// store must now serve both from disk.
+			healed, err := Open(Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer healed.Close()
+			hp := NewProvider(healed)
+			if _, src, _ := hp.Implicit(context.Background(), d, f); src != core.SourceStore {
+				t.Errorf("after heal: ranker source %q, want store", src)
+			}
+			if _, src, _ := hp.Cube(context.Background(), d, f); src != core.SourceStore {
+				t.Errorf("after heal: cube source %q, want store", src)
+			}
+		})
+	}
+}
+
+// A payload that passes the container checksum but is keyed for another
+// (f, d) — the wrong-class-key case — must be rejected by the key check
+// and fall back to compute.
+func TestProviderWrongClassKeyFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	seed, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := Key{Kind: KindRanker, F: w("101"), D: 8}
+	if err := seed.Save(other, core.NewImplicit(8, w("101")).AppendBinary(nil)); err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+	// Masquerade the f=101 artifact as the f=11 one.
+	mine := Key{Kind: KindRanker, F: w("11"), D: 8}
+	if err := os.Rename(filepath.Join(dir, other.Filename()), filepath.Join(dir, mine.Filename())); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	p := NewProvider(st)
+	im, src, err := p.Implicit(context.Background(), 8, w("11"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != core.SourceComputed {
+		t.Errorf("source %q, want computed", src)
+	}
+	if im.Order() != core.NewImplicit(8, w("11")).Order() {
+		t.Error("wrong-keyed artifact leaked into answers")
+	}
+	if st.Corrupt() == 0 {
+		t.Error("key mismatch not counted as corruption")
+	}
+}
+
+// A provider with no store, and one whose guards reject the key, must
+// compute without touching disk.
+func TestProviderDegenerateCases(t *testing.T) {
+	p := NewProvider(nil)
+	if p.Store() != nil {
+		t.Error("nil store not preserved")
+	}
+	im, src, err := p.Implicit(context.Background(), 6, w("11"))
+	if err != nil || src != core.SourceComputed || im.Order() == 0 {
+		t.Fatalf("nil-store Implicit: src=%q err=%v", src, err)
+	}
+	if _, src, err = p.Cube(context.Background(), 6, w("11")); err != nil || src != core.SourceComputed {
+		t.Fatalf("nil-store Cube: src=%q err=%v", src, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := p.Implicit(ctx, 6, w("11")); err == nil {
+		t.Error("canceled context not propagated")
+	}
+	if _, _, err := p.Cube(ctx, 6, w("11")); err == nil {
+		t.Error("canceled context not propagated by Cube")
+	}
+}
+
+// Read-only pack stores serve loads but never write, and corrupt pack
+// artifacts are skipped in place, not deleted.
+func TestReadOnlyPackStore(t *testing.T) {
+	packDir := t.TempDir()
+	seed, err := Open(Config{Dir: packDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Kind: KindRanker, F: w("11"), D: 8}
+	if err := seed.Save(k, core.NewImplicit(8, w("11")).AppendBinary(nil)); err != nil {
+		t.Fatal(err)
+	}
+	k2 := Key{Kind: KindRanker, F: w("101"), D: 8}
+	if err := seed.Save(k2, core.NewImplicit(8, w("101")).AppendBinary(nil)); err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+	// Damage one pack artifact.
+	path2 := filepath.Join(packDir, k2.Filename())
+	data := readFile(t, path2)
+	data[headerSize] ^= 0xff
+	writeFile(t, path2, data)
+
+	st, err := Open(Config{PackDir: packDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Load(k); err != nil {
+		t.Fatalf("pack load: %v", err)
+	}
+	if _, err := st.Load(k2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt pack load: %v, want ErrCorrupt", err)
+	}
+	if _, err := os.Stat(path2); err != nil {
+		t.Error("corrupt pack artifact was deleted; packs are read-only")
+	}
+	if err := st.Save(k2, core.NewImplicit(8, w("101")).AppendBinary(nil)); err != nil {
+		t.Fatalf("Save on read-only store must be a silent no-op, got %v", err)
+	}
+	if st.Stats().Writes != 0 {
+		t.Error("read-only store recorded a write")
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Error("no-directory config accepted")
+	}
+	if _, err := Open(Config{PackDir: filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Error("missing pack directory accepted")
+	}
+	file := filepath.Join(t.TempDir(), "f")
+	writeFile(t, file, []byte("x"))
+	if _, err := Open(Config{PackDir: file}); err == nil {
+		t.Error("pack path that is a file accepted")
+	}
+}
+
+// The MaxBytes cap evicts least-recently-modified artifacts on write.
+func TestStoreEviction(t *testing.T) {
+	dir := t.TempDir()
+	blob := core.NewImplicit(10, w("11")).AppendBinary(nil)
+	one := int64(len(EncodeArtifact(Key{Kind: KindRanker, F: w("11"), D: 10}, blob)))
+	st, err := Open(Config{Dir: dir, MaxBytes: 2 * one})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i, f := range []string{"11", "101", "110", "011"} {
+		k := Key{Kind: KindRanker, F: w(f), D: 10}
+		if err := st.Save(k, core.NewImplicit(10, w(f)).AppendBinary(nil)); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+	}
+	s := st.Stats()
+	if s.Evictions == 0 {
+		t.Error("cap exceeded but nothing evicted")
+	}
+	if s.Bytes > 2*one {
+		t.Errorf("directory holds %d bytes, cap %d", s.Bytes, 2*one)
+	}
+	if s.Artifacts+int(s.Evictions) != 4 {
+		t.Errorf("artifacts %d + evictions %d, want 4 total", s.Artifacts, s.Evictions)
+	}
+}
+
+func TestNoteCorruptDropsMappingAndDeletes(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	k := Key{Kind: KindRanker, F: w("11"), D: 8}
+	if err := st.Save(k, core.NewImplicit(8, w("11")).AppendBinary(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(k); err != nil {
+		t.Fatal(err)
+	}
+	st.NoteCorrupt(k)
+	if st.Corrupt() != 1 {
+		t.Errorf("corrupt counter %d, want 1", st.Corrupt())
+	}
+	if _, err := os.Stat(filepath.Join(dir, k.Filename())); !os.IsNotExist(err) {
+		t.Error("NoteCorrupt left the artifact on disk")
+	}
+	if _, err := st.Load(k); !errors.Is(err, ErrNotFound) {
+		t.Errorf("load after NoteCorrupt: %v, want ErrNotFound", err)
+	}
+}
+
+func TestStoreClosedRefusesLoads(t *testing.T) {
+	st, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Kind: KindRanker, F: w("11"), D: 4}
+	if err := st.Save(k, core.NewImplicit(4, w("11")).AppendBinary(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(k); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(k); err == nil {
+		t.Error("closed store served a load")
+	}
+}
+
+func TestKeyNames(t *testing.T) {
+	k := Key{Kind: KindCube, F: w("0110"), D: 9}
+	if k.String() != "cube|0110|9" {
+		t.Errorf("String = %q", k.String())
+	}
+	if k.Filename() != (Key{Kind: KindCube, F: w("0110"), D: 9}).Filename() {
+		t.Error("Filename not deterministic")
+	}
+	if k.Filename() == (Key{Kind: KindRanker, F: w("0110"), D: 9}).Filename() {
+		t.Error("kinds share a filename")
+	}
+	if Kind(9).String() == KindCube.String() {
+		t.Error("unknown kind renders as cube")
+	}
+}

@@ -59,6 +59,10 @@ type Options struct {
 	// Progress, when non-nil, is called after every completed task with the
 	// number of tasks finished so far and the total. Calls are serialized.
 	Progress func(done, total int)
+	// Provider, when non-nil, is installed on every worker's Scratch so
+	// cube construction resolves through it (e.g. a store-backed
+	// compute-or-load provider) instead of always building from scratch.
+	Provider core.Provider
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +119,7 @@ func run(ctx context.Context, tasks []Task, fn Func, opts Options, out chan<- Re
 		go func() {
 			defer wg.Done()
 			s := core.NewScratch()
+			s.Provider = opts.Provider
 			for t := range feed {
 				start := time.Now()
 				v, err := fn(ctx, s, t)
