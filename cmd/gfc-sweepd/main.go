@@ -1,0 +1,312 @@
+// Command gfc-sweepd coordinates a sharded sweep across fabric workers,
+// streaming every completed cell into an append-only hash-chained results
+// ledger. Interrupted runs (crash, SIGKILL, power loss) resume from the
+// last valid chained record with -resume; the derived result set is
+// byte-identical to a single-process sweep regardless of worker count,
+// scheduling, stealing or how many times the run was interrupted.
+//
+// Usage:
+//
+//	gfc-sweepd -ledger run.gfcl [-op classify] [-minlen 1] [-maxlen 4]
+//	           [-mind 1] [-maxd 9] [-method exact]
+//	           [-remote URL]... [-workers N] [-shards N]
+//	           [-lease-ttl 10s] [-poll 100ms] [-steal-threshold 4]
+//	           [-store-dir DIR] [-metrics-addr :9090]
+//	           [-out results.ndjson] [-progress]
+//	gfc-sweepd -resume run.gfcl [flags as above]
+//	gfc-sweepd -verify run.gfcl
+//	gfc-sweepd -dump run.gfcl [-out results.ndjson]
+//	gfc-sweepd -oracle [-op ...] [grid flags] [-out results.ndjson]
+//
+// Workers are either remote gfc-serve instances (-remote, repeatable) or
+// in-process compute workers (-workers N when no -remote is given). The
+// grid is partitioned into shards by canonical factor class — the same
+// class always lands on the same shard slot — and shards are leased to
+// workers with TTL-enforced leases, renewed while reports flow and
+// requeued when a worker dies. Idle workers steal the tails of straggler
+// shards; the coordinator's ledger dedupe keeps every cell single-copy.
+//
+// -verify walks the ledger's hash chain and exits nonzero on damage,
+// duplicate cells, or an incomplete grid. -dump re-derives the canonical
+// result set (cells sorted by grid index) from a complete ledger. -oracle
+// computes the same result set single-process, no ledger involved — the
+// fabric-gate CI job diffs the two byte-for-byte.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gfcube/internal/core"
+	"gfcube/internal/fabric"
+	"gfcube/internal/store"
+)
+
+// repeatedFlag collects a repeatable string flag.
+type repeatedFlag []string
+
+func (f *repeatedFlag) String() string     { return strings.Join(*f, ",") }
+func (f *repeatedFlag) Set(s string) error { *f = append(*f, s); return nil }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gfc-sweepd: ")
+
+	op := flag.String("op", "classify", "sweep operation: classify|survey|degrees|wiener")
+	minLen := flag.Int("minlen", 1, "smallest factor length")
+	maxLen := flag.Int("maxlen", 4, "largest factor length")
+	minD := flag.Int("mind", 1, "smallest dimension")
+	maxD := flag.Int("maxd", 9, "largest dimension")
+	method := flag.String("method", "exact", "cell method: exact|screen|quick")
+	ledgerPath := flag.String("ledger", "", "create this ledger and run the sweep into it")
+	resumePath := flag.String("resume", "", "resume an interrupted sweep from this ledger")
+	verifyPath := flag.String("verify", "", "verify a ledger's hash chain and completeness, then exit")
+	dumpPath := flag.String("dump", "", "derive the canonical result set from a complete ledger, then exit")
+	oracle := flag.Bool("oracle", false, "compute the result set single-process (no ledger), then exit")
+	var remotes repeatedFlag
+	flag.Var(&remotes, "remote", "gfc-serve worker base URL (repeatable)")
+	workers := flag.Int("workers", 2, "in-process workers when no -remote is given")
+	shards := flag.Int("shards", 0, "primary shard slots (0 = 2×workers, min 4)")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "lease TTL; renewed at TTL/3 while reports flow")
+	poll := flag.Duration("poll", 100*time.Millisecond, "report-poll interval")
+	stealThreshold := flag.Int("steal-threshold", 4, "minimum straggler remainder worth stealing")
+	storeDir := flag.String("store-dir", "", "artifact store directory for in-process workers")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics on this address while the sweep runs")
+	out := flag.String("out", "", "write the result set here instead of stdout")
+	progress := flag.Bool("progress", false, "log progress every 100 cells")
+	flag.Parse()
+
+	sp, err := parseSpec(*op, *minLen, *maxLen, *minD, *maxD, *method)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch {
+	case *verifyPath != "":
+		os.Exit(verify(*verifyPath))
+	case *dumpPath != "":
+		if err := dump(*dumpPath, *out); err != nil {
+			log.Fatal(err)
+		}
+	case *oracle:
+		data, err := fabric.Oracle(context.Background(), sp, *workers, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeOut(*out, data); err != nil {
+			log.Fatal(err)
+		}
+	case *ledgerPath != "" || *resumePath != "":
+		if *ledgerPath != "" && *resumePath != "" {
+			log.Fatal("-ledger and -resume are mutually exclusive")
+		}
+		if err := run(sp, runConfig{
+			ledgerPath:     *ledgerPath,
+			resumePath:     *resumePath,
+			remotes:        remotes,
+			workers:        *workers,
+			shards:         *shards,
+			leaseTTL:       *leaseTTL,
+			poll:           *poll,
+			stealThreshold: *stealThreshold,
+			storeDir:       *storeDir,
+			metricsAddr:    *metricsAddr,
+			out:            *out,
+			progress:       *progress,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("one of -ledger, -resume, -verify, -dump or -oracle is required")
+	}
+}
+
+func parseSpec(op string, minLen, maxLen, minD, maxD int, method string) (fabric.Spec, error) {
+	o, err := fabric.ParseOp(op)
+	if err != nil {
+		return fabric.Spec{}, err
+	}
+	return fabric.Spec{Op: o, MinLen: minLen, MaxLen: maxLen, MinD: minD, MaxD: maxD, Method: method}.Normalize()
+}
+
+// verify walks the chain and reports; exit status 0 only for a clean,
+// duplicate-free ledger whose record count matches its grid.
+func verify(path string) int {
+	scan, err := fabric.VerifyLedger(path)
+	if err != nil {
+		log.Printf("verify: %v", err)
+		return 1
+	}
+	total := len(scan.Spec.Cells())
+	log.Printf("spec: op=%s len=[%d,%d] d=[%d,%d] method=%s",
+		scan.Spec.Op, scan.Spec.MinLen, scan.Spec.MaxLen, scan.Spec.MinD, scan.Spec.MaxD, scan.Spec.Method)
+	log.Printf("records: %d/%d cells, %d duplicates, %d/%d bytes valid",
+		len(scan.Records), total, scan.Duplicates, scan.ValidBytes, scan.TotalBytes)
+	if scan.Damaged {
+		log.Printf("DAMAGED: %s (resume recomputes from record %d)", scan.DamageReason, len(scan.Records))
+		return 1
+	}
+	if scan.Duplicates != 0 {
+		log.Printf("DUPLICATES: ledger holds %d duplicate cells", scan.Duplicates)
+		return 1
+	}
+	if len(scan.Records) != total {
+		log.Printf("INCOMPLETE: %d cells missing (resume with -resume %s)", total-len(scan.Records), path)
+		return 1
+	}
+	log.Printf("OK: chain verified, complete, no duplicates")
+	return 0
+}
+
+// dump derives the canonical result set from a complete ledger.
+func dump(path, out string) error {
+	scan, err := fabric.VerifyLedger(path)
+	if err != nil {
+		return err
+	}
+	if scan.Damaged {
+		return fmt.Errorf("ledger is damaged (%s); -resume it first", scan.DamageReason)
+	}
+	if total := len(scan.Spec.Cells()); len(scan.Records) != total {
+		return fmt.Errorf("ledger holds %d/%d cells; -resume it first", len(scan.Records), total)
+	}
+	data, err := fabric.ResultSet(scan.Records)
+	if err != nil {
+		return err
+	}
+	return writeOut(out, data)
+}
+
+func writeOut(path string, data []byte) error {
+	if path == "" || path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+type runConfig struct {
+	ledgerPath     string
+	resumePath     string
+	remotes        []string
+	workers        int
+	shards         int
+	leaseTTL       time.Duration
+	poll           time.Duration
+	stealThreshold int
+	storeDir       string
+	metricsAddr    string
+	out            string
+	progress       bool
+}
+
+// run drives one sweep (fresh or resumed) to completion and writes the
+// derived result set.
+func run(sp fabric.Spec, cfg runConfig) error {
+	var l *fabric.Ledger
+	var err error
+	if cfg.resumePath != "" {
+		l, err = fabric.OpenLedger(cfg.resumePath, &sp)
+		if err != nil {
+			return err
+		}
+		if l.Trimmed() > 0 {
+			log.Printf("resume: trimmed %d damaged trailing bytes; %d valid cells inherited", l.Trimmed(), len(l.Records()))
+		} else {
+			log.Printf("resume: %d valid cells inherited", len(l.Records()))
+		}
+	} else {
+		l, err = fabric.CreateLedger(cfg.ledgerPath, sp)
+		if err != nil {
+			return err
+		}
+	}
+	defer l.Close()
+
+	var ws []fabric.Worker
+	var hosts []*fabric.Host
+	if len(cfg.remotes) > 0 {
+		for i, base := range cfg.remotes {
+			ws = append(ws, fabric.NewRemoteWorker(fmt.Sprintf("remote%d", i), strings.TrimSuffix(base, "/"), nil, 0, 0))
+		}
+	} else {
+		var provider core.Provider
+		if cfg.storeDir != "" {
+			st, err := store.Open(store.Config{Dir: cfg.storeDir})
+			if err != nil {
+				return err
+			}
+			defer st.Close()
+			provider = store.NewProvider(st)
+		}
+		if cfg.workers < 1 {
+			cfg.workers = 1
+		}
+		for i := 0; i < cfg.workers; i++ {
+			h := fabric.NewHost(fabric.HostConfig{Provider: provider})
+			hosts = append(hosts, h)
+			ws = append(ws, fabric.NewLocalWorker(fmt.Sprintf("local%d", i), h))
+		}
+	}
+	defer func() {
+		for _, h := range hosts {
+			h.Close()
+		}
+	}()
+
+	opts := fabric.Options{
+		Workers:        ws,
+		Shards:         cfg.shards,
+		LeaseTTL:       cfg.leaseTTL,
+		Poll:           cfg.poll,
+		StealThreshold: cfg.stealThreshold,
+		Logf:           log.Printf,
+	}
+	if cfg.progress {
+		opts.Progress = func(done, total int) {
+			if done%100 == 0 || done == total {
+				log.Printf("progress: %d/%d cells", done, total)
+			}
+		}
+	}
+	co, err := fabric.NewCoordinator(sp, l, opts)
+	if err != nil {
+		return err
+	}
+
+	if cfg.metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_, _ = w.Write([]byte(co.Counters().RenderProm()))
+		})
+		go func() {
+			if err := http.ListenAndServe(cfg.metricsAddr, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	start := time.Now()
+	if err := co.Run(ctx); err != nil {
+		log.Printf("run: %s", co.PendingSummary())
+		return err
+	}
+	log.Printf("complete in %s: %s", time.Since(start).Round(time.Millisecond), co.Counters().Summary())
+
+	data, err := fabric.ResultSet(l.Records())
+	if err != nil {
+		return err
+	}
+	return writeOut(cfg.out, data)
+}

@@ -1,0 +1,369 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io/fs"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+)
+
+func TestParseOpAllAndUnknown(t *testing.T) {
+	for _, op := range []string{"classify", "survey", "degrees", "wiener"} {
+		got, err := ParseOp(op)
+		if err != nil || string(got) != op {
+			t.Fatalf("ParseOp(%q) = %q, %v", op, got, err)
+		}
+	}
+	if _, err := ParseOp("hamilton"); err == nil {
+		t.Fatal("ParseOp accepted an unknown op")
+	}
+}
+
+func TestNormalizeDefaultsAndErrors(t *testing.T) {
+	// Defaults: floors and method fill in.
+	sp, err := Spec{Op: OpClassify, MaxLen: 2, MaxD: 4}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.MinLen != 1 || sp.MinD != 1 || sp.Method != core.MethodExact.String() {
+		t.Fatalf("defaults not filled: %+v", sp)
+	}
+	// Degrees runs on the implicit backend: d beyond MaxBuildDim is fine.
+	if _, err := (Spec{Op: OpDegrees, MaxLen: 2, MaxD: bitstr.MaxLen}).Normalize(); err != nil {
+		t.Fatalf("degrees at d=%d: %v", bitstr.MaxLen, err)
+	}
+	for name, bad := range map[string]Spec{
+		"unknown op":         {Op: "nope", MaxLen: 2, MaxD: 4},
+		"maxlen < minlen":    {Op: OpClassify, MinLen: 3, MaxLen: 2, MaxD: 4},
+		"maxlen over bound":  {Op: OpClassify, MaxLen: bitstr.MaxLen + 1, MaxD: 4},
+		"maxd < mind":        {Op: OpClassify, MaxLen: 2, MinD: 5, MaxD: 4},
+		"bad method":         {Op: OpClassify, MaxLen: 2, MaxD: 4, Method: "guess"},
+		"explicit d too big": {Op: OpClassify, MaxLen: 2, MaxD: core.MaxBuildDim + 1},
+		"degrees d too big":  {Op: OpDegrees, MaxLen: 2, MaxD: bitstr.MaxLen + 1},
+	} {
+		if _, err := bad.Normalize(); err == nil {
+			t.Errorf("%s: Normalize accepted %+v", name, bad)
+		}
+	}
+}
+
+func TestDecodeRecordRejectsGarbage(t *testing.T) {
+	if _, err := decodeRecord([]byte("{not json")); err == nil {
+		t.Fatal("decodeRecord accepted garbage")
+	}
+}
+
+func TestCountersRenderPromAndSummary(t *testing.T) {
+	var c Counters
+	c.CellsTotal.Store(12)
+	c.CellsDone.Store(7)
+	c.Steals.Add(2)
+	c.Resumes.Add(1)
+	prom := c.RenderProm()
+	for _, want := range []string{
+		"gfc_sweep_cells_total 12",
+		"gfc_sweep_cells_completed_total 7",
+		"gfc_fabric_steals_total 2",
+		"gfc_sweep_resumes_total 1",
+		"# TYPE gfc_fabric_active_shards gauge",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("RenderProm missing %q", want)
+		}
+	}
+	sum := c.Summary()
+	if !strings.Contains(sum, "cells 7/12") || !strings.Contains(sum, "steals 2") {
+		t.Errorf("Summary = %q", sum)
+	}
+}
+
+func TestCoordinatorTotalPendingSummaryAndLogf(t *testing.T) {
+	sp := testSpec(t)
+	l, err := CreateLedger(t.TempDir()+"/run.gfcl", sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	h := NewHost(HostConfig{})
+	defer h.Close()
+	logged := 0
+	co, err := NewCoordinator(sp, l, Options{
+		Workers: []Worker{NewLocalWorker("w", h)},
+		Logf:    func(string, ...any) { logged++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Total() != len(sp.Cells()) {
+		t.Fatalf("Total = %d, want %d", co.Total(), len(sp.Cells()))
+	}
+	if logged == 0 {
+		t.Fatal("Logf was never called for the plan line")
+	}
+	ps := co.PendingSummary()
+	if !strings.Contains(ps, "0/"+strconv.Itoa(co.Total())) || !strings.Contains(ps, "first missing") {
+		t.Fatalf("PendingSummary = %q", ps)
+	}
+}
+
+func TestLocalWorkerExposesHost(t *testing.T) {
+	h := NewHost(HostConfig{})
+	defer h.Close()
+	w := NewLocalWorker("w", h)
+	if w.Host() != h {
+		t.Fatal("Host() does not return the wrapped host")
+	}
+}
+
+func TestLedgerAppendsTrimmedAndReopen(t *testing.T) {
+	sp := testSpec(t)
+	path := t.TempDir() + "/run.gfcl"
+	l, err := CreateLedger(path, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ComputeCell(context.Background(), core.NewScratch(), sp, sp.Cells()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if l.Appends() != 1 {
+		t.Fatalf("Appends = %d, want 1", l.Appends())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenLedger(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Appends() != 0 || len(re.Records()) != 1 || re.Trimmed() != 0 {
+		t.Fatalf("reopened: appends=%d records=%d trimmed=%d", re.Appends(), len(re.Records()), re.Trimmed())
+	}
+}
+
+func TestOpenLedgerMissingFileIsNotExist(t *testing.T) {
+	_, err := OpenLedger(t.TempDir()+"/absent.gfcl", nil)
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestOracleRejectsBadSpecAndCanceledContext(t *testing.T) {
+	if _, err := Oracle(context.Background(), Spec{Op: "nope"}, 1, nil); err == nil {
+		t.Fatal("Oracle accepted an invalid spec")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Oracle(ctx, testSpec(t), 1, nil); err == nil {
+		t.Fatal("Oracle ignored a canceled context")
+	}
+}
+
+func TestNewCoordinatorRejectsNoWorkersAndForeignLedger(t *testing.T) {
+	sp := testSpec(t)
+	l, err := CreateLedger(t.TempDir()+"/run.gfcl", sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := NewCoordinator(sp, l, Options{}); err == nil {
+		t.Fatal("NewCoordinator accepted zero workers")
+	}
+	// A record outside the grid (e.g. a ledger from a larger sweep fed to
+	// a smaller spec) must be rejected before any lease is granted.
+	if err := l.Append(Record{I: 10_000, F: "1", D: 1}); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHost(HostConfig{})
+	defer h.Close()
+	if _, err := NewCoordinator(sp, l, Options{Workers: []Worker{NewLocalWorker("w", h)}}); err == nil {
+		t.Fatal("NewCoordinator accepted a ledger with an out-of-grid cell index")
+	}
+}
+
+func TestRemoteWorkerNonRetryableAndBadJSON(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, strings.Repeat("x", 2048), http.StatusBadRequest)
+	}))
+	defer bad.Close()
+	sp := testSpec(t)
+	// Defaults path: nil client, zero retries/backoff.
+	w := NewRemoteWorker("w", bad.URL, nil, 0, 0)
+	start := time.Now()
+	_, err := w.Start(context.Background(), sp, "L1", sp.Cells(), time.Minute)
+	if err == nil || !strings.Contains(err.Error(), "HTTP 400") {
+		t.Fatalf("err = %v, want immediate HTTP 400", err)
+	}
+	if len(err.Error()) > 1200 {
+		t.Fatalf("error body not truncated: %d bytes", len(err.Error()))
+	}
+	// Non-retryable errors must not burn the backoff schedule.
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("400 response was retried with backoff")
+	}
+
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("not json"))
+	}))
+	defer garbage.Close()
+	g := NewRemoteWorker("g", garbage.URL, nil, 1, time.Millisecond)
+	if _, err := g.Start(context.Background(), sp, "L1", sp.Cells(), time.Minute); err == nil {
+		t.Fatal("Start accepted a non-JSON 200 body")
+	}
+	if _, err := g.Report(context.Background(), "L1", 0, 4); err == nil {
+		t.Fatal("Report accepted a non-JSON 200 body")
+	}
+	// Cancel decodes nothing: a 200 of any shape means the lease is gone.
+	if err := g.Cancel(context.Background(), "L1"); err != nil {
+		t.Fatalf("Cancel on a 200 response: %v", err)
+	}
+}
+
+// failingWorker errors on every call; the coordinator must route its
+// shards to healthy workers and still finish.
+type failingWorker struct{}
+
+func (failingWorker) Name() string { return "flaky" }
+func (failingWorker) Start(context.Context, Spec, string, []CellRef, time.Duration) (LeaseState, error) {
+	return LeaseState{}, errors.New("injected start failure")
+}
+func (failingWorker) Report(context.Context, string, int, int) (ReportChunk, error) {
+	return ReportChunk{}, errors.New("injected report failure")
+}
+func (failingWorker) Cancel(context.Context, string) error { return nil }
+
+func TestCoordinatorSurvivesAlwaysFailingWorker(t *testing.T) {
+	sp := testSpec(t)
+	path := t.TempDir() + "/run.gfcl"
+	l, err := CreateLedger(path, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	h := NewHost(HostConfig{})
+	defer h.Close()
+	co, err := NewCoordinator(sp, l, Options{
+		Workers: []Worker{failingWorker{}, NewLocalWorker("good", h)},
+		Poll:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := co.Counters().LeaseFailures.Load(); got == 0 {
+		t.Fatal("failing worker produced no lease failures")
+	}
+	got, err := ResultSet(l.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Oracle(context.Background(), sp, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("result set differs from oracle despite healthy worker")
+	}
+}
+
+func TestHostGarbageCollectsFinishedLeases(t *testing.T) {
+	sp := testSpec(t)
+	h := NewHost(HostConfig{ExpiredGrace: 10 * time.Millisecond})
+	defer h.Close()
+	cells := sp.Cells()
+	if _, err := h.Start(sp, "L1", cells, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	from := 0
+	for {
+		chunk, err := h.Report("L1", from, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		from = chunk.Next
+		if chunk.Done && len(chunk.Payloads) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Past the grace window the finished lease is collected on the next
+	// host entry.
+	time.Sleep(30 * time.Millisecond)
+	if _, err := h.Report("L1", 0, 0); !errors.Is(err, ErrLeaseNotFound) {
+		t.Fatalf("finished lease survived its grace window: %v", err)
+	}
+}
+
+func TestLedgerCloseTwice(t *testing.T) {
+	sp := testSpec(t)
+	l, err := CreateLedger(t.TempDir()+"/run.gfcl", sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err == nil {
+		t.Fatal("second Close on a closed ledger succeeded")
+	}
+}
+
+func TestLedgerScanMoreDamageVariants(t *testing.T) {
+	sp := testSpec(t)
+	for name, corrupt := range map[string]func(data []byte, offs []int64) []byte{
+		"record magic": func(data []byte, offs []int64) []byte {
+			data[offs[1]] ^= 0xFF
+			return data
+		},
+		"sequence number": func(data []byte, offs []int64) []byte {
+			data[offs[1]+8] ^= 0x01
+			return data
+		},
+		"payload length bound": func(data []byte, offs []int64) []byte {
+			binary.LittleEndian.PutUint32(data[offs[1]+4:], maxPayloadSize+1)
+			return data
+		},
+	} {
+		path := fillLedger(t, sp)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs := ledgerLayout(t, data)
+		if err := os.WriteFile(path, corrupt(data, offs), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		scan, err := VerifyLedger(path)
+		if err != nil {
+			t.Fatalf("%s: header-level error for record damage: %v", name, err)
+		}
+		if !scan.Damaged || len(scan.Records) != 1 {
+			t.Errorf("%s: damaged=%v records=%d, want damaged prefix of 1", name, scan.Damaged, len(scan.Records))
+		}
+	}
+}

@@ -1,0 +1,375 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// runCoordinator drives a fresh run of sp over the given workers into a
+// new ledger at path, returning the derived result set.
+func runCoordinator(t *testing.T, sp Spec, path string, workers []Worker, opts Options) []byte {
+	t.Helper()
+	l, err := CreateLedger(path, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	opts.Workers = workers
+	co, err := NewCoordinator(sp, l, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ResultSet(l.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestCoordinatorMatchesOracle(t *testing.T) {
+	sp := testSpec(t)
+	h1 := NewHost(HostConfig{})
+	h2 := NewHost(HostConfig{})
+	defer h1.Close()
+	defer h2.Close()
+	workers := []Worker{NewLocalWorker("w1", h1), NewLocalWorker("w2", h2)}
+	got := runCoordinator(t, sp, t.TempDir()+"/run.gfcl", workers, Options{Poll: 2 * time.Millisecond})
+	want, err := Oracle(context.Background(), sp, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("fabric result set differs from single-process oracle")
+	}
+}
+
+func TestCoordinatorAllOps(t *testing.T) {
+	for _, op := range []Op{OpClassify, OpSurvey, OpDegrees, OpWiener} {
+		op := op
+		t.Run(string(op), func(t *testing.T) {
+			sp, err := Spec{Op: op, MinLen: 2, MaxLen: 3, MinD: 2, MaxD: 5}.Normalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := NewHost(HostConfig{Workers: 2})
+			defer h.Close()
+			got := runCoordinator(t, sp, t.TempDir()+"/run.gfcl", []Worker{NewLocalWorker("w", h)}, Options{Poll: 2 * time.Millisecond})
+			want, err := Oracle(context.Background(), sp, 2, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("op %s: fabric differs from oracle", op)
+			}
+		})
+	}
+}
+
+func TestCoordinatorInterruptAndResume(t *testing.T) {
+	sp := testSpec(t)
+	path := t.TempDir() + "/run.gfcl"
+	total := len(sp.Cells())
+
+	// First run: cancel via the progress hook once half the grid is in
+	// the ledger — the moral equivalent of a SIGKILL mid-sweep.
+	l, err := CreateLedger(path, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h1 := NewHost(HostConfig{CellDelay: time.Millisecond})
+	co, err := NewCoordinator(sp, l, Options{
+		Workers: []Worker{NewLocalWorker("w1", h1)},
+		Poll:    2 * time.Millisecond,
+		Progress: func(done, _ int) {
+			if done >= total/2 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	h1.Close()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	partial := int(co.Counters().CellsDone.Load())
+	if partial == 0 || partial >= total {
+		t.Fatalf("interrupted run recorded %d/%d cells; test wants a strict partial", partial, total)
+	}
+
+	// Second run: reopen the same ledger and sweep to completion.
+	l, err = OpenLedger(path, &sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := len(l.Records()); got < partial {
+		t.Fatalf("reopened ledger holds %d records, coordinator recorded %d", got, partial)
+	}
+	h2 := NewHost(HostConfig{})
+	defer h2.Close()
+	co2, err := NewCoordinator(sp, l, Options{Workers: []Worker{NewLocalWorker("w2", h2)}, Poll: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co2.Counters().Resumes.Load() != 1 {
+		t.Fatal("second run did not count as a resume")
+	}
+	if err := co2.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ResultSet(l.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Oracle(context.Background(), sp, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("resumed result set differs from oracle")
+	}
+	scan, err := VerifyLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Duplicates != 0 {
+		t.Fatalf("resumed ledger holds %d duplicate cells", scan.Duplicates)
+	}
+	if len(scan.Records) != total {
+		t.Fatalf("resumed ledger holds %d records, want %d", len(scan.Records), total)
+	}
+}
+
+func TestCoordinatorStealsFromStragglerWithoutDuplicates(t *testing.T) {
+	sp, err := Spec{Op: OpClassify, MinLen: 1, MaxLen: 3, MinD: 1, MaxD: 6}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker "slow" crawls at 30ms/cell; worker "fast" is unthrottled.
+	// Fast drains the pending queue, goes idle, and must steal the tail
+	// of slow's lease to finish the grid promptly. Slow still computes
+	// (and reports) its full lease — the stolen overlap is exactly what
+	// the record-path dedupe exists for.
+	slow := NewHost(HostConfig{CellDelay: 30 * time.Millisecond})
+	fast := NewHost(HostConfig{Workers: 2})
+	defer slow.Close()
+	defer fast.Close()
+	path := t.TempDir() + "/run.gfcl"
+	l, err := CreateLedger(path, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	co, err := NewCoordinator(sp, l, Options{
+		Workers:        []Worker{NewLocalWorker("slow", slow), NewLocalWorker("fast", fast)},
+		Poll:           2 * time.Millisecond,
+		StealThreshold: 2,
+		LeaseTTL:       time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if co.Counters().Steals.Load() == 0 {
+		t.Fatal("fast worker never stole from the straggler")
+	}
+	got, err := ResultSet(l.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Oracle(context.Background(), sp, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("stolen run differs from oracle")
+	}
+	scan, err := VerifyLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Duplicates != 0 {
+		t.Fatalf("ledger holds %d duplicate cells despite dedupe", scan.Duplicates)
+	}
+}
+
+func TestCoordinatorSurvivesLeaseExpiry(t *testing.T) {
+	// TTL far below the shard's compute time and a poll far above the
+	// renewal cadence force expiries; the coordinator must requeue and
+	// still converge to the oracle.
+	sp := testSpec(t)
+	h := NewHost(HostConfig{CellDelay: 5 * time.Millisecond})
+	defer h.Close()
+	path := t.TempDir() + "/run.gfcl"
+	l, err := CreateLedger(path, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	co, err := NewCoordinator(sp, l, Options{
+		Workers:  []Worker{NewLocalWorker("w", h)},
+		LeaseTTL: 40 * time.Millisecond,
+		Poll:     10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ResultSet(l.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Oracle(context.Background(), sp, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("run with expiring leases differs from oracle")
+	}
+}
+
+func TestHostLeaseLifecycle(t *testing.T) {
+	sp := testSpec(t)
+	cells := sp.Cells()
+	h := NewHost(HostConfig{})
+	defer h.Close()
+
+	state, err := h.Start(sp, "L1", cells, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Renewed || state.Total != len(cells) {
+		t.Fatalf("grant: %+v", state)
+	}
+	// Idempotent re-grant is a renewal.
+	state, err = h.Start(sp, "L1", cells, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !state.Renewed {
+		t.Fatal("re-grant of a live lease was not a renewal")
+	}
+	// Same ID, different cell set: conflict.
+	if _, err := h.Start(sp, "L1", cells[:1], time.Minute); !errors.Is(err, ErrLeaseConflict) {
+		t.Fatalf("conflicting re-grant: err = %v, want ErrLeaseConflict", err)
+	}
+
+	// Drain reports by cursor until done.
+	var payloads [][]byte
+	from := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		chunk, err := h.Report("L1", from, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chunk.Payloads) > 3 {
+			t.Fatalf("report ignored max: %d payloads", len(chunk.Payloads))
+		}
+		payloads = append(payloads, chunk.Payloads...)
+		from = chunk.Next
+		if chunk.Done && len(chunk.Payloads) == 0 {
+			if chunk.Err != "" {
+				t.Fatalf("lease failed: %s", chunk.Err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease never completed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if len(payloads) != len(cells) {
+		t.Fatalf("drained %d payloads, want %d", len(payloads), len(cells))
+	}
+	// Payloads arrive in shard-cell order.
+	for i, p := range payloads {
+		rec, err := decodeRecord(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.I != cells[i].I {
+			t.Fatalf("payload %d is cell %d, want %d", i, rec.I, cells[i].I)
+		}
+	}
+
+	if _, err := h.Report("nope", 0, 0); !errors.Is(err, ErrLeaseNotFound) {
+		t.Fatalf("unknown lease: err = %v, want ErrLeaseNotFound", err)
+	}
+	if _, err := h.Report("L1", 10_000, 0); err == nil {
+		t.Fatal("out-of-range cursor accepted")
+	}
+	if err := h.Cancel("L1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Cancel("nope"); !errors.Is(err, ErrLeaseNotFound) {
+		t.Fatalf("cancel unknown: err = %v, want ErrLeaseNotFound", err)
+	}
+	st := h.Stats()
+	if st.Leases != 1 || st.Renewals != 1 || st.Cancels != 1 || st.Cells != uint64(len(cells)) {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestHostLeaseExpires(t *testing.T) {
+	sp := testSpec(t)
+	cells := sp.Cells()
+	h := NewHost(HostConfig{CellDelay: 10 * time.Millisecond})
+	defer h.Close()
+	if _, err := h.Start(sp, "L1", cells, 25*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		chunk, err := h.Report("L1", 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chunk.Done && chunk.Err != "" {
+			if !strings.Contains(chunk.Err, "expired") && !strings.Contains(chunk.Err, "cancel") {
+				t.Fatalf("unexpected failure message: %s", chunk.Err)
+			}
+			if h.Stats().Expired == 0 {
+				t.Fatal("expiry not counted")
+			}
+			return
+		}
+		if chunk.Done {
+			t.Fatal("lease completed despite a TTL shorter than one cell")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease never expired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHostLeaseCapacity(t *testing.T) {
+	sp := testSpec(t)
+	cells := sp.Cells()
+	h := NewHost(HostConfig{MaxLeases: 1, CellDelay: 10 * time.Millisecond})
+	defer h.Close()
+	if _, err := h.Start(sp, "L1", cells, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Start(sp, "L2", cells, time.Minute); !errors.Is(err, ErrHostBusy) {
+		t.Fatalf("over-capacity grant: err = %v, want ErrHostBusy", err)
+	}
+}

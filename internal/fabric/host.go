@@ -1,0 +1,355 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gfcube/internal/core"
+	"gfcube/internal/sweep"
+)
+
+// Host executes shard leases inside a worker process. gfc-serve mounts
+// one behind its /v1/fabric endpoints; gfc-sweepd's in-process workers
+// call the same methods directly — the protocol is identical either way,
+// so kill-and-resume behavior does not depend on the transport.
+//
+// A lease is a bounded obligation: the host computes the leased cells
+// until done or until the lease deadline fires, whichever comes first.
+// The coordinator keeps a live lease alive by renewing it (an idempotent
+// re-grant of the same lease ID); a lease whose coordinator died simply
+// expires — its context is canceled, compute stops, and the lease is
+// garbage-collected after a grace period. Completed cell payloads
+// accumulate in order and are fetched incrementally by cursor, so a
+// report poll never re-ships what the coordinator already has.
+type Host struct {
+	cfg HostConfig
+
+	mu     sync.Mutex
+	leases map[string]*lease
+
+	leasesTotal   atomic.Uint64
+	renewalsTotal atomic.Uint64
+	cellsTotal    atomic.Uint64
+	reportsTotal  atomic.Uint64
+	cancelsTotal  atomic.Uint64
+	expiredTotal  atomic.Uint64
+}
+
+// HostConfig tunes a Host; the zero value is usable.
+type HostConfig struct {
+	// Workers bounds the sweep workers each lease computes with
+	// (default 1: fabric parallelism comes from leasing many shards).
+	Workers int
+	// MaxCells bounds the cells of one lease (default 65536).
+	MaxCells int
+	// MaxLeases bounds concurrently live leases (default 16).
+	MaxLeases int
+	// Provider, when non-nil, resolves cube construction through the
+	// artifact store (compute-or-load) on every lease worker.
+	Provider core.Provider
+	// CellDelay pauses compute before every cell. It exists for fault
+	// injection: the fabric-gate CI job uses it to stretch a small grid
+	// long enough to SIGKILL processes mid-sweep deterministically.
+	CellDelay time.Duration
+	// ExpiredGrace keeps an expired or finished lease fetchable before
+	// garbage collection (default 1m).
+	ExpiredGrace time.Duration
+}
+
+func (c HostConfig) withDefaults() HostConfig {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.MaxCells < 1 {
+		c.MaxCells = 65536
+	}
+	if c.MaxLeases < 1 {
+		c.MaxLeases = 16
+	}
+	if c.ExpiredGrace <= 0 {
+		c.ExpiredGrace = time.Minute
+	}
+	return c
+}
+
+// lease is one in-flight (or recently finished) shard execution.
+type lease struct {
+	id       string
+	specJSON string
+	total    int
+	cancel   context.CancelFunc
+	timer    *time.Timer
+
+	mu       sync.Mutex
+	deadline time.Time
+	results  [][]byte // payloads in shard-cell order
+	done     bool
+	errMsg   string
+	gcAt     time.Time // zero while running
+}
+
+// Lease errors the HTTP layer maps onto the v1 envelope.
+var (
+	// ErrLeaseNotFound: no live lease with that ID (expired, canceled,
+	// or never granted).
+	ErrLeaseNotFound = errors.New("fabric: lease not found")
+	// ErrLeaseConflict: the ID is live with a different spec/cell set.
+	ErrLeaseConflict = errors.New("fabric: lease id already in use")
+	// ErrHostBusy: the host is at its concurrent-lease cap.
+	ErrHostBusy = errors.New("fabric: worker at lease capacity")
+)
+
+// NewHost builds a lease host.
+func NewHost(cfg HostConfig) *Host {
+	return &Host{cfg: cfg.withDefaults(), leases: make(map[string]*lease)}
+}
+
+// HostStats is a snapshot of the host counters for /stats and /metrics.
+type HostStats struct {
+	Active   int    `json:"active"`
+	Leases   uint64 `json:"leases"`
+	Renewals uint64 `json:"renewals"`
+	Cells    uint64 `json:"cells"`
+	Reports  uint64 `json:"reports"`
+	Cancels  uint64 `json:"cancels"`
+	Expired  uint64 `json:"expired"`
+}
+
+// Stats snapshots the host counters. Active counts live leases
+// (running, not yet garbage-collected ones that finished).
+func (h *Host) Stats() HostStats {
+	h.mu.Lock()
+	active := len(h.leases)
+	h.mu.Unlock()
+	return HostStats{
+		Active:   active,
+		Leases:   h.leasesTotal.Load(),
+		Renewals: h.renewalsTotal.Load(),
+		Cells:    h.cellsTotal.Load(),
+		Reports:  h.reportsTotal.Load(),
+		Cancels:  h.cancelsTotal.Load(),
+		Expired:  h.expiredTotal.Load(),
+	}
+}
+
+// LeaseState is what Start reports back to the coordinator.
+type LeaseState struct {
+	LeaseID  string    `json:"lease"`
+	Total    int       `json:"total"`
+	Renewed  bool      `json:"renewed"`
+	Deadline time.Time `json:"deadline"`
+}
+
+// Start grants (or renews) a lease: compute the given cells of sp,
+// keeping results fetchable, until done or until ttl elapses without a
+// renewal. Re-granting a live lease ID with the same spec and cell count
+// is a renewal: the deadline extends and nothing restarts.
+func (h *Host) Start(sp Spec, leaseID string, cells []CellRef, ttl time.Duration) (LeaseState, error) {
+	sp, err := sp.Normalize()
+	if err != nil {
+		return LeaseState{}, err
+	}
+	if leaseID == "" {
+		return LeaseState{}, fmt.Errorf("fabric: empty lease id")
+	}
+	if len(cells) == 0 || len(cells) > h.cfg.MaxCells {
+		return LeaseState{}, fmt.Errorf("fabric: lease carries %d cells, want 1..%d", len(cells), h.cfg.MaxCells)
+	}
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	specJSON := fmt.Sprintf("%+v|%d", sp, len(cells))
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.gcLocked()
+	if ex, ok := h.leases[leaseID]; ok {
+		if ex.specJSON != specJSON {
+			return LeaseState{}, ErrLeaseConflict
+		}
+		deadline := time.Now().Add(ttl)
+		ex.mu.Lock()
+		if !ex.done {
+			ex.deadline = deadline
+			ex.timer.Reset(ttl)
+		}
+		ex.mu.Unlock()
+		h.renewalsTotal.Add(1)
+		return LeaseState{LeaseID: leaseID, Total: ex.total, Renewed: true, Deadline: deadline}, nil
+	}
+	if len(h.leases) >= h.cfg.MaxLeases {
+		return LeaseState{}, ErrHostBusy
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	le := &lease{
+		id:       leaseID,
+		specJSON: specJSON,
+		total:    len(cells),
+		cancel:   cancel,
+		deadline: time.Now().Add(ttl),
+	}
+	// The timer enforces the lease: no renewal before the deadline means
+	// the coordinator is gone (or revoked us implicitly), so compute
+	// stops and the shard becomes re-leasable elsewhere.
+	le.timer = time.AfterFunc(ttl, func() {
+		h.expiredTotal.Add(1)
+		le.fail("lease expired")
+		cancel()
+	})
+	h.leases[leaseID] = le
+	h.leasesTotal.Add(1)
+	go h.run(ctx, le, sp, cells)
+	return LeaseState{LeaseID: leaseID, Total: le.total, Deadline: le.deadline}, nil
+}
+
+// run executes the leased cells on the sweep engine, appending each
+// payload as it completes (in shard-cell order, thanks to the engine's
+// resequencing).
+func (h *Host) run(ctx context.Context, le *lease, sp Spec, cells []CellRef) {
+	tasks := make([]sweep.Task, len(cells))
+	for i := range cells {
+		tasks[i] = sweep.Task{D: cells[i].D}
+	}
+	delay := h.cfg.CellDelay
+	stream := sweep.Stream(ctx, tasks, func(ctx context.Context, s *core.Scratch, t sweep.Task) (any, error) {
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return ComputeCell(ctx, s, sp, cells[t.Seq])
+	}, sweep.Options{Workers: h.cfg.Workers, Provider: h.cfg.Provider})
+	var failure error
+	for r := range stream {
+		if r.Err != nil {
+			failure = r.Err
+			break
+		}
+		le.mu.Lock()
+		le.results = append(le.results, r.Value.([]byte))
+		le.mu.Unlock()
+		h.cellsTotal.Add(1)
+	}
+	if failure == nil {
+		failure = ctx.Err()
+	}
+	le.mu.Lock()
+	if !le.done {
+		le.done = true
+		if failure != nil {
+			le.errMsg = failure.Error()
+		}
+		le.gcAt = time.Now().Add(h.cfg.ExpiredGrace)
+	}
+	le.mu.Unlock()
+}
+
+// fail marks the lease finished with an error message (expiry path).
+func (le *lease) fail(msg string) {
+	le.mu.Lock()
+	if !le.done {
+		le.done = true
+		le.errMsg = msg
+	}
+	le.gcAt = time.Now().Add(time.Minute)
+	le.mu.Unlock()
+}
+
+// ReportChunk is one incremental fetch of a lease's completed cells.
+type ReportChunk struct {
+	LeaseID string `json:"lease"`
+	From    int    `json:"from"`
+	// Payloads are the completed cell records [From, Next), each a
+	// canonical Record encoding.
+	Payloads [][]byte `json:"payloads"`
+	Next     int      `json:"next"`
+	Total    int      `json:"total"`
+	Done     bool     `json:"done"`
+	// Err is set when the lease stopped early (expiry, cancellation, a
+	// failing cell); the payloads shipped remain valid completed cells.
+	Err string `json:"error,omitempty"`
+}
+
+// Report fetches completed cells from cursor from, at most max (0 = no
+// bound) per call.
+func (h *Host) Report(leaseID string, from, max int) (ReportChunk, error) {
+	h.mu.Lock()
+	h.gcLocked()
+	le, ok := h.leases[leaseID]
+	h.mu.Unlock()
+	if !ok {
+		return ReportChunk{}, ErrLeaseNotFound
+	}
+	h.reportsTotal.Add(1)
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	if from < 0 || from > len(le.results) {
+		return ReportChunk{}, fmt.Errorf("fabric: report cursor %d out of range [0,%d]", from, len(le.results))
+	}
+	end := len(le.results)
+	if max > 0 && from+max < end {
+		end = from + max
+	}
+	chunk := ReportChunk{
+		LeaseID: leaseID,
+		From:    from,
+		Next:    end,
+		Total:   le.total,
+		Done:    le.done,
+		Err:     le.errMsg,
+	}
+	chunk.Payloads = append(chunk.Payloads, le.results[from:end]...)
+	return chunk, nil
+}
+
+// Cancel revokes a lease: compute stops and the lease stays fetchable
+// for the grace period (a canceled straggler may still hold results the
+// coordinator wants).
+func (h *Host) Cancel(leaseID string) error {
+	h.mu.Lock()
+	le, ok := h.leases[leaseID]
+	h.mu.Unlock()
+	if !ok {
+		return ErrLeaseNotFound
+	}
+	h.cancelsTotal.Add(1)
+	le.timer.Stop()
+	le.fail("lease canceled")
+	le.cancel()
+	return nil
+}
+
+// gcLocked drops leases past their garbage-collection time. Callers hold
+// h.mu.
+func (h *Host) gcLocked() {
+	now := time.Now()
+	for id, le := range h.leases {
+		le.mu.Lock()
+		expired := !le.gcAt.IsZero() && now.After(le.gcAt)
+		le.mu.Unlock()
+		if expired {
+			le.timer.Stop()
+			le.cancel()
+			delete(h.leases, id)
+		}
+	}
+}
+
+// Close cancels every lease (for worker shutdown and tests).
+func (h *Host) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for id, le := range h.leases {
+		le.timer.Stop()
+		le.fail("host closed")
+		le.cancel()
+		delete(h.leases, id)
+	}
+}

@@ -1,0 +1,216 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Wire types of the work-lease protocol. A gfc-serve instance in worker
+// mode exposes three routes:
+//
+//	POST   /v1/fabric/lease            grant or renew a lease
+//	GET    /v1/fabric/report?lease=ID&from=K&max=M
+//	DELETE /v1/fabric/lease?lease=ID   revoke a lease
+//
+// Errors use the service's v1 envelope; the remote client maps 404 on
+// report back to ErrLeaseNotFound so the coordinator's recovery logic is
+// transport-agnostic.
+
+// LeaseRequest is the POST /v1/fabric/lease body.
+type LeaseRequest struct {
+	LeaseID string    `json:"lease"`
+	TTLMs   int64     `json:"ttl_ms"`
+	Spec    Spec      `json:"spec"`
+	Cells   []CellRef `json:"cells"`
+}
+
+// LeaseResponse mirrors LeaseState on the wire.
+type LeaseResponse struct {
+	LeaseID    string `json:"lease"`
+	Total      int    `json:"total"`
+	Renewed    bool   `json:"renewed"`
+	DeadlineMs int64  `json:"deadline_unix_ms"`
+}
+
+// ReportWireCell is one completed cell on the wire; Payload is the
+// canonical Record encoding, shipped raw so bytes survive the transport
+// untouched.
+type ReportWireCell struct {
+	Payload json.RawMessage `json:"payload"`
+}
+
+// ReportResponse mirrors ReportChunk on the wire.
+type ReportResponse struct {
+	LeaseID string           `json:"lease"`
+	From    int              `json:"from"`
+	Cells   []ReportWireCell `json:"cells"`
+	Next    int              `json:"next"`
+	Total   int              `json:"total"`
+	Done    bool             `json:"done"`
+	Err     string           `json:"error,omitempty"`
+}
+
+// CancelResponse is the DELETE /v1/fabric/lease reply.
+type CancelResponse struct {
+	LeaseID  string `json:"lease"`
+	Canceled bool   `json:"canceled"`
+}
+
+// RemoteWorker leases shards to a gfc-serve instance. Transient
+// transport failures (connection refused while a worker restarts, 5xx)
+// are retried with exponential backoff before the coordinator sees an
+// error and requeues the shard.
+type RemoteWorker struct {
+	name    string
+	base    string
+	client  *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// NewRemoteWorker builds a client for the worker at base
+// (e.g. "http://127.0.0.1:8081"). retries <= 0 defaults to 3 attempts;
+// backoff <= 0 defaults to 100ms, doubling per attempt.
+func NewRemoteWorker(name, base string, client *http.Client, retries int, backoff time.Duration) *RemoteWorker {
+	if client == nil {
+		client = &http.Client{Timeout: 15 * time.Second}
+	}
+	if retries <= 0 {
+		retries = 3
+	}
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	return &RemoteWorker{name: name, base: base, client: client, retries: retries, backoff: backoff}
+}
+
+// Name implements Worker.
+func (w *RemoteWorker) Name() string { return w.name }
+
+// retryable reports whether an HTTP status is worth retrying.
+func retryable(status int) bool {
+	return status >= 500 || status == http.StatusTooManyRequests
+}
+
+// do runs one HTTP exchange with retry/backoff, decoding a 2xx body
+// into out. Non-retryable statuses return an error carrying the body.
+func (w *RemoteWorker) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	delay := w.backoff
+	for attempt := 0; attempt < w.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+			delay *= 2
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, w.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := w.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			if out == nil {
+				return nil
+			}
+			return json.Unmarshal(data, out)
+		case resp.StatusCode == http.StatusNotFound:
+			return fmt.Errorf("%w: %s", ErrLeaseNotFound, strings1024(data))
+		case retryable(resp.StatusCode):
+			lastErr = fmt.Errorf("fabric: worker %s: HTTP %d: %s", w.name, resp.StatusCode, strings1024(data))
+			continue
+		default:
+			return fmt.Errorf("fabric: worker %s: HTTP %d: %s", w.name, resp.StatusCode, strings1024(data))
+		}
+	}
+	return fmt.Errorf("fabric: worker %s unreachable after %d attempts: %w", w.name, w.retries, lastErr)
+}
+
+func strings1024(b []byte) string {
+	if len(b) > 1024 {
+		b = b[:1024]
+	}
+	return string(bytes.TrimSpace(b))
+}
+
+// Start implements Worker.
+func (w *RemoteWorker) Start(ctx context.Context, sp Spec, leaseID string, cells []CellRef, ttl time.Duration) (LeaseState, error) {
+	body, err := json.Marshal(LeaseRequest{LeaseID: leaseID, TTLMs: ttl.Milliseconds(), Spec: sp, Cells: cells})
+	if err != nil {
+		return LeaseState{}, err
+	}
+	var resp LeaseResponse
+	if err := w.do(ctx, http.MethodPost, "/v1/fabric/lease", body, &resp); err != nil {
+		return LeaseState{}, err
+	}
+	return LeaseState{
+		LeaseID:  resp.LeaseID,
+		Total:    resp.Total,
+		Renewed:  resp.Renewed,
+		Deadline: time.UnixMilli(resp.DeadlineMs),
+	}, nil
+}
+
+// Report implements Worker.
+func (w *RemoteWorker) Report(ctx context.Context, leaseID string, from, max int) (ReportChunk, error) {
+	q := url.Values{}
+	q.Set("lease", leaseID)
+	q.Set("from", strconv.Itoa(from))
+	if max > 0 {
+		q.Set("max", strconv.Itoa(max))
+	}
+	var resp ReportResponse
+	if err := w.do(ctx, http.MethodGet, "/v1/fabric/report?"+q.Encode(), nil, &resp); err != nil {
+		return ReportChunk{}, err
+	}
+	chunk := ReportChunk{
+		LeaseID: resp.LeaseID,
+		From:    resp.From,
+		Next:    resp.Next,
+		Total:   resp.Total,
+		Done:    resp.Done,
+		Err:     resp.Err,
+	}
+	for _, c := range resp.Cells {
+		chunk.Payloads = append(chunk.Payloads, []byte(c.Payload))
+	}
+	return chunk, nil
+}
+
+// Cancel implements Worker. A missing lease is success: the goal state
+// (no lease) already holds.
+func (w *RemoteWorker) Cancel(ctx context.Context, leaseID string) error {
+	err := w.do(ctx, http.MethodDelete, "/v1/fabric/lease?lease="+url.QueryEscape(leaseID), nil, nil)
+	if errors.Is(err, ErrLeaseNotFound) {
+		return nil
+	}
+	return err
+}

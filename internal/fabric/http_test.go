@@ -1,0 +1,182 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// hostMux serves the work-lease protocol straight off a Host, mapping
+// lease errors onto the statuses the service layer uses. It keeps the
+// fabric wire format testable without importing internal/service.
+func hostMux(h *Host) http.Handler {
+	writeErr := func(w http.ResponseWriter, err error) {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrLeaseNotFound):
+			status = http.StatusNotFound
+		case errors.Is(err, ErrLeaseConflict):
+			status = http.StatusConflict
+		case errors.Is(err, ErrHostBusy):
+			status = http.StatusTooManyRequests
+		}
+		http.Error(w, err.Error(), status)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/fabric/lease", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			var req LeaseRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeErr(w, err)
+				return
+			}
+			state, err := h.Start(req.Spec, req.LeaseID, req.Cells, time.Duration(req.TTLMs)*time.Millisecond)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			json.NewEncoder(w).Encode(LeaseResponse{
+				LeaseID: state.LeaseID, Total: state.Total, Renewed: state.Renewed,
+				DeadlineMs: state.Deadline.UnixMilli(),
+			})
+		case http.MethodDelete:
+			id := r.URL.Query().Get("lease")
+			if err := h.Cancel(id); err != nil {
+				writeErr(w, err)
+				return
+			}
+			json.NewEncoder(w).Encode(CancelResponse{LeaseID: id, Canceled: true})
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/v1/fabric/report", func(w http.ResponseWriter, r *http.Request) {
+		from, _ := strconv.Atoi(r.URL.Query().Get("from"))
+		max, _ := strconv.Atoi(r.URL.Query().Get("max"))
+		chunk, err := h.Report(r.URL.Query().Get("lease"), from, max)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		resp := ReportResponse{
+			LeaseID: chunk.LeaseID, From: chunk.From, Next: chunk.Next,
+			Total: chunk.Total, Done: chunk.Done, Err: chunk.Err,
+		}
+		for _, p := range chunk.Payloads {
+			resp.Cells = append(resp.Cells, ReportWireCell{Payload: p})
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+	return mux
+}
+
+func TestRemoteWorkerEndToEnd(t *testing.T) {
+	sp := testSpec(t)
+	h := NewHost(HostConfig{})
+	defer h.Close()
+	srv := httptest.NewServer(hostMux(h))
+	defer srv.Close()
+
+	w := NewRemoteWorker("remote", srv.URL, srv.Client(), 2, time.Millisecond)
+	path := t.TempDir() + "/run.gfcl"
+	got := runCoordinator(t, sp, path, []Worker{w}, Options{Poll: 2 * time.Millisecond})
+	want, err := Oracle(context.Background(), sp, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("remote-worker run differs from oracle")
+	}
+	scan, err := VerifyLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Duplicates != 0 || scan.Damaged {
+		t.Fatalf("remote run ledger: dups=%d damaged=%v", scan.Duplicates, scan.Damaged)
+	}
+}
+
+func TestRemoteWorkerRetriesTransientFailures(t *testing.T) {
+	sp := testSpec(t)
+	h := NewHost(HostConfig{})
+	defer h.Close()
+	inner := hostMux(h)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Every odd-numbered request fails with a 503 — each protocol
+		// call needs at least one retry to get through.
+		if calls.Add(1)%2 == 1 {
+			http.Error(w, "worker warming up", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	w := NewRemoteWorker("flaky", srv.URL, srv.Client(), 3, time.Millisecond)
+	cells := sp.Cells()
+	state, err := w.Start(context.Background(), sp, "L1", cells, time.Minute)
+	if err != nil {
+		t.Fatalf("start through flaky transport: %v", err)
+	}
+	if state.Total != len(cells) {
+		t.Fatalf("lease total %d, want %d", state.Total, len(cells))
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	from := 0
+	var n int
+	for {
+		chunk, err := w.Report(context.Background(), "L1", from, 0)
+		if err != nil {
+			t.Fatalf("report through flaky transport: %v", err)
+		}
+		n += len(chunk.Payloads)
+		from = chunk.Next
+		if chunk.Done && len(chunk.Payloads) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease never completed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n != len(cells) {
+		t.Fatalf("fetched %d cells, want %d", n, len(cells))
+	}
+	if err := w.Cancel(context.Background(), "L1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteWorkerGivesUpAfterRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	w := NewRemoteWorker("dead", srv.URL, srv.Client(), 2, time.Millisecond)
+	if _, err := w.Report(context.Background(), "L1", 0, 0); err == nil {
+		t.Fatal("permanently failing worker returned no error")
+	}
+}
+
+func TestRemoteWorkerMapsNotFound(t *testing.T) {
+	h := NewHost(HostConfig{})
+	defer h.Close()
+	srv := httptest.NewServer(hostMux(h))
+	defer srv.Close()
+	w := NewRemoteWorker("remote", srv.URL, srv.Client(), 2, time.Millisecond)
+	if _, err := w.Report(context.Background(), "ghost", 0, 0); !errors.Is(err, ErrLeaseNotFound) {
+		t.Fatalf("missing lease over HTTP: err = %v, want ErrLeaseNotFound", err)
+	}
+	// Canceling a missing lease is success: the goal state already holds.
+	if err := w.Cancel(context.Background(), "ghost"); err != nil {
+		t.Fatalf("cancel of missing lease: %v", err)
+	}
+}

@@ -1,0 +1,271 @@
+package fabric
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gfcube/internal/core"
+)
+
+func testSpec(t *testing.T) Spec {
+	t.Helper()
+	sp, err := Spec{Op: OpClassify, MinLen: 1, MaxLen: 2, MinD: 1, MaxD: 4}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// fillLedger computes every cell of sp serially and appends it, returning
+// the ledger path.
+func fillLedger(t *testing.T, sp Spec) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.gfcl")
+	l, err := CreateLedger(path, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewScratch()
+	for _, c := range sp.Cells() {
+		payload, err := ComputeCell(context.Background(), s, sp, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	sp := testSpec(t)
+	path := fillLedger(t, sp)
+	scan, err := VerifyLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Damaged {
+		t.Fatalf("clean ledger reported damaged: %s", scan.DamageReason)
+	}
+	if want := len(sp.Cells()); len(scan.Records) != want {
+		t.Fatalf("got %d records, want %d", len(scan.Records), want)
+	}
+	if scan.Duplicates != 0 {
+		t.Fatalf("clean ledger reports %d duplicates", scan.Duplicates)
+	}
+	if scan.Spec != sp {
+		t.Fatalf("scanned spec %+v, want %+v", scan.Spec, sp)
+	}
+	// Reopening for append preserves every record and trims nothing.
+	l, err := OpenLedger(path, &sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Trimmed() != 0 {
+		t.Fatalf("clean reopen trimmed %d bytes", l.Trimmed())
+	}
+	if len(l.Records()) != len(scan.Records) {
+		t.Fatalf("reopen lost records: %d vs %d", len(l.Records()), len(scan.Records))
+	}
+}
+
+func TestLedgerResultSetMatchesOracle(t *testing.T) {
+	sp := testSpec(t)
+	path := fillLedger(t, sp)
+	scan, err := VerifyLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ResultSet(scan.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Oracle(context.Background(), sp, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("ledger result set differs from oracle:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestLedgerSpecMismatch(t *testing.T) {
+	sp := testSpec(t)
+	path := fillLedger(t, sp)
+	other := sp
+	other.MaxD = 5
+	if _, err := OpenLedger(path, &other); !errors.Is(err, ErrLedgerCorrupt) {
+		t.Fatalf("open with mismatched spec: err = %v, want ErrLedgerCorrupt", err)
+	}
+	// nil spec accepts whatever the header declares.
+	l, err := OpenLedger(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Spec() != sp {
+		t.Fatalf("nil-spec open read %+v, want %+v", l.Spec(), sp)
+	}
+}
+
+// ledgerLayout returns the byte offsets of every record in the file, so
+// corruption tests can aim precisely.
+func ledgerLayout(t *testing.T, data []byte) []int64 {
+	t.Helper()
+	specLen := binary.LittleEndian.Uint32(data[12:])
+	off := int64(ledgerHdrSize + int(specLen))
+	var offsets []int64
+	for off < int64(len(data)) {
+		offsets = append(offsets, off)
+		plen := binary.LittleEndian.Uint32(data[off+4:])
+		off += int64(recordHdrSize) + int64(plen)
+	}
+	return offsets
+}
+
+// corruptResume damages the ledger bytes with mutate, then asserts that
+// (a) the scan stops at wantValid records without a header error, and
+// (b) a resumed run over the damaged ledger recomputes forward to a
+// result set byte-identical to the single-process oracle.
+func corruptResume(t *testing.T, mutate func(data []byte, offsets []int64) []byte, wantValid func(records int) bool) {
+	t.Helper()
+	sp := testSpec(t)
+	path := fillLedger(t, sp)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := ledgerLayout(t, data)
+	if err := os.WriteFile(path, mutate(append([]byte(nil), data...), offsets), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	scan, err := VerifyLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scan.Damaged {
+		t.Fatal("damaged ledger not reported as damaged")
+	}
+	total := len(sp.Cells())
+	if len(scan.Records) >= total || !wantValid(len(scan.Records)) {
+		t.Fatalf("valid prefix has %d records (total %d), damage: %s", len(scan.Records), total, scan.DamageReason)
+	}
+
+	// Resume: reopen (truncating the damage) and drive a local fabric run
+	// to completion.
+	l, err := OpenLedger(path, &sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Trimmed() == 0 {
+		t.Fatal("resume trimmed nothing despite damage")
+	}
+	host := NewHost(HostConfig{Workers: 2})
+	defer host.Close()
+	co, err := NewCoordinator(sp, l, Options{Workers: []Worker{NewLocalWorker("w0", host)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Counters().Resumes.Load() != 1 || co.Counters().ResumedCells.Load() != uint64(len(scan.Records)) {
+		t.Fatalf("resume counters: resumes=%d resumedCells=%d, want 1/%d",
+			co.Counters().Resumes.Load(), co.Counters().ResumedCells.Load(), len(scan.Records))
+	}
+	if err := co.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ResultSet(l.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Oracle(context.Background(), sp, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("resumed result set differs from oracle")
+	}
+	// The healed ledger verifies clean with zero duplicates.
+	scan, err = VerifyLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Damaged || scan.Duplicates != 0 || len(scan.Records) != total {
+		t.Fatalf("healed ledger: damaged=%v dups=%d records=%d/%d", scan.Damaged, scan.Duplicates, len(scan.Records), total)
+	}
+}
+
+func TestLedgerCorruptionTornTail(t *testing.T) {
+	corruptResume(t, func(data []byte, offsets []int64) []byte {
+		// Cut mid-way through the last record's payload.
+		last := offsets[len(offsets)-1]
+		return data[:last+recordHdrSize+2]
+	}, func(records int) bool { return records > 0 })
+}
+
+func TestLedgerCorruptionFlippedMiddleByte(t *testing.T) {
+	corruptResume(t, func(data []byte, offsets []int64) []byte {
+		// Flip one payload byte of a middle record: its checksum fails and
+		// the prefix ends right before it.
+		mid := offsets[len(offsets)/2]
+		data[mid+recordHdrSize] ^= 0x01
+		return data
+	}, func(records int) bool { return records > 0 })
+}
+
+func TestLedgerCorruptionWrongChainHash(t *testing.T) {
+	corruptResume(t, func(data []byte, offsets []int64) []byte {
+		// Rewrite a middle record's chain hash: payload and checksum stay
+		// consistent, but the link to the predecessor breaks — the
+		// tamper-evidence property, not just bit rot.
+		mid := offsets[len(offsets)/2]
+		data[mid+48] ^= 0xFF
+		return data
+	}, func(records int) bool { return records > 0 })
+}
+
+func TestLedgerHeaderCorruptionFailsClosed(t *testing.T) {
+	sp := testSpec(t)
+	path := fillLedger(t, sp)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func([]byte) []byte{
+		"bad magic":     func(d []byte) []byte { d[0] ^= 0xFF; return d },
+		"bad version":   func(d []byte) []byte { d[8] = 99; return d },
+		"spec checksum": func(d []byte) []byte { d[ledgerHdrSize] ^= 0x01; return d },
+		"truncated":     func(d []byte) []byte { return d[:10] },
+	} {
+		if err := os.WriteFile(path, mutate(append([]byte(nil), data...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := VerifyLedger(path); !errors.Is(err, ErrLedgerCorrupt) {
+			t.Errorf("%s: err = %v, want ErrLedgerCorrupt", name, err)
+		}
+	}
+}
+
+func TestCreateLedgerRefusesExisting(t *testing.T) {
+	sp := testSpec(t)
+	path := fillLedger(t, sp)
+	if _, err := CreateLedger(path, sp); err == nil {
+		t.Fatal("CreateLedger overwrote an existing ledger")
+	}
+}

@@ -1,0 +1,58 @@
+package fabric
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Counters are the coordinator-side fabric counters, rendered on
+// gfc-sweepd's /metrics endpoint and printed in run summaries. Worker-
+// side counters live in HostStats and surface on gfc-serve's /metrics.
+type Counters struct {
+	ShardsTotal       atomic.Uint64 // primary shards planned this run
+	ShardsActive      atomic.Uint64 // shards currently under lease
+	ShardsRequeued    atomic.Uint64 // shard remainders put back after a failed lease
+	LeasesGranted     atomic.Uint64
+	LeaseRenewals     atomic.Uint64
+	LeaseFailures     atomic.Uint64
+	Steals            atomic.Uint64 // shards minted by splitting stragglers
+	CellsTotal        atomic.Uint64 // grid size
+	CellsDone         atomic.Uint64 // cells recorded in the ledger
+	LedgerAppends     atomic.Uint64 // records appended by this process
+	DuplicatesDropped atomic.Uint64 // reports of already-recorded cells
+	Resumes           atomic.Uint64 // 1 when this run resumed a non-empty ledger
+	ResumedCells      atomic.Uint64 // cells inherited from the ledger at start
+}
+
+// RenderProm writes the counters in Prometheus text exposition format
+// under the gfc_fabric_* namespace (the coordinator's sweep view also
+// doubles as the gfc_sweep_* cell counters).
+func (c *Counters) RenderProm() string {
+	var b strings.Builder
+	line := func(name, help, typ string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, typ, name, v)
+	}
+	line("gfc_sweep_cells_total", "Cells in the sweep grid.", "gauge", c.CellsTotal.Load())
+	line("gfc_sweep_cells_completed_total", "Cells recorded in the results ledger.", "counter", c.CellsDone.Load())
+	line("gfc_sweep_ledger_appends_total", "Ledger records appended by this process.", "counter", c.LedgerAppends.Load())
+	line("gfc_sweep_resumes_total", "Runs resumed from a non-empty ledger.", "counter", c.Resumes.Load())
+	line("gfc_sweep_resumed_cells_total", "Cells inherited from the ledger at startup.", "counter", c.ResumedCells.Load())
+	line("gfc_fabric_shards_total", "Primary shards planned this run.", "gauge", c.ShardsTotal.Load())
+	line("gfc_fabric_active_shards", "Shards currently under lease.", "gauge", c.ShardsActive.Load())
+	line("gfc_fabric_shards_requeued_total", "Shard remainders requeued after failed leases.", "counter", c.ShardsRequeued.Load())
+	line("gfc_fabric_leases_granted_total", "Leases granted to workers.", "counter", c.LeasesGranted.Load())
+	line("gfc_fabric_lease_renewals_total", "Lease renewals sent to workers.", "counter", c.LeaseRenewals.Load())
+	line("gfc_fabric_lease_failures_total", "Lease attempts or report streams that failed.", "counter", c.LeaseFailures.Load())
+	line("gfc_fabric_steals_total", "Shards minted by stealing straggler tails.", "counter", c.Steals.Load())
+	line("gfc_fabric_duplicate_cells_dropped_total", "Reported cells dropped because the ledger already held them.", "counter", c.DuplicatesDropped.Load())
+	return b.String()
+}
+
+// Summary is a one-line human rendering for run logs.
+func (c *Counters) Summary() string {
+	return fmt.Sprintf("cells %d/%d, shards %d (requeued %d, steals %d), leases %d (renewals %d, failures %d), appends %d, dup-dropped %d, resumed %d",
+		c.CellsDone.Load(), c.CellsTotal.Load(), c.ShardsTotal.Load(), c.ShardsRequeued.Load(), c.Steals.Load(),
+		c.LeasesGranted.Load(), c.LeaseRenewals.Load(), c.LeaseFailures.Load(), c.LedgerAppends.Load(),
+		c.DuplicatesDropped.Load(), c.ResumedCells.Load())
+}

@@ -1,0 +1,57 @@
+package fabric
+
+import (
+	"context"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+	"gfcube/internal/sweep"
+)
+
+// Oracle computes the spec's full grid in-process on the sweep engine
+// and returns the canonical result set — the byte-reproducibility target
+// every fabric run is gated against. It shares ComputeCell with the
+// workers, so "byte-identical to the oracle" tests orchestration
+// (sharding, leases, stealing, resume, dedupe), not numeric luck.
+func Oracle(ctx context.Context, sp Spec, workers int, provider core.Provider) ([]byte, error) {
+	sp, err := sp.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	records, err := computeCells(ctx, sp, sp.Cells(), sweep.Options{Workers: workers, Provider: provider})
+	if err != nil {
+		return nil, err
+	}
+	return ResultSet(records)
+}
+
+// computeCells fans refs across the sweep engine and returns their
+// decoded records in ref order. Any cell error aborts the batch.
+func computeCells(ctx context.Context, sp Spec, refs []CellRef, opts sweep.Options) ([]Record, error) {
+	tasks := make([]sweep.Task, len(refs))
+	for i, c := range refs {
+		f, err := bitstr.Parse(c.F)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = sweep.Task{Class: core.ClassOf(f), D: c.D}
+	}
+	results, err := sweep.Run(ctx, tasks, func(ctx context.Context, s *core.Scratch, t sweep.Task) (any, error) {
+		return ComputeCell(ctx, s, sp, refs[t.Seq])
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		rec, err := decodeRecord(r.Value.([]byte))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,306 @@
+// Package fabric is the sharded, checkpointed, resumable sweep layer: a
+// coordinator/worker subsystem that partitions a (d, f)-grid into shards
+// by canonical factor class (rendezvous hashing, so a class always lands
+// on the same shard for a fixed shard count), leases shards to workers —
+// in-process hosts or remote gfc-serve instances over a small HTTP
+// work-lease protocol — and streams every completed cell into an
+// append-only hash-chained results ledger. A sweep interrupted anywhere
+// (worker SIGKILL, coordinator SIGKILL, torn tail write) resumes from the
+// last valid chained record, and the final result set is byte-identical
+// to an uninterrupted single-process run of the same grid.
+//
+// The moving parts:
+//
+//   - Spec + ops (this file): the grid definition and the per-cell
+//     compute functions, shared verbatim by workers and by the
+//     single-process oracle so results are reproducible byte for byte.
+//   - Ledger (ledger.go): the tamper-evident record of completed cells.
+//   - Shards (shard.go): class-affine partition of the cell list.
+//   - Host (host.go): the lease executor living inside each worker.
+//   - Coordinator (coordinator.go): lease dispatch, lease-timeout
+//     recovery, work stealing, deduplicated ledger appends, resume.
+//   - HTTP protocol (http.go): the wire types and the remote worker
+//     client used against gfc-serve's /v1/fabric endpoints.
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"strconv"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+)
+
+// Op names a fabric workload. Each op fixes the task granularity (one
+// cell per (class, d) pair, or one per class) and the per-cell compute
+// function. The compute functions are deterministic — same cell, same
+// payload bytes, on any worker — which is what makes the ledger's result
+// set byte-reproducible.
+type Op string
+
+const (
+	// OpClassify is the Table 1 census: one exact/screen/quick isometry
+	// verdict per (class, d) cell.
+	OpClassify Op = "classify"
+	// OpSurvey is the first-failure survey: one row per class, scanning
+	// d up to MaxD until Q_d(f) stops being isometric.
+	OpSurvey Op = "survey"
+	// OpDegrees is the order/degree-profile grid on the implicit
+	// DFA-rank backend: one profile per (class, d) cell, no graph build.
+	OpDegrees Op = "degrees"
+	// OpWiener is the exact-vs-Hamming Wiener cross-check grid: one
+	// comparison per (class, d) cell.
+	OpWiener Op = "wiener"
+)
+
+// classGranular reports whether the op has one task per class (D = -1)
+// rather than one per (class, d) cell.
+func (op Op) classGranular() bool { return op == OpSurvey }
+
+// ParseOp validates an op name.
+func ParseOp(s string) (Op, error) {
+	switch Op(s) {
+	case OpClassify, OpSurvey, OpDegrees, OpWiener:
+		return Op(s), nil
+	}
+	return "", fmt.Errorf("fabric: unknown op %q (want classify|survey|degrees|wiener)", s)
+}
+
+// Spec defines one fabric run: the workload and the grid bounds. The
+// canonical JSON encoding of the Spec is written into the ledger header,
+// so a ledger can only ever be resumed against the grid it records.
+type Spec struct {
+	Op     Op     `json:"op"`
+	MinLen int    `json:"minLen"`
+	MaxLen int    `json:"maxLen"`
+	MinD   int    `json:"minD"`
+	MaxD   int    `json:"maxD"`
+	Method string `json:"method"`
+}
+
+// Normalize validates sp and fills defaults (MinLen/MinD floors, exact
+// method). The returned Spec is the canonical form bound into ledgers.
+func (sp Spec) Normalize() (Spec, error) {
+	if _, err := ParseOp(string(sp.Op)); err != nil {
+		return sp, err
+	}
+	if sp.MinLen < 1 {
+		sp.MinLen = 1
+	}
+	if sp.MinD < 1 {
+		sp.MinD = 1
+	}
+	if sp.MaxLen < sp.MinLen {
+		return sp, fmt.Errorf("fabric: MaxLen %d < MinLen %d", sp.MaxLen, sp.MinLen)
+	}
+	if sp.MaxLen > bitstr.MaxLen {
+		return sp, fmt.Errorf("fabric: MaxLen %d exceeds %d", sp.MaxLen, bitstr.MaxLen)
+	}
+	if sp.MaxD < sp.MinD {
+		return sp, fmt.Errorf("fabric: MaxD %d < MinD %d", sp.MaxD, sp.MinD)
+	}
+	if sp.Method == "" {
+		sp.Method = core.MethodExact.String()
+	}
+	if _, err := core.ParseMethod(sp.Method); err != nil {
+		return sp, err
+	}
+	switch sp.Op {
+	case OpClassify, OpSurvey, OpWiener:
+		if sp.MaxD > core.MaxBuildDim {
+			return sp, fmt.Errorf("fabric: op %s builds explicit cubes, MaxD %d exceeds %d", sp.Op, sp.MaxD, core.MaxBuildDim)
+		}
+	case OpDegrees:
+		if sp.MaxD > bitstr.MaxLen {
+			return sp, fmt.Errorf("fabric: MaxD %d exceeds %d", sp.MaxD, bitstr.MaxLen)
+		}
+	}
+	return sp, nil
+}
+
+func (sp Spec) method() core.Method {
+	m, _ := core.ParseMethod(sp.Method)
+	return m
+}
+
+// CellRef identifies one unit of fabric work. I is the cell's position in
+// the deterministic grid order (classes shortest first then by packed
+// value, d ascending within a class) and is the identity the ledger
+// dedupes on; F is the canonical class representative; D is -1 for
+// class-granular ops.
+type CellRef struct {
+	I int    `json:"i"`
+	F string `json:"f"`
+	D int    `json:"d"`
+}
+
+// Cells expands the spec into its full cell list in grid order. The
+// expansion is the single source of truth for cell identity: the
+// coordinator, the workers and the oracle all index the same list.
+func (sp Spec) Cells() []CellRef {
+	var out []CellRef
+	for _, cl := range core.Classes(sp.MinLen, sp.MaxLen) {
+		if sp.Op.classGranular() {
+			out = append(out, CellRef{I: len(out), F: cl.Rep.String(), D: -1})
+			continue
+		}
+		for d := sp.MinD; d <= sp.MaxD; d++ {
+			out = append(out, CellRef{I: len(out), F: cl.Rep.String(), D: d})
+		}
+	}
+	return out
+}
+
+// Record is the ledger payload envelope of one completed cell: its grid
+// identity plus the op-specific value. Payload bytes are the canonical
+// json.Marshal of this struct, so two computations of the same cell are
+// byte-identical.
+type Record struct {
+	I         int             `json:"i"`
+	F         string          `json:"f"`
+	ClassSize int             `json:"classSize"`
+	D         int             `json:"d"`
+	V         json.RawMessage `json:"v"`
+}
+
+// ClassifyValue is OpClassify's per-cell value (the /v1/sweep/classify
+// cell shape without the class bookkeeping).
+type ClassifyValue struct {
+	Isometric   bool   `json:"isometric"`
+	U           string `json:"u,omitempty"`
+	V           string `json:"v,omitempty"`
+	CubeDist    int32  `json:"cubeDist,omitempty"`
+	HammingDist int32  `json:"hammingDist,omitempty"`
+}
+
+// SurveyValue is OpSurvey's per-class value: the first non-isometric
+// dimension (0 = good up to MaxD) and the paper's verdict.
+type SurveyValue struct {
+	FirstFail int    `json:"firstFail"`
+	Theory    string `json:"theory"`
+}
+
+// DegreesValue is OpDegrees' per-cell value. Order is a decimal string:
+// implicit-backend orders reach 2^62.
+type DegreesValue struct {
+	Order  string  `json:"order"`
+	MinDeg int     `json:"minDeg"`
+	MaxDeg int     `json:"maxDeg"`
+	Dist   []int64 `json:"dist"`
+}
+
+// WienerValue is OpWiener's per-cell value; Wiener indices are decimal
+// strings (they overflow int64 quickly).
+type WienerValue struct {
+	Order         string  `json:"order"`
+	Connected     bool    `json:"connected"`
+	Wiener        string  `json:"wiener"`
+	WienerHamming string  `json:"wienerHamming"`
+	Match         bool    `json:"match"`
+	MeanDist      float64 `json:"meanDist"`
+}
+
+// ComputeCell computes one cell's payload bytes. It is the one compute
+// path of the whole fabric: local workers, remote gfc-serve hosts and
+// the single-process oracle all call it, so a cell's bytes cannot depend
+// on where it ran.
+func ComputeCell(ctx context.Context, s *core.Scratch, sp Spec, c CellRef) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	f, err := bitstr.Parse(c.F)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: cell %d: %w", c.I, err)
+	}
+	cl := core.ClassOf(f)
+	if cl.Rep != f {
+		return nil, fmt.Errorf("fabric: cell %d factor %s is not a canonical class representative", c.I, c.F)
+	}
+	var v any
+	switch sp.Op {
+	case OpClassify:
+		cell := core.ClassifyCell(s, cl, c.D, sp.method())
+		cv := ClassifyValue{Isometric: cell.Isometric}
+		if cell.Witness != nil {
+			cv.U = cell.Witness.U.String()
+			cv.V = cell.Witness.V.String()
+			cv.CubeDist = cell.Witness.CubeDist
+			cv.HammingDist = cell.Witness.HammingDist
+		}
+		v = cv
+	case OpSurvey:
+		sv := SurveyValue{Theory: "-"}
+		start := cl.Rep.Len() + 1
+		if sp.MinD > start {
+			start = sp.MinD
+		}
+		for d := start; d <= sp.MaxD; d++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if cell := core.ClassifyCell(s, cl, d, sp.method()); !cell.Isometric {
+				sv.FirstFail = d
+				break
+			}
+		}
+		if res := core.Classify(cl.Rep, sp.MaxD); res.Verdict != core.Unknown {
+			sv.Theory = res.Reason
+		}
+		v = sv
+	case OpDegrees:
+		im := core.NewImplicit(c.D, cl.Rep)
+		dv := DegreesValue{Order: strconv.FormatInt(im.Order(), 10), Dist: im.DegreeDistribution()}
+		dv.MinDeg, dv.MaxDeg = -1, 0
+		for k, n := range dv.Dist {
+			if n == 0 {
+				continue
+			}
+			if dv.MinDeg < 0 {
+				dv.MinDeg = k
+			}
+			dv.MaxDeg = k
+		}
+		if dv.MinDeg < 0 {
+			dv.MinDeg = 0
+		}
+		v = dv
+	case OpWiener:
+		cube := s.Cube(c.D, cl.Rep)
+		wv := WienerValue{Order: strconv.FormatInt(cube.Order(), 10)}
+		exact, connected := s.WienerExact(cube)
+		hamming := core.WienerHamming(c.D, cl.Rep)
+		wv.Connected = connected
+		wv.Wiener = exact.String()
+		wv.WienerHamming = hamming.String()
+		wv.Match = connected && exact.Cmp(hamming) == 0
+		switch {
+		case !connected:
+			wv.MeanDist = -1
+		case cube.N() >= 2:
+			pairs := float64(cube.N()) * float64(cube.N()-1) / 2
+			w, _ := new(big.Float).SetInt(exact).Float64()
+			wv.MeanDist = w / pairs
+		}
+		v = wv
+	default:
+		return nil, fmt.Errorf("fabric: unknown op %q", sp.Op)
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(Record{I: c.I, F: c.F, ClassSize: cl.Size, D: c.D, V: raw})
+}
+
+// decodeRecord parses payload bytes produced by ComputeCell. The V field
+// is kept raw, so re-encoding a decoded record reproduces its bytes.
+func decodeRecord(payload []byte) (Record, error) {
+	var r Record
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return Record{}, fmt.Errorf("fabric: bad cell record: %w", err)
+	}
+	return r, nil
+}

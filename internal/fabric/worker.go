@@ -1,0 +1,53 @@
+package fabric
+
+import (
+	"context"
+	"time"
+)
+
+// Worker is the coordinator's view of one lease executor. LocalWorker
+// adapts an in-process Host; RemoteWorker (http.go) speaks the same
+// protocol to a gfc-serve instance. The coordinator never cares which —
+// shards, leases, stealing and resume behave identically.
+type Worker interface {
+	// Name labels the worker in logs and lease IDs.
+	Name() string
+	// Start grants or renews a lease on the worker.
+	Start(ctx context.Context, sp Spec, leaseID string, cells []CellRef, ttl time.Duration) (LeaseState, error)
+	// Report fetches completed cells from the cursor.
+	Report(ctx context.Context, leaseID string, from, max int) (ReportChunk, error)
+	// Cancel revokes a lease (work-stealing cleanup, shutdown).
+	Cancel(ctx context.Context, leaseID string) error
+}
+
+// LocalWorker runs leases on an in-process Host.
+type LocalWorker struct {
+	name string
+	host *Host
+}
+
+// NewLocalWorker wraps host as a coordinator-attachable worker.
+func NewLocalWorker(name string, host *Host) *LocalWorker {
+	return &LocalWorker{name: name, host: host}
+}
+
+// Name implements Worker.
+func (w *LocalWorker) Name() string { return w.name }
+
+// Host exposes the underlying host (for stats).
+func (w *LocalWorker) Host() *Host { return w.host }
+
+// Start implements Worker.
+func (w *LocalWorker) Start(_ context.Context, sp Spec, leaseID string, cells []CellRef, ttl time.Duration) (LeaseState, error) {
+	return w.host.Start(sp, leaseID, cells, ttl)
+}
+
+// Report implements Worker.
+func (w *LocalWorker) Report(_ context.Context, leaseID string, from, max int) (ReportChunk, error) {
+	return w.host.Report(leaseID, from, max)
+}
+
+// Cancel implements Worker.
+func (w *LocalWorker) Cancel(_ context.Context, leaseID string) error {
+	return w.host.Cancel(leaseID)
+}

@@ -29,6 +29,10 @@ const (
 	CodeTimeout = "timeout"
 	// CodeCanceled: the client went away mid-request (HTTP 499).
 	CodeCanceled = "canceled"
+	// CodeConflict: the request names a resource that exists with
+	// different content — e.g. re-granting a fabric lease ID for a
+	// different shard (HTTP 409).
+	CodeConflict = "conflict"
 	// CodeInternal: everything else (HTTP 500).
 	CodeInternal = "internal"
 )
@@ -50,12 +54,12 @@ func notFound(format string, args ...any) error {
 	return &apiError{status: http.StatusNotFound, code: CodeNotFound, msg: fmt.Sprintf(format, args...)}
 }
 
-// writeError renders err as the v1 error envelope, mapping the service's
-// sentinel errors onto statuses and codes.
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	code := CodeInternal
-	var retryAfterMs int64
+// classifyError maps err onto the envelope's status, code and optional
+// retry hint. It is shared by writeError and by the sweep endpoints'
+// terminal NDJSON error records, so streamed and unary failures carry the
+// same machine-readable codes.
+func classifyError(err error) (status int, code string, retryAfterMs int64) {
+	status, code = http.StatusInternalServerError, CodeInternal
 	var httpErr *apiError
 	switch {
 	case errors.As(err, &httpErr):
@@ -74,6 +78,13 @@ func writeError(w http.ResponseWriter, err error) {
 		status = 499 // client closed request
 		code = CodeCanceled
 	}
+	return status, code, retryAfterMs
+}
+
+// writeError renders err as the v1 error envelope, mapping the service's
+// sentinel errors onto statuses and codes.
+func writeError(w http.ResponseWriter, err error) {
+	status, code, retryAfterMs := classifyError(err)
 	if retryAfterMs > 0 {
 		w.Header().Set("Retry-After", strconv.FormatInt(retryAfterMs/1000, 10))
 	}

@@ -1,0 +1,132 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"gfcube/internal/fabric"
+)
+
+// Fabric worker mode: gfc-serve hosts shard leases for a gfc-sweepd
+// coordinator. The three routes speak the work-lease protocol defined by
+// internal/fabric's wire types; lease execution itself happens on a
+// fabric.Host sharing the server's artifact-store provider, so leased
+// cells warm (and are warmed by) the same store as interactive traffic.
+//
+//	POST   /v1/fabric/lease            grant or renew a lease
+//	GET    /v1/fabric/report?lease=ID&from=K&max=M
+//	DELETE /v1/fabric/lease?lease=ID   revoke a lease
+//
+// Errors use the v1 envelope: an unknown lease is not_found, re-granting
+// a live lease ID for a different shard is conflict, and a host at its
+// lease cap is overloaded with a retry hint — which the coordinator's
+// retry/backoff treats as transient.
+
+// maxLeaseBody bounds the lease request body; a shard of MaxCells cells
+// stays far below it.
+const maxLeaseBody = 32 << 20
+
+// fabricError maps fabric lease errors onto the v1 envelope.
+func fabricError(err error) error {
+	switch {
+	case errors.Is(err, fabric.ErrLeaseNotFound):
+		return &apiError{status: http.StatusNotFound, code: CodeNotFound, msg: err.Error()}
+	case errors.Is(err, fabric.ErrLeaseConflict):
+		return &apiError{status: http.StatusConflict, code: CodeConflict, msg: err.Error()}
+	case errors.Is(err, fabric.ErrHostBusy):
+		return &apiError{status: http.StatusServiceUnavailable, code: CodeOverloaded, msg: err.Error()}
+	default:
+		return badRequest("%v", err)
+	}
+}
+
+// requireFabric returns the lease host, or not_found when worker mode is
+// disabled.
+func (s *Server) requireFabric() (*fabric.Host, error) {
+	if s.fabric == nil {
+		return nil, notFound("fabric worker mode is disabled")
+	}
+	return s.fabric, nil
+}
+
+// handleFabricLease grants or renews a lease (POST). Re-posting a live
+// lease ID with the same spec and cell count extends its deadline and
+// restarts nothing, so coordinator renewals are idempotent.
+func (s *Server) handleFabricLease(w http.ResponseWriter, r *http.Request) error {
+	h, err := s.requireFabric()
+	if err != nil {
+		return err
+	}
+	var req fabric.LeaseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxLeaseBody)).Decode(&req); err != nil {
+		return badRequest("invalid lease request: %v", err)
+	}
+	state, err := h.Start(req.Spec, req.LeaseID, req.Cells, time.Duration(req.TTLMs)*time.Millisecond)
+	if err != nil {
+		return fabricError(err)
+	}
+	writeJSON(w, http.StatusOK, fabric.LeaseResponse{
+		LeaseID:    state.LeaseID,
+		Total:      state.Total,
+		Renewed:    state.Renewed,
+		DeadlineMs: state.Deadline.UnixMilli(),
+	})
+	return nil
+}
+
+// handleFabricCancel revokes a lease (DELETE). Compute stops; results
+// already produced stay fetchable for the host's grace period.
+func (s *Server) handleFabricCancel(w http.ResponseWriter, r *http.Request) error {
+	h, err := s.requireFabric()
+	if err != nil {
+		return err
+	}
+	id := r.URL.Query().Get("lease")
+	if id == "" {
+		return badRequest("missing lease parameter")
+	}
+	if err := h.Cancel(id); err != nil {
+		return fabricError(err)
+	}
+	writeJSON(w, http.StatusOK, fabric.CancelResponse{LeaseID: id, Canceled: true})
+	return nil
+}
+
+// handleFabricReport streams completed cells from the report cursor.
+func (s *Server) handleFabricReport(w http.ResponseWriter, r *http.Request) error {
+	h, err := s.requireFabric()
+	if err != nil {
+		return err
+	}
+	id := r.URL.Query().Get("lease")
+	if id == "" {
+		return badRequest("missing lease parameter")
+	}
+	from, err := parseIntParam(r, "from", 0, 0, 1<<30)
+	if err != nil {
+		return err
+	}
+	max, err := parseIntParam(r, "max", 0, 0, 1<<20)
+	if err != nil {
+		return err
+	}
+	chunk, err := h.Report(id, from, max)
+	if err != nil {
+		return fabricError(err)
+	}
+	resp := fabric.ReportResponse{
+		LeaseID: chunk.LeaseID,
+		From:    chunk.From,
+		Next:    chunk.Next,
+		Total:   chunk.Total,
+		Done:    chunk.Done,
+		Err:     chunk.Err,
+	}
+	for _, p := range chunk.Payloads {
+		resp.Cells = append(resp.Cells, fabric.ReportWireCell{Payload: p})
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}

@@ -1,0 +1,328 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"gfcube/internal/fabric"
+)
+
+func fabricTestSpec(t *testing.T) fabric.Spec {
+	t.Helper()
+	sp, err := fabric.Spec{Op: fabric.OpClassify, MinLen: 1, MaxLen: 2, MinD: 1, MaxD: 4}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func postLease(t *testing.T, url string, req fabric.LeaseRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/fabric/lease", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestFabricLeaseLifecycleOverHTTP(t *testing.T) {
+	ts, _ := newTestServer(t)
+	sp := fabricTestSpec(t)
+	cells := sp.Cells()
+
+	resp, body := postLease(t, ts.URL, fabric.LeaseRequest{LeaseID: "L1", TTLMs: 60_000, Spec: sp, Cells: cells})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lease grant: status %d: %s", resp.StatusCode, body)
+	}
+	var lr fabric.LeaseResponse
+	if err := json.Unmarshal(body, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Renewed || lr.Total != len(cells) {
+		t.Fatalf("grant response: %+v", lr)
+	}
+
+	// Idempotent re-POST renews.
+	resp, body = postLease(t, ts.URL, fabric.LeaseRequest{LeaseID: "L1", TTLMs: 60_000, Spec: sp, Cells: cells})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lease renew: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if !lr.Renewed {
+		t.Fatal("re-POST of live lease was not a renewal")
+	}
+
+	// Same ID for a different shard: 409 conflict in the v1 envelope.
+	resp, body = postLease(t, ts.URL, fabric.LeaseRequest{LeaseID: "L1", TTLMs: 60_000, Spec: sp, Cells: cells[:1]})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting lease: status %d: %s", resp.StatusCode, body)
+	}
+	var envelope ErrorResponse
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Error.Code != CodeConflict {
+		t.Fatalf("conflicting lease: code %q, want %q", envelope.Error.Code, CodeConflict)
+	}
+
+	// Drain reports until the lease completes.
+	drained := 0
+	from := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var rr fabric.ReportResponse
+		code := getJSON(t, ts.URL+"/v1/fabric/report?lease=L1&from="+strconv.Itoa(from)+"&max=4", &rr)
+		if code != http.StatusOK {
+			t.Fatalf("report: status %d", code)
+		}
+		drained += len(rr.Cells)
+		from = rr.Next
+		if rr.Done && len(rr.Cells) == 0 {
+			if rr.Err != "" {
+				t.Fatalf("lease failed: %s", rr.Err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease never completed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if drained != len(cells) {
+		t.Fatalf("drained %d cells, want %d", drained, len(cells))
+	}
+
+	// Unknown lease: 404 not_found.
+	if code := getJSON(t, ts.URL+"/v1/fabric/report?lease=ghost", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown lease report: status %d, want 404", code)
+	}
+
+	// Cancel via DELETE.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/fabric/lease?lease=L1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", dresp.StatusCode)
+	}
+
+	// The /stats fabric section and /metrics worker counters reflect it.
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Fabric == nil {
+		t.Fatal("stats has no fabric section despite worker mode enabled")
+	}
+	if stats.Fabric.Leases != 1 || stats.Fabric.Renewals != 1 || stats.Fabric.Cancels != 1 {
+		t.Fatalf("fabric stats: %+v", stats.Fabric)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf bytes.Buffer
+	_, _ = mbuf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	metrics := mbuf.String()
+	for _, want := range []string{
+		"gfc_fabric_worker_leases_total 1",
+		"gfc_fabric_worker_renewals_total 1",
+		"gfc_fabric_worker_cancels_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestFabricDisabled(t *testing.T) {
+	s := mustNew(t, Config{Workers: 2, JobTimeout: time.Minute, FabricDisabled: true})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	sp := fabricTestSpec(t)
+	resp, body := postLease(t, ts.URL, fabric.LeaseRequest{LeaseID: "L1", TTLMs: 60_000, Spec: sp, Cells: sp.Cells()})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("lease on disabled fabric: status %d: %s", resp.StatusCode, body)
+	}
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Fabric != nil {
+		t.Fatal("stats reports a fabric section with worker mode disabled")
+	}
+}
+
+// TestFabricCoordinatorAgainstServe is the tentpole integration check at
+// package level: a coordinator drives two gfc-serve instances purely over
+// HTTP and the chained ledger's result set is byte-identical to the
+// single-process oracle.
+func TestFabricCoordinatorAgainstServe(t *testing.T) {
+	sp := fabricTestSpec(t)
+	var urls []string
+	for i := 0; i < 2; i++ {
+		s := mustNew(t, Config{Workers: 2, JobTimeout: time.Minute})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		urls = append(urls, ts.URL)
+	}
+	path := t.TempDir() + "/run.gfcl"
+	l, err := fabric.CreateLedger(path, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	co, err := fabric.NewCoordinator(sp, l, fabric.Options{
+		Workers: []fabric.Worker{
+			fabric.NewRemoteWorker("w0", urls[0], nil, 3, time.Millisecond),
+			fabric.NewRemoteWorker("w1", urls[1], nil, 3, time.Millisecond),
+		},
+		Poll: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fabric.ResultSet(l.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fabric.Oracle(context.Background(), sp, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("coordinator-over-HTTP result set differs from oracle")
+	}
+	scan, err := fabric.VerifyLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Damaged || scan.Duplicates != 0 {
+		t.Fatalf("ledger after remote run: damaged=%v dups=%d", scan.Damaged, scan.Duplicates)
+	}
+}
+
+func TestFabricHandlerErrorPaths(t *testing.T) {
+	ts, _ := newTestServer(t)
+	sp := fabricTestSpec(t)
+
+	expectEnvelope := func(t *testing.T, resp *http.Response, body []byte, status int, code string) {
+		t.Helper()
+		if resp.StatusCode != status {
+			t.Fatalf("status %d, want %d: %s", resp.StatusCode, status, body)
+		}
+		var envelope ErrorResponse
+		if err := json.Unmarshal(body, &envelope); err != nil {
+			t.Fatalf("non-envelope error body %q: %v", body, err)
+		}
+		if envelope.Error.Code != code {
+			t.Fatalf("envelope code %q, want %q", envelope.Error.Code, code)
+		}
+	}
+	do := func(t *testing.T, method, url string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(method, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	// Lease body that is not JSON.
+	resp, err := http.Post(ts.URL+"/v1/fabric/lease", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	expectEnvelope(t, resp, buf.Bytes(), http.StatusBadRequest, CodeBadRequest)
+
+	// Lease body whose spec does not normalize.
+	bad := fabricTestSpec(t)
+	bad.MaxLen = 0
+	resp2, body := postLease(t, ts.URL, fabric.LeaseRequest{LeaseID: "B1", TTLMs: 60_000, Spec: bad, Cells: sp.Cells()})
+	expectEnvelope(t, resp2, body, http.StatusBadRequest, CodeBadRequest)
+
+	// Report and cancel need a lease parameter.
+	resp2, body = do(t, http.MethodGet, ts.URL+"/v1/fabric/report")
+	expectEnvelope(t, resp2, body, http.StatusBadRequest, CodeBadRequest)
+	resp2, body = do(t, http.MethodDelete, ts.URL+"/v1/fabric/lease")
+	expectEnvelope(t, resp2, body, http.StatusBadRequest, CodeBadRequest)
+
+	// Unknown leases are 404 on both report and cancel; the client
+	// treats the cancel 404 as idempotent success.
+	resp2, body = do(t, http.MethodGet, ts.URL+"/v1/fabric/report?lease=ghost")
+	expectEnvelope(t, resp2, body, http.StatusNotFound, CodeNotFound)
+	resp2, _ = do(t, http.MethodDelete, ts.URL+"/v1/fabric/lease?lease=ghost")
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel of unknown lease: status %d", resp2.StatusCode)
+	}
+
+	// Cursor parameters must be integers in range.
+	resp3, body := postLease(t, ts.URL, fabric.LeaseRequest{LeaseID: "C1", TTLMs: 60_000, Spec: sp, Cells: sp.Cells()})
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("lease grant: status %d: %s", resp3.StatusCode, body)
+	}
+	resp2, body = do(t, http.MethodGet, ts.URL+"/v1/fabric/report?lease=C1&from=banana")
+	expectEnvelope(t, resp2, body, http.StatusBadRequest, CodeBadRequest)
+	resp2, body = do(t, http.MethodGet, ts.URL+"/v1/fabric/report?lease=C1&max=-2")
+	expectEnvelope(t, resp2, body, http.StatusBadRequest, CodeBadRequest)
+}
+
+func TestFabricLeaseCapOverloads(t *testing.T) {
+	s := mustNew(t, Config{
+		Workers:         2,
+		JobTimeout:      time.Minute,
+		FabricMaxLeases: 1,
+		FabricCellDelay: 50 * time.Millisecond,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	sp := fabricTestSpec(t)
+	cells := sp.Cells()
+
+	resp, body := postLease(t, ts.URL, fabric.LeaseRequest{LeaseID: "L1", TTLMs: 60_000, Spec: sp, Cells: cells})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first lease: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postLease(t, ts.URL, fabric.LeaseRequest{LeaseID: "L2", TTLMs: 60_000, Spec: sp, Cells: cells})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("lease past cap: status %d: %s", resp.StatusCode, body)
+	}
+	var envelope ErrorResponse
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Error.Code != CodeOverloaded {
+		t.Fatalf("envelope code %q, want %q", envelope.Error.Code, CodeOverloaded)
+	}
+}

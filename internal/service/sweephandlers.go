@@ -165,10 +165,31 @@ func (s *Server) streamSweepClassify(w http.ResponseWriter, r *http.Request, spe
 	if err != nil && errors.Is(err, ErrPoolSaturated) {
 		return err // no bytes written yet: the client gets a proper 503
 	}
-	// Otherwise headers are already out; a mid-stream failure can only
-	// truncate the body, which NDJSON consumers detect by the missing
-	// trailing cells.
+	if err != nil {
+		// Headers are already out, so the status cannot change; instead the
+		// stream ends with a terminal error record carrying the same stable
+		// code the v1 envelope would have used. Consumers distinguish a
+		// complete sweep (all cell lines, no error line) from a failed one
+		// (trailing {"error": ...} line) and from a torn transport
+		// (truncated body, no error line).
+		writeStreamError(w, err)
+	}
 	return nil
+}
+
+// writeStreamError appends the terminal NDJSON error record of a failed
+// stream: an ErrorResponse envelope as the final line.
+func writeStreamError(w http.ResponseWriter, err error) {
+	_, code, retryAfterMs := classifyError(err)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(ErrorResponse{Error: ErrorBody{
+		Code:         code,
+		Message:      err.Error(),
+		RetryAfterMs: retryAfterMs,
+	}})
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // handleSweepSurvey serves the first-failure survey: for each factor class,

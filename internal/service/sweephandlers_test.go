@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"gfcube/internal/bitstr"
 	"gfcube/internal/core"
@@ -289,5 +291,49 @@ func TestSweepSingleflight(t *testing.T) {
 	}
 	if completed := s.pool.Completed(); completed > 1 {
 		t.Errorf("%d pool jobs for %d identical sweeps, want 1 (singleflight)", completed, clients)
+	}
+}
+
+// A mid-stream failure must end the NDJSON body with a terminal error
+// record carrying the same stable code the v1 envelope would have used —
+// here a job deadline far too short for the grid, so the stream dies with
+// code "timeout". Every preceding line is still a valid cell.
+func TestSweepClassifyStreamTerminalErrorRecord(t *testing.T) {
+	s := mustNew(t, Config{Workers: 1, JobTimeout: 50 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/v1/sweep/classify?maxlen=8&maxd=14&method=exact&stream=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (headers are out before the failure)", resp.StatusCode)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("empty stream: not even a terminal error record")
+	}
+	var terminal ErrorResponse
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &terminal); err != nil || terminal.Error.Code == "" {
+		t.Fatalf("last line is not a terminal error record: %q (err %v)", lines[len(lines)-1], err)
+	}
+	if terminal.Error.Code != CodeTimeout {
+		t.Errorf("terminal record code %q, want %q", terminal.Error.Code, CodeTimeout)
+	}
+	for _, line := range lines[:len(lines)-1] {
+		var cell SweepCell
+		if err := json.Unmarshal([]byte(line), &cell); err != nil {
+			t.Errorf("non-terminal line is not a cell: %q", line)
+		}
 	}
 }

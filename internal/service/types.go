@@ -1,6 +1,9 @@
 package service
 
-import "gfcube/internal/store"
+import (
+	"gfcube/internal/fabric"
+	"gfcube/internal/store"
+)
 
 // Response envelopes for the JSON API. Exact counts are decimal strings
 // because |V(Q_d(f))| overflows every fixed-width integer long before the
@@ -374,6 +377,9 @@ type StatsResponse struct {
 	// Store is the artifact-store snapshot, absent when the store is
 	// disabled.
 	Store *StoreStatsResponse `json:"store,omitempty"`
+	// Fabric is the worker-mode lease host snapshot, absent when fabric
+	// worker mode is disabled.
+	Fabric *fabric.HostStats `json:"fabric,omitempty"`
 }
 
 // StoreStatsResponse is the artifact-store section of /stats and the body

@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# fabric-gate: kill-and-resume byte-reproducibility gate for the sweep
+# fabric (internal/fabric, cmd/gfc-sweepd, gfc-serve worker mode).
+#
+# The gate runs a sharded classify sweep across two local gfc-serve
+# workers whose -fabric-cell-delay stretches the grid long enough to
+# kill processes mid-sweep, then:
+#
+#   1. computes the single-process oracle result set (no ledger),
+#   2. starts the coordinator against both workers,
+#   3. SIGKILLs worker B once the ledger holds a few chained records,
+#   4. SIGKILLs the coordinator itself (possibly mid-append: a torn
+#      ledger tail is part of what resume must absorb),
+#   5. restarts worker B and resumes from the ledger — worker A is left
+#      running so the resume also has to ride over its stale, expired
+#      leases from the dead coordinator,
+#   6. verifies the resumed ledger's hash chain (complete, duplicate
+#      free) and compares its derived result set byte-for-byte against
+#      the oracle.
+#
+# Any damaged chain, duplicate cell, missing cell, or byte difference
+# fails the gate. Tunables (env): FABRIC_MAXLEN, FABRIC_MAXD,
+# FABRIC_CELL_DELAY, FABRIC_KILL_BYTES, FABRIC_PORT_A, FABRIC_PORT_B.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+MAXLEN=${FABRIC_MAXLEN:-3}
+MAXD=${FABRIC_MAXD:-8}
+DELAY=${FABRIC_CELL_DELAY:-150ms}
+KILL_BYTES=${FABRIC_KILL_BYTES:-2048}
+PORT_A=${FABRIC_PORT_A:-8097}
+PORT_B=${FABRIC_PORT_B:-8098}
+GRID=(-op classify -minlen 1 -maxlen "$MAXLEN" -mind 1 -maxd "$MAXD" -method exact)
+
+bindir=$(mktemp -d)
+work=$(mktemp -d)
+pids=()
+cleanup() {
+	for pid in "${pids[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+	rm -rf "$bindir" "$work"
+}
+trap cleanup EXIT
+
+wait_ready() { # host port
+	for _ in $(seq 1 100); do
+		if (exec 3<>"/dev/tcp/$1/$2") 2>/dev/null; then exec 3>&-; return 0; fi
+		sleep 0.1
+	done
+	echo "fabric-gate: worker on $1:$2 never came up" >&2
+	return 1
+}
+
+echo "== build gfc-serve + gfc-sweepd"
+$GO build -o "$bindir/gfc-serve" ./cmd/gfc-serve
+$GO build -o "$bindir/gfc-sweepd" ./cmd/gfc-sweepd
+
+echo "== oracle result set (single process, no ledger, no delay)"
+"$bindir/gfc-sweepd" -oracle "${GRID[@]}" -workers 2 -out "$work/oracle.ndjson"
+
+echo "== start workers A:$PORT_A B:$PORT_B (cell delay $DELAY)"
+"$bindir/gfc-serve" -addr "127.0.0.1:$PORT_A" -fabric-cell-delay "$DELAY" \
+	>"$work/worker-a.log" 2>&1 & pids+=($!) && disown
+"$bindir/gfc-serve" -addr "127.0.0.1:$PORT_B" -fabric-cell-delay "$DELAY" \
+	>"$work/worker-b.log" 2>&1 & pids+=($!) && disown
+worker_b=$!
+wait_ready 127.0.0.1 "$PORT_A"
+wait_ready 127.0.0.1 "$PORT_B"
+
+echo "== start coordinator (fresh ledger)"
+"$bindir/gfc-sweepd" -ledger "$work/run.gfcl" "${GRID[@]}" \
+	-remote "http://127.0.0.1:$PORT_A" -remote "http://127.0.0.1:$PORT_B" \
+	-lease-ttl 2s -poll 50ms -out "$work/first.ndjson" \
+	>"$work/coordinator-1.log" 2>&1 & pids+=($!) && disown
+coord=$!
+
+# Wait until the ledger holds a handful of chained records, proving the
+# kill lands mid-grid rather than before any work happened.
+for _ in $(seq 1 300); do
+	size=$( { wc -c <"$work/run.gfcl"; } 2>/dev/null || echo 0)
+	[ "$size" -ge "$KILL_BYTES" ] && break
+	if ! kill -0 "$coord" 2>/dev/null; then
+		echo "fabric-gate: coordinator exited before the kill point; raise FABRIC_CELL_DELAY" >&2
+		cat "$work/coordinator-1.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+if [ "$size" -lt "$KILL_BYTES" ]; then
+	echo "fabric-gate: ledger never reached $KILL_BYTES bytes (got $size)" >&2
+	exit 1
+fi
+
+echo "== SIGKILL worker B, then the coordinator (ledger at $size bytes)"
+kill -9 "$worker_b"
+sleep 0.3
+if ! kill -0 "$coord" 2>/dev/null; then
+	echo "fabric-gate: coordinator died with worker B; it must survive worker loss" >&2
+	cat "$work/coordinator-1.log" >&2
+	exit 1
+fi
+kill -9 "$coord"
+
+if [ -s "$work/first.ndjson" ]; then
+	echo "fabric-gate: first run wrote a result set despite being killed" >&2
+	exit 1
+fi
+
+echo "== restart worker B and resume from the ledger (worker A kept running)"
+"$bindir/gfc-serve" -addr "127.0.0.1:$PORT_B" -fabric-cell-delay "$DELAY" \
+	>"$work/worker-b2.log" 2>&1 & pids+=($!) && disown
+wait_ready 127.0.0.1 "$PORT_B"
+
+"$bindir/gfc-sweepd" -resume "$work/run.gfcl" "${GRID[@]}" \
+	-remote "http://127.0.0.1:$PORT_A" -remote "http://127.0.0.1:$PORT_B" \
+	-lease-ttl 2s -poll 50ms -out "$work/resumed.ndjson" \
+	2>"$work/coordinator-2.log"
+cat "$work/coordinator-2.log"
+
+inherited=$(grep -o '[0-9][0-9]* valid cells inherited' "$work/coordinator-2.log" | head -1 | cut -d' ' -f1)
+if [ -z "${inherited:-}" ] || [ "$inherited" -lt 1 ]; then
+	echo "fabric-gate: resume inherited no cells — the kill did not land mid-grid" >&2
+	exit 1
+fi
+echo "== resume inherited $inherited cells from the interrupted run"
+
+echo "== verify the resumed ledger's hash chain"
+"$bindir/gfc-sweepd" -verify "$work/run.gfcl"
+
+echo "== compare resumed result set against the oracle"
+if ! cmp "$work/resumed.ndjson" "$work/oracle.ndjson"; then
+	echo "fabric-gate: resumed result set differs from the single-process oracle" >&2
+	exit 1
+fi
+
+cells=$(wc -l <"$work/oracle.ndjson")
+echo "fabric-gate OK: $cells cells, resume inherited $inherited, result set byte-identical to the oracle"
