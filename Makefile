@@ -12,11 +12,12 @@ BENCHOUT ?= bench.txt
 
 # Benchmark-regression gate settings. BENCHFULL selects the gated
 # benchmarks (the paper-experiment E-suite, the sweep engine fixture,
-# cube construction — the DFA-rank edge build — the rank/unrank
-# addressing hot path, the MS-BFS distance engine and the streaming
-# Θ analysis); the full run uses real iteration counts so bench-full
-# numbers are comparable, unlike the 1-iteration smoke run.
-BENCHFULL      ?= BenchmarkE[0-9]|BenchmarkSweep|BenchmarkConstructCube|BenchmarkRankUnrank|BenchmarkMSBFS|BenchmarkThetaAnalyze
+# cube construction — the DFA-rank edge build — the column-incremental
+# builder vs from-scratch, the rank/unrank addressing hot path, the
+# MS-BFS distance engine and the streaming Θ analysis); the full run
+# uses real iteration counts so bench-full numbers are comparable,
+# unlike the 1-iteration smoke run.
+BENCHFULL      ?= BenchmarkE[0-9]|BenchmarkSweep|BenchmarkConstructCube|BenchmarkColumnBuild|BenchmarkRankUnrank|BenchmarkMSBFS|BenchmarkThetaAnalyze
 BENCHFULLOUT   ?= bench-full.txt
 BENCHBASELINE  ?= bench-baseline.txt
 BENCHTHRESHOLD ?= 1.25

@@ -518,3 +518,35 @@ func BenchmarkConstructCube(b *testing.B) {
 		})
 	}
 }
+
+// Column construction: building the whole Fibonacci column Q_1(11) ..
+// Q_20(11) — the access pattern of every grid sweep — incrementally
+// through core.ColumnBuilder versus from scratch per cell. The gated
+// speedup target is >= 1.5x (see ISSUE 9); the incremental path replaces
+// each cell's enumeration + ranked edge pass with an O(|V|+|E|) filter
+// over the previous cube.
+func BenchmarkColumnBuild(b *testing.B) {
+	const maxD = 20
+	f := bitstr.Ones(2)
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			col := core.NewColumnBuilder()
+			for d := 1; d <= maxD; d++ {
+				if col.Advance(d, f).N() == 0 {
+					b.Fatal("empty cube")
+				}
+			}
+		}
+	})
+	b.Run("fromscratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for d := 1; d <= maxD; d++ {
+				if core.New(d, f).N() == 0 {
+					b.Fatal("empty cube")
+				}
+			}
+		}
+	})
+}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -82,7 +83,7 @@ func main() {
 		}
 		mean, _ := core.MeanHammingDistance(d, f).Float64()
 		if *wiener {
-			exact, connected := scratch.WienerExact(scratch.Cube(d, f))
+			exact, connected := scratch.WienerExact(scratch.Cube(context.Background(), d, f))
 			ham := core.WienerHamming(d, f)
 			verdict := "="
 			switch {

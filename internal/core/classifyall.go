@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gfcube/internal/bitstr"
@@ -98,9 +99,10 @@ type Cell struct {
 }
 
 // ClassifyCell decides one grid cell with the given method, drawing all
-// construction and BFS buffers from the scratch.
-func ClassifyCell(s *Scratch, cl Class, d int, m Method) Cell {
-	c := s.Cube(d, cl.Rep)
+// construction and BFS buffers from the scratch. The context bounds the
+// scratch's provider loads; see Scratch.Cube.
+func ClassifyCell(ctx context.Context, s *Scratch, cl Class, d int, m Method) Cell {
+	c := s.Cube(ctx, d, cl.Rep)
 	cell := Cell{Class: cl, D: d}
 	switch m {
 	case MethodScreen, MethodQuick:
@@ -163,7 +165,7 @@ func ClassifyAll(maxLen int, opts GridOptions) []Cell {
 	out := make([]Cell, 0, len(cls)*(opts.MaxD-minD+1))
 	for _, cl := range cls {
 		for d := minD; d <= opts.MaxD; d++ {
-			out = append(out, ClassifyCell(s, cl, d, opts.Method))
+			out = append(out, ClassifyCell(context.Background(), s, cl, d, opts.Method))
 		}
 	}
 	return out

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"gfcube/internal/bitstr"
@@ -19,7 +20,7 @@ func TestScratchCubeMatchesNew(t *testing.T) {
 		f := bitstr.MustParse(fs)
 		for d := 1; d <= 9; d++ {
 			fresh := New(d, f)
-			warm := s.Cube(d, f)
+			warm := s.Cube(context.Background(), d, f)
 			if warm.N() != fresh.N() || warm.M() != fresh.M() {
 				t.Fatalf("Q_%d(%s): scratch %d/%d vs fresh %d/%d vertices/edges",
 					d, fs, warm.N(), warm.M(), fresh.N(), fresh.M())

@@ -13,7 +13,6 @@ package core
 import (
 	"fmt"
 	"math/bits"
-	"sort"
 
 	"gfcube/internal/automaton"
 	"gfcube/internal/bitstr"
@@ -31,56 +30,49 @@ type Cube struct {
 	d     int
 	f     bitstr.Word
 	dfa   *automaton.DFA
-	verts []uint64 // sorted packed values of the f-free words of length d
+	rk    *automaton.Ranker // rank tables of (f, d); answers Rank in O(d)
+	verts []uint64          // sorted packed values of the f-free words of length d
 	g     *graph.Graph
 }
 
 // New constructs Q_d(f). The forbidden factor must be nonempty and d must be
 // small enough for explicit construction (the vertex count is at most 2^d).
 // Grid sweeps that construct many cubes should go through Scratch.Cube,
-// which amortizes the internal buffers.
+// which amortizes buffers and builds whole columns incrementally.
 func New(d int, f bitstr.Word) *Cube {
-	return build(d, f, automaton.New(f), nil)
+	checkBuild(d, f)
+	dfa := automaton.New(f)
+	verts := dfa.Vertices(d)
+	rk := dfa.Ranker(d)
+	c := &Cube{d: d, f: f, dfa: dfa, rk: rk, verts: verts}
+	c.g = buildEdges(verts, rk, graph.NewBuilder(len(verts)))
+	return c
 }
 
-// build constructs Q_d(f) from its factor automaton. When s is non-nil its
-// buffers are reused for enumeration and edge accumulation; the returned
-// cube always owns its memory and stays valid after further scratch use.
-func build(d int, f bitstr.Word, dfa *automaton.DFA, s *Scratch) *Cube {
+// checkBuild validates the arguments of explicit construction, shared by
+// the from-scratch and column-incremental entry points.
+func checkBuild(d int, f bitstr.Word) {
 	if f.Len() == 0 {
 		panic("core: empty forbidden factor")
 	}
 	if d < 0 || d > MaxBuildDim {
 		panic(fmt.Sprintf("core: explicit construction limited to 0 <= d <= %d, got %d", MaxBuildDim, d))
 	}
-	var verts []uint64
-	var b *graph.Builder
-	var rk *automaton.Ranker
-	if s != nil {
-		s.verts = dfa.AppendVertices(s.verts[:0], d)
-		verts = make([]uint64, len(s.verts))
-		copy(verts, s.verts)
-		s.builder.Reset(len(verts))
-		b = s.builder
-		rk = s.ranker(dfa, d)
-	} else {
-		verts = dfa.Vertices(d)
-		b = graph.NewBuilder(len(verts))
-		rk = dfa.Ranker(d)
-	}
-	c := &Cube{d: d, f: f, dfa: dfa, verts: verts}
-	// Rank each flipped word through the DFA counting tables instead of
-	// binary-searching verts per probe: FlipUpRanks shares the vertex's
-	// prefix walk across its probes, so membership test and neighbor index
-	// come out of one pass over in-cache tables.
+}
+
+// buildEdges runs the from-scratch edge pass over a sorted vertex
+// enumeration: each flipped word is ranked through the DFA counting tables
+// instead of binary-searching verts per probe — FlipUpRanks shares the
+// vertex's prefix walk across its probes, so membership test and neighbor
+// index come out of one pass over in-cache tables.
+func buildEdges(verts []uint64, rk *automaton.Ranker, b *graph.Builder) *graph.Graph {
 	cur := 0
 	emit := func(_ int, j uint64) { b.AddEdge(cur, int(j)) }
 	for i, v := range verts {
 		cur = i
 		rk.FlipUpRanks(v, emit)
 	}
-	c.g = b.Build()
-	return c
+	return b.Build()
 }
 
 // Fibonacci returns the Fibonacci cube Γ_d = Q_d(11).
@@ -125,12 +117,16 @@ func (c *Cube) Rank(w bitstr.Word) (int, bool) {
 	return c.rank(w.Bits)
 }
 
+// rank resolves a packed length-d word to its vertex index through the
+// DFA rank tables: one O(d) walk over in-cache counting tables, the same
+// machinery the build path uses, instead of a binary search over verts
+// (whose log n probes each risk a cache miss on large cubes).
 func (c *Cube) rank(v uint64) (int, bool) {
-	i := sort.Search(len(c.verts), func(i int) bool { return c.verts[i] >= v })
-	if i < len(c.verts) && c.verts[i] == v {
-		return i, true
+	r, ok := c.rk.RankBits(v)
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	return int(r), true
 }
 
 // Contains reports whether the word w is a vertex of the cube.

@@ -3,65 +3,63 @@ package core
 import (
 	"context"
 
-	"gfcube/internal/automaton"
 	"gfcube/internal/bitstr"
 	"gfcube/internal/graph"
 )
 
-// Scratch holds the reusable buffers for repeated cube constructions and
-// isometry checks across a (d, f) grid: the factor automaton of the last
-// factor, the vertex-enumeration buffer, the graph builder's edge arena and
-// the MS-BFS engine's bitset planes. A fresh construction of Q_20(11)
-// costs ~53k allocations; through a warm Scratch it costs a handful (the
-// cube's own retained memory).
+// Scratch holds the reusable per-worker state for repeated cube
+// constructions and isometry checks across a (d, f) grid: the column
+// builder's incremental cube cache (automaton, vertex states, edge-lift
+// scratch) and the MS-BFS engine's bitset planes. A fresh construction of
+// Q_20(11) costs ~53k allocations; through a warm Scratch the next column
+// cell costs a handful (the cube's own retained memory), and when the
+// cell continues the current column it skips enumeration and edge ranking
+// entirely (see ColumnBuilder).
 //
 // A Scratch is not safe for concurrent use; allocate one per goroutine.
 // The sweep engine does exactly that, one per worker.
 type Scratch struct {
-	dfa     *automaton.DFA
-	dfaF    bitstr.Word
-	verts   []uint64
-	rank    automaton.Ranker
-	builder *graph.Builder
-	ms      *graph.MSBFS
+	col *ColumnBuilder
+	ms  *graph.MSBFS
 
 	// Provider, when non-nil, is consulted by Cube before building: a
 	// store-backed provider substitutes artifact loads for constructions,
 	// which is how grid sweeps warm-start. A load that fails for any
-	// reason falls through to the normal build path.
+	// reason falls through to the normal build path. Cells that continue
+	// the current column skip the provider — the incremental step is
+	// cheaper than a load.
 	Provider Provider
 }
 
 // NewScratch returns an empty scratch area; buffers grow on first use.
 func NewScratch() *Scratch {
-	return &Scratch{builder: graph.NewBuilder(0)}
+	return &Scratch{col: NewColumnBuilder()}
 }
 
-// Cube is New(d, f) with buffer reuse: the factor automaton is cached
-// across calls with the same f (a grid sweeps many d per factor), and the
-// enumeration and edge buffers are recycled. The returned cube owns its
-// memory and remains valid after any further use of the scratch.
-func (s *Scratch) Cube(d int, f bitstr.Word) *Cube {
+// Cube is New(d, f) with incremental reuse: cells that continue the
+// cached column (same factor, dimension d or d+1 of the cached cube) are
+// served by the column builder's O(|V|+|E|) step, and anything else
+// rebuilds from scratch through recycled buffers, re-seeding the column.
+// The context bounds provider loads only — cancellation between cells is
+// the sweep engine's job, and a pure in-memory build is not interruptible.
+// The returned cube owns its memory and remains valid after any further
+// use of the scratch.
+func (s *Scratch) Cube(ctx context.Context, d int, f bitstr.Word) *Cube {
 	if f.Len() == 0 {
 		panic("core: empty forbidden factor")
 	}
-	if s.Provider != nil {
-		if c, _, err := s.Provider.Cube(context.Background(), d, f); err == nil {
+	if s.col == nil {
+		s.col = NewColumnBuilder()
+	}
+	if s.Provider != nil && !s.col.CanAdvance(d, f) {
+		if c, _, err := s.Provider.Cube(ctx, d, f); err == nil {
+			// Seed the column so the next cell of an ascending-d sweep
+			// extends this load instead of rebuilding.
+			s.col.Adopt(c)
 			return c
 		}
 	}
-	if s.dfa == nil || s.dfaF != f {
-		s.dfa = automaton.New(f)
-		s.dfaF = f
-	}
-	return build(d, f, s.dfa, s)
-}
-
-// ranker returns the scratch rank/unrank tables rebuilt for (dfa, d); the
-// table allocation is reused across cells.
-func (s *Scratch) ranker(dfa *automaton.DFA, d int) *automaton.Ranker {
-	s.rank.Reset(dfa, d)
-	return &s.rank
+	return s.col.Advance(d, f)
 }
 
 // engine returns the scratch MS-BFS engine retargeted at g.

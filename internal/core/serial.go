@@ -95,7 +95,8 @@ func LoadCube(data []byte, d int, f bitstr.Word) (*Cube, error) {
 	if uint64(g.N()) != nverts {
 		return nil, fmt.Errorf("core: cube graph has %d vertices, enumeration has %d", g.N(), nverts)
 	}
-	return &Cube{d: d, f: f, dfa: dfa, verts: verts, g: g}, nil
+	// The verification ranker doubles as the cube's Rank backend.
+	return &Cube{d: d, f: f, dfa: dfa, rk: rk, verts: verts, g: g}, nil
 }
 
 // AppendBinary appends the implicit backend's serialized form — its rank

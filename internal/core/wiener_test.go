@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/big"
 	"testing"
 
@@ -50,7 +51,7 @@ func TestWienerExactCrossCheckGrid(t *testing.T) {
 	s := NewScratch()
 	for _, cl := range Classes(1, 4) {
 		for d := 1; d <= 10; d++ {
-			c := s.Cube(d, cl.Rep)
+			c := s.Cube(context.Background(), d, cl.Rep)
 			g := c.Graph()
 
 			// Serial reference: Wiener sum + connectivity by plain BFS.
@@ -103,7 +104,7 @@ func TestMSBFSMatchesSerialOnCubeGrid(t *testing.T) {
 	s := NewScratch()
 	for _, cl := range Classes(1, 4) {
 		for d := 1; d <= 10; d++ {
-			g := s.Cube(d, cl.Rep).Graph()
+			g := s.Cube(context.Background(), d, cl.Rep).Graph()
 			tr := graph.NewTraverser(g)
 			want := make([]int32, g.N())
 			err := g.ForEachSourceBatch(nil, graph.MSOptions{}, func(b *graph.DistBlock) error {

@@ -77,6 +77,8 @@ func TestCountersRenderPromAndSummary(t *testing.T) {
 		"gfc_fabric_steals_total 2",
 		"gfc_sweep_resumes_total 1",
 		"# TYPE gfc_fabric_active_shards gauge",
+		"# TYPE gfc_sweep_column_reuse_total counter",
+		"# TYPE gfc_sweep_column_rebuild_total counter",
 	} {
 		if !strings.Contains(prom, want) {
 			t.Errorf("RenderProm missing %q", want)

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gfcube/internal/bitstr"
 	"gfcube/internal/core"
 	"gfcube/internal/sweep"
 )
@@ -212,8 +213,22 @@ func (h *Host) Start(sp Spec, leaseID string, cells []CellRef, ttl time.Duration
 // resequencing).
 func (h *Host) run(ctx context.Context, le *lease, sp Spec, cells []CellRef) {
 	tasks := make([]sweep.Task, len(cells))
+	// Annotate each task with its factor class so the engine keeps a
+	// shard's contiguous class columns on one worker and the scratch
+	// extends them incrementally. Shards batch cells by class in ascending
+	// d, so one parse per class run suffices.
+	var prevF string
+	var cl core.Class
 	for i := range cells {
-		tasks[i] = sweep.Task{D: cells[i].D}
+		if cells[i].F != prevF {
+			if f, err := bitstr.Parse(cells[i].F); err == nil {
+				cl = core.Class{Rep: f}
+			} else {
+				cl = core.Class{} // ComputeCell reports the parse error per cell
+			}
+			prevF = cells[i].F
+		}
+		tasks[i] = sweep.Task{Class: cl, D: cells[i].D}
 	}
 	delay := h.cfg.CellDelay
 	stream := sweep.Stream(ctx, tasks, func(ctx context.Context, s *core.Scratch, t sweep.Task) (any, error) {

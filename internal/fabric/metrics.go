@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+
+	"gfcube/internal/core"
 )
 
 // Counters are the coordinator-side fabric counters, rendered on
@@ -46,6 +48,12 @@ func (c *Counters) RenderProm() string {
 	line("gfc_fabric_lease_failures_total", "Lease attempts or report streams that failed.", "counter", c.LeaseFailures.Load())
 	line("gfc_fabric_steals_total", "Shards minted by stealing straggler tails.", "counter", c.Steals.Load())
 	line("gfc_fabric_duplicate_cells_dropped_total", "Reported cells dropped because the ledger already held them.", "counter", c.DuplicatesDropped.Load())
+	// Column-cache effectiveness of the in-process sweep workers: how many
+	// cube constructions were served off a cached class column versus
+	// rebuilt from scratch (process-wide, see core.ColumnCounters).
+	reuse, rebuild := core.ColumnCounters()
+	line("gfc_sweep_column_reuse_total", "Cube constructions served incrementally off a cached class column.", "counter", reuse)
+	line("gfc_sweep_column_rebuild_total", "Cube constructions rebuilt from scratch (cold builder, new factor or dimension jump).", "counter", rebuild)
 	return b.String()
 }
 

@@ -222,7 +222,7 @@ func ComputeCell(ctx context.Context, s *core.Scratch, sp Spec, c CellRef) ([]by
 	var v any
 	switch sp.Op {
 	case OpClassify:
-		cell := core.ClassifyCell(s, cl, c.D, sp.method())
+		cell := core.ClassifyCell(ctx, s, cl, c.D, sp.method())
 		cv := ClassifyValue{Isometric: cell.Isometric}
 		if cell.Witness != nil {
 			cv.U = cell.Witness.U.String()
@@ -241,7 +241,7 @@ func ComputeCell(ctx context.Context, s *core.Scratch, sp Spec, c CellRef) ([]by
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if cell := core.ClassifyCell(s, cl, d, sp.method()); !cell.Isometric {
+			if cell := core.ClassifyCell(ctx, s, cl, d, sp.method()); !cell.Isometric {
 				sv.FirstFail = d
 				break
 			}
@@ -268,7 +268,7 @@ func ComputeCell(ctx context.Context, s *core.Scratch, sp Spec, c CellRef) ([]by
 		}
 		v = dv
 	case OpWiener:
-		cube := s.Cube(c.D, cl.Rep)
+		cube := s.Cube(ctx, c.D, cl.Rep)
 		wv := WienerValue{Order: strconv.FormatInt(cube.Order(), 10)}
 		exact, connected := s.WienerExact(cube)
 		hamming := core.WienerHamming(c.D, cl.Rep)

@@ -1,0 +1,108 @@
+package graph
+
+import "fmt"
+
+// CSRBuilder assembles a Graph directly in its final CSR arena, skipping
+// the packed-edge accumulate-sort-dedupe pipeline of Builder. It is the
+// fast path for callers that can announce every vertex degree up front
+// and then emit each adjacency list already sorted — the contract the
+// column-incremental cube builder satisfies, because lifting the edges of
+// Q_d(f) through the order-preserving "append a trailing bit" map keeps
+// every adjacency list sorted (see core.ColumnBuilder).
+//
+// Usage is two passes bracketed by Seal:
+//
+//	b.Reset(n)
+//	b.AddDegree(v, k) ...   // announce degrees
+//	b.Seal()                // carve the arena
+//	b.Emit(v, w) ...        // fill lists, v ascending, w ascending per v
+//	g := b.Build()
+//
+// The builder's degree scratch is retained across Reset calls; the arena
+// itself is allocated fresh per build and handed off to the Graph, which
+// owns it outright.
+type CSRBuilder struct {
+	n      int
+	deg    []int32 // scratch: announced degrees, reused across builds
+	flat   []int32
+	adj    [][]int32
+	m      int
+	sealed bool
+}
+
+// NewCSRBuilder returns an empty builder; buffers grow on first use.
+func NewCSRBuilder() *CSRBuilder { return &CSRBuilder{} }
+
+// Reset starts a build for a graph on n vertices with all degrees zero.
+func (b *CSRBuilder) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	b.n = n
+	if cap(b.deg) < n {
+		b.deg = make([]int32, n)
+	} else {
+		b.deg = b.deg[:n]
+		for i := range b.deg {
+			b.deg[i] = 0
+		}
+	}
+	b.flat, b.adj, b.m, b.sealed = nil, nil, 0, false
+}
+
+// AddDegree adds k to vertex v's announced degree. Only valid before Seal.
+func (b *CSRBuilder) AddDegree(v int, k int32) {
+	if b.sealed {
+		panic("graph: AddDegree after Seal")
+	}
+	b.deg[v] += k
+}
+
+// Seal carves the CSR arena from the announced degrees. The degree sum
+// must be even: every undirected edge contributes to two lists.
+func (b *CSRBuilder) Seal() {
+	if b.sealed {
+		panic("graph: CSRBuilder sealed twice")
+	}
+	total := 0
+	for _, k := range b.deg {
+		total += int(k)
+	}
+	if total%2 != 0 {
+		panic(fmt.Sprintf("graph: odd adjacency-entry total %d", total))
+	}
+	flat := make([]int32, total)
+	adj := make([][]int32, b.n)
+	off := 0
+	for v := 0; v < b.n; v++ {
+		next := off + int(b.deg[v])
+		// Three-index slices cap each list at its announced degree, so an
+		// over-emit cannot silently bleed into a neighbor's list.
+		adj[v] = flat[off:off:next]
+		off = next
+	}
+	b.flat, b.adj, b.m, b.sealed = flat, adj, total/2, true
+}
+
+// Emit appends w to v's adjacency list. Callers fill lists in sorted
+// order (w ascending within each v); emitting more entries than announced
+// for a vertex reallocates that list off the arena, which Build rejects.
+func (b *CSRBuilder) Emit(v, w int) {
+	b.adj[v] = append(b.adj[v], int32(w))
+}
+
+// Build finalizes the graph, verifying every announced slot was filled,
+// and detaches the arena so the builder can be reused via Reset.
+func (b *CSRBuilder) Build() *Graph {
+	if !b.sealed {
+		panic("graph: Build before Seal")
+	}
+	for v := range b.adj {
+		if len(b.adj[v]) != int(b.deg[v]) {
+			panic(fmt.Sprintf("graph: vertex %d emitted %d of %d announced neighbors", v, len(b.adj[v]), b.deg[v]))
+		}
+	}
+	g := &Graph{adj: b.adj, m: b.m}
+	b.flat, b.adj, b.sealed = nil, nil, false
+	return g
+}

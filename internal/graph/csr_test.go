@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"testing"
+)
+
+// TestCSRBuilderMatchesBuilder assembles the same small graph through the
+// sorted-emit CSR path and the generic sort-based builder and demands
+// identical structure (a cycle with a chord: C5 plus edge 0-2).
+func TestCSRBuilderMatchesBuilder(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}, {0, 2}}
+	n := 5
+
+	gb := NewBuilder(n)
+	for _, e := range edges {
+		gb.AddEdge(e[0], e[1])
+	}
+	want := gb.Build()
+
+	cb := NewCSRBuilder()
+	cb.Reset(n)
+	for _, e := range edges {
+		cb.AddDegree(e[0], 1)
+		cb.AddDegree(e[1], 1)
+	}
+	cb.Seal()
+	// Emit each adjacency list in sorted order, v ascending.
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for v := 0; v < n; v++ {
+		ws := adj[v]
+		for i := 1; i < len(ws); i++ {
+			for j := i; j > 0 && ws[j] < ws[j-1]; j-- {
+				ws[j], ws[j-1] = ws[j-1], ws[j]
+			}
+		}
+		for _, w := range ws {
+			cb.Emit(v, w)
+		}
+	}
+	got := cb.Build()
+
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("CSR build: %d/%d vertices/edges, want %d/%d", got.N(), got.M(), want.N(), want.M())
+	}
+	for v := 0; v < n; v++ {
+		gw, ww := got.Neighbors(v), want.Neighbors(v)
+		if len(gw) != len(ww) {
+			t.Fatalf("vertex %d: degree %d, want %d", v, len(gw), len(ww))
+		}
+		for i := range gw {
+			if gw[i] != ww[i] {
+				t.Fatalf("vertex %d neighbor %d: %d, want %d", v, i, gw[i], ww[i])
+			}
+		}
+	}
+}
+
+// TestCSRBuilderReuse checks that Reset recycles the degree scratch and a
+// second, smaller build is independent of the first.
+func TestCSRBuilderReuse(t *testing.T) {
+	cb := NewCSRBuilder()
+	cb.Reset(3)
+	for _, v := range []int{0, 1, 1, 2} {
+		cb.AddDegree(v, 1)
+	}
+	cb.Seal()
+	cb.Emit(0, 1)
+	cb.Emit(1, 0)
+	cb.Emit(1, 2)
+	cb.Emit(2, 1)
+	first := cb.Build()
+
+	cb.Reset(2)
+	cb.AddDegree(0, 1)
+	cb.AddDegree(1, 1)
+	cb.Seal()
+	cb.Emit(0, 1)
+	cb.Emit(1, 0)
+	second := cb.Build()
+
+	if first.M() != 2 || second.M() != 1 {
+		t.Fatalf("edge counts %d/%d, want 2/1", first.M(), second.M())
+	}
+	if first.Neighbors(1)[1] != 2 || second.Neighbors(1)[0] != 0 {
+		t.Fatal("reused builder corrupted an earlier or later graph")
+	}
+}
+
+func wantPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestCSRBuilderMisuse covers the guard rails: odd degree totals, calls
+// out of phase, and under-emitted adjacency lists must all panic rather
+// than produce a malformed graph.
+func TestCSRBuilderMisuse(t *testing.T) {
+	wantPanic(t, "Reset(-1)", func() { NewCSRBuilder().Reset(-1) })
+	wantPanic(t, "odd degree Seal", func() {
+		b := NewCSRBuilder()
+		b.Reset(2)
+		b.AddDegree(0, 1)
+		b.Seal()
+	})
+	wantPanic(t, "AddDegree after Seal", func() {
+		b := NewCSRBuilder()
+		b.Reset(1)
+		b.Seal()
+		b.AddDegree(0, 1)
+	})
+	wantPanic(t, "double Seal", func() {
+		b := NewCSRBuilder()
+		b.Reset(1)
+		b.Seal()
+		b.Seal()
+	})
+	wantPanic(t, "Build before Seal", func() {
+		b := NewCSRBuilder()
+		b.Reset(1)
+		b.Build()
+	})
+	wantPanic(t, "under-emitted Build", func() {
+		b := NewCSRBuilder()
+		b.Reset(2)
+		b.AddDegree(0, 1)
+		b.AddDegree(1, 1)
+		b.Seal()
+		b.Emit(0, 1)
+		b.Build()
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gfcube/internal/core"
 	"gfcube/internal/fabric"
 	"gfcube/internal/store"
 )
@@ -374,6 +375,12 @@ func (m *Metrics) Render(cache *Cache, pool *Pool, batcher *Batcher, st *store.S
 	if provider != nil {
 		fmt.Fprintf(&b, "# HELP gfc_store_computed_total Backends built from scratch (store misses and corruption fallbacks).\n# TYPE gfc_store_computed_total counter\ngfc_store_computed_total %d\n", provider.Computed())
 	}
+	// Column-cache effectiveness of the sweep scratches in this process:
+	// constructions served incrementally off a cached class column vs
+	// rebuilt from scratch (see core.ColumnCounters).
+	colReuse, colRebuild := core.ColumnCounters()
+	fmt.Fprintf(&b, "# HELP gfc_sweep_column_reuse_total Cube constructions served incrementally off a cached class column.\n# TYPE gfc_sweep_column_reuse_total counter\ngfc_sweep_column_reuse_total %d\n", colReuse)
+	fmt.Fprintf(&b, "# HELP gfc_sweep_column_rebuild_total Cube constructions rebuilt from scratch (cold builder, new factor or dimension jump).\n# TYPE gfc_sweep_column_rebuild_total counter\ngfc_sweep_column_rebuild_total %d\n", colRebuild)
 	if fabricHost != nil {
 		fs := fabricHost.Stats()
 		fmt.Fprintf(&b, "# HELP gfc_fabric_worker_active_leases Live fabric leases on this worker.\n# TYPE gfc_fabric_worker_active_leases gauge\ngfc_fabric_worker_active_leases %d\n", fs.Active)

@@ -155,6 +155,8 @@ func TestMetricsEndpointServesPrometheusText(t *testing.T) {
 		"gfc_cache_hit_rate",
 		"gfc_pool_workers",
 		"gfc_batch_lanes",
+		"# TYPE gfc_sweep_column_reuse_total counter",
+		"# TYPE gfc_sweep_column_rebuild_total counter",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)

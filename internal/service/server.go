@@ -404,6 +404,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		rate = float64(hits) / float64(hits+misses)
 	}
 	batches, batched, shed := s.metrics.BatchTotals()
+	colReuse, colRebuild := core.ColumnCounters()
 	lanes := 0
 	if s.batcher != nil {
 		lanes = s.batcher.Lanes()
@@ -426,6 +427,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BatchedRequests: batched,
 		BatchShed:       shed,
 		BatchLanes:      lanes,
+		ColumnReuse:     colReuse,
+		ColumnRebuild:   colRebuild,
 	}
 	if s.store != nil {
 		resp.Store = &StoreStatsResponse{

@@ -147,7 +147,7 @@ func (s *Server) streamSweepClassify(w http.ResponseWriter, r *http.Request, spe
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			return core.ClassifyCell(sc, t.Class, t.D, spec.Method), nil
+			return core.ClassifyCell(ctx, sc, t.Class, t.D, spec.Method), nil
 		}, sweep.Options{Workers: workers})
 		for res := range results {
 			if res.Err != nil {

@@ -374,6 +374,11 @@ type StatsResponse struct {
 	BatchedRequests uint64 `json:"batchedRequests"`
 	BatchShed       uint64 `json:"batchShed"`
 	BatchLanes      int    `json:"batchLanes"`
+	// Sweep column-cache effectiveness (process-wide): cube constructions
+	// served incrementally off a cached class column vs rebuilt from
+	// scratch. See core.ColumnCounters.
+	ColumnReuse   uint64 `json:"sweepColumnReuse"`
+	ColumnRebuild uint64 `json:"sweepColumnRebuild"`
 	// Store is the artifact-store snapshot, absent when the store is
 	// disabled.
 	Store *StoreStatsResponse `json:"store,omitempty"`

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"testing"
@@ -183,7 +184,7 @@ func TestSweepDegreesEndpoint(t *testing.T) {
 	}
 	s := core.NewScratch()
 	for _, cell := range resp.Cells {
-		c := s.Cube(cell.D, bitstr.MustParse(cell.Factor))
+		c := s.Cube(context.Background(), cell.D, bitstr.MustParse(cell.Factor))
 		if cell.Order != fmt.Sprint(c.Order()) {
 			t.Fatalf("f=%s d=%d: order %s, explicit %d", cell.Factor, cell.D, cell.Order, c.Order())
 		}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -106,7 +107,7 @@ func Generate(dir string, opts PackOptions) (Manifest, error) {
 				}
 				man.Artifacts++
 				if d <= core.MaxBuildDim {
-					c := scratch.Cube(d, f)
+					c := scratch.Cube(context.Background(), d, f)
 					if err := st.Save(Key{Kind: KindCube, F: f, D: d}, c.AppendBinary(nil)); err != nil {
 						return Manifest{}, err
 					}
@@ -123,7 +124,7 @@ func Generate(dir string, opts PackOptions) (Manifest, error) {
 		for d := 1; d <= opts.MaxD; d++ {
 			bc := core.Count(d, cl.Rep)
 			th := core.Classify(cl.Rep, d)
-			cell := core.ClassifyCell(scratch, cl, d, core.MethodQuick)
+			cell := core.ClassifyCell(context.Background(), scratch, cl, d, core.MethodQuick)
 			v := Verdict{
 				Factor:    cl.Rep.String(),
 				ClassSize: cl.Size,

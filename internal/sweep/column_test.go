@@ -1,0 +1,32 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+
+	"gfcube/internal/core"
+)
+
+// TestClassifyGridColumnAffinity checks that the engine's column-affine
+// scheduling actually feeds each class column to one scratch: a cell grid
+// must cost exactly one from-scratch build per class (the column head)
+// and serve every later dimension incrementally, at any worker count.
+func TestClassifyGridColumnAffinity(t *testing.T) {
+	const maxLen, maxD = 3, 8
+	classes := len(core.Classes(1, maxLen))
+	for _, workers := range []int{1, 4} {
+		r0, b0 := core.ColumnCounters()
+		if _, err := ClassifyGrid(context.Background(),
+			GridSpec{MaxLen: maxLen, MaxD: maxD, Method: core.MethodExact},
+			Options{Workers: workers}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		r1, b1 := core.ColumnCounters()
+		if got, want := b1-b0, uint64(classes); got != want {
+			t.Errorf("workers=%d: %d rebuilds, want one per class (%d)", workers, got, want)
+		}
+		if got, want := r1-r0, uint64(classes*(maxD-1)); got != want {
+			t.Errorf("workers=%d: %d column reuses, want %d", workers, got, want)
+		}
+	}
+}

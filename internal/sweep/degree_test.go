@@ -21,7 +21,7 @@ func TestDegreeGridMatchesExplicit(t *testing.T) {
 	}
 	s := core.NewScratch()
 	for _, cell := range cells {
-		c := s.Cube(cell.D, cell.Class.Rep)
+		c := s.Cube(context.Background(), cell.D, cell.Class.Rep)
 		if cell.Order != c.Order() {
 			t.Fatalf("f=%s d=%d: order %d, explicit %d", cell.Class.Rep, cell.D, cell.Order, c.Order())
 		}

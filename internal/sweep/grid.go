@@ -65,7 +65,7 @@ func ClassifyGrid(ctx context.Context, spec GridSpec, opts Options) ([]core.Cell
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return core.ClassifyCell(s, t.Class, t.D, spec.Method), nil
+		return core.ClassifyCell(ctx, s, t.Class, t.D, spec.Method), nil
 	}, opts)
 }
 
@@ -102,7 +102,7 @@ func Survey(ctx context.Context, spec GridSpec, opts Options) ([]SurveyRow, erro
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if cell := core.ClassifyCell(s, t.Class, d, spec.Method); !cell.Isometric {
+			if cell := core.ClassifyCell(ctx, s, t.Class, d, spec.Method); !cell.Isometric {
 				row.FirstFail = d
 				break
 			}
@@ -228,7 +228,7 @@ func WienerGrid(ctx context.Context, spec GridSpec, opts Options) ([]WienerCell,
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		c := s.Cube(t.D, t.Class.Rep)
+		c := s.Cube(ctx, t.D, t.Class.Rep)
 		cell := WienerCell{Class: t.Class, D: t.D, Order: c.Order()}
 		cell.Wiener, cell.Connected = s.WienerExact(c)
 		cell.WienerHamming = core.WienerHamming(t.D, t.Class.Rep)

@@ -140,7 +140,7 @@ func TestWienerGrid(t *testing.T) {
 	}
 	s := core.NewScratch()
 	for _, cell := range cells {
-		c := s.Cube(cell.D, cell.Class.Rep)
+		c := s.Cube(context.Background(), cell.D, cell.Class.Rep)
 		exact, connected := c.WienerExactWorkers(1)
 		if cell.Connected != connected || cell.Wiener.Cmp(exact) != 0 {
 			t.Errorf("f=%s d=%d: cell %s/%v, direct %s/%v",

@@ -9,11 +9,17 @@
 //
 // The engine fans tasks across a bounded worker pool. Each worker owns one
 // core.Scratch, so cube construction and BFS run allocation-free after
-// warm-up. Results are re-sequenced before delivery: consumers always see
-// them in task order regardless of which worker finished first, which makes
-// parallel runs byte-for-byte comparable with serial ones. Cancellation is
-// cooperative — pending tasks are abandoned when the context is done, and
-// the stream closes after in-flight tasks drain.
+// warm-up. Tasks are handed out column-affine: a contiguous run of tasks
+// on the same factor class goes to one worker as a unit, so the scratch's
+// incremental column builder turns each ascending-d class column into a
+// chain of O(|V|+|E|) extension steps instead of independent from-scratch
+// builds (see core.ColumnBuilder). Results are re-sequenced before
+// delivery: consumers always see them in task order regardless of which
+// worker finished first, which makes parallel runs byte-for-byte
+// comparable with serial ones. Cancellation is cooperative — pending
+// tasks (including the unstarted remainder of an in-flight column) are
+// abandoned when the context is done, and the stream closes after
+// in-flight cells drain.
 package sweep
 
 import (
@@ -110,7 +116,7 @@ func run(ctx context.Context, tasks []Task, fn Func, opts Options, out chan<- Re
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
-	feed := make(chan Task)
+	feed := make(chan []Task)
 	done := make(chan Result, workers)
 
 	var wg sync.WaitGroup
@@ -120,28 +126,52 @@ func run(ctx context.Context, tasks []Task, fn Func, opts Options, out chan<- Re
 			defer wg.Done()
 			s := core.NewScratch()
 			s.Provider = opts.Provider
-			for t := range feed {
-				start := time.Now()
-				v, err := fn(ctx, s, t)
-				done <- Result{Task: t, Value: v, Err: err, Elapsed: time.Since(start)}
+			for grp := range feed {
+				for _, t := range grp {
+					// Per-cell check so cancellation abandons the rest of a
+					// column, not just the rest of the grid.
+					if ctx.Err() != nil {
+						break
+					}
+					start := time.Now()
+					v, err := fn(ctx, s, t)
+					done <- Result{Task: t, Value: v, Err: err, Elapsed: time.Since(start)}
+				}
 			}
 		}()
 	}
+	// Seq is assigned on a copy so grouped subslices can be fed without
+	// mutating the caller's tasks.
+	seqd := make([]Task, len(tasks))
+	for i, t := range tasks {
+		t.Seq = i
+		seqd[i] = t
+	}
 	go func() {
 		defer close(feed)
-		for i, t := range tasks {
+		for lo := 0; lo < len(seqd); {
+			// A group is a maximal contiguous run on one factor class — an
+			// ascending-d column in grid order, which is what the scratch's
+			// column builder extends incrementally. Tasks without a class
+			// (engine tests, synthetic workloads) stay cell-granular.
+			hi := lo + 1
+			if rep := seqd[lo].Class.Rep; rep.Len() > 0 {
+				for hi < len(seqd) && seqd[hi].Class.Rep == rep {
+					hi++
+				}
+			}
 			// The explicit Err check makes cancellation prompt: once cancel
-			// returns, no further task is handed out, even if a worker is
+			// returns, no further group is handed out, even if a worker is
 			// already waiting on the feed channel.
 			if ctx.Err() != nil {
 				return
 			}
-			t.Seq = i
 			select {
-			case feed <- t:
+			case feed <- seqd[lo:hi]:
 			case <-ctx.Done():
 				return
 			}
+			lo = hi
 		}
 	}()
 	go func() {
