@@ -39,6 +39,13 @@ SLOCONC     ?= 32
 SLOOUT      ?= loadgen-report.json
 SLOADDR     ?= 127.0.0.1:8093
 
+# Iso-gate settings: the byte-identity check for the iso-dedup sweep
+# path (scripts/iso-gate.sh). The |f| <= 5, d <= 7 grid is the one the
+# golden congruence-group counts and the >= 2x cell-reduction claim in
+# docs/iso-classes.md are stated for.
+ISOMAXLEN ?= 5
+ISOMAXD   ?= 7
+
 # Fabric-gate settings: the kill-and-resume byte-reproducibility check
 # for the sweep fabric (scripts/fabric-gate.sh). FABRICDELAY stretches
 # each leased cell so the SIGKILLs land mid-grid even on fast machines.
@@ -55,7 +62,7 @@ STOREOUT      ?= store-report.json
 STOREMAXLEN   ?= 4
 STOREMAXD     ?= 10
 
-.PHONY: all build test race test-json lint fmt vet bench bench-full bench-gate bench-baseline fuzz-smoke cover slo loadgen-compare pack store-gate fabric-gate serve clean ci
+.PHONY: all build test race test-json lint fmt vet bench bench-full bench-gate bench-baseline fuzz-smoke cover slo loadgen-compare pack store-gate fabric-gate iso-gate serve clean ci
 
 all: build
 
@@ -198,6 +205,13 @@ store-gate:
 fabric-gate:
 	FABRIC_MAXLEN=$(FABRICMAXLEN) FABRIC_MAXD=$(FABRICMAXD) \
 	FABRIC_CELL_DELAY=$(FABRICDELAY) GO=$(GO) ./scripts/fabric-gate.sh
+
+# Byte-identity gate for the iso-dedup sweep path: survey and classify
+# runs with and without iso dedup compared byte-for-byte, and the
+# per-dimension congruence-group counts checked against the golden
+# |f| <= 5 partition (2, 3, 5, 8, 11, 17, 22 groups at d = 1..7).
+iso-gate:
+	ISO_MAXLEN=$(ISOMAXLEN) ISO_MAXD=$(ISOMAXD) GO=$(GO) ./scripts/iso-gate.sh
 
 serve: build
 	$(GO) run ./cmd/gfc-serve

@@ -4,84 +4,113 @@ import (
 	"math/big"
 )
 
+// CountScratch holds the ping-pong DP buffers of the counting
+// recurrences, sized to the automaton on first use and reused across
+// calls: the m-state vertex planes, the m²-state edge-pair planes and
+// the m⁴-state square planes. A cold CountSeq over d = 0..40 for |f| = 3
+// allocates ~12.6k big.Int slices without a scratch; through a warm one
+// the per-dimension cost is just the result values. A CountScratch is
+// not safe for concurrent use; sweeps keep one per worker (see
+// core.Scratch).
+type CountScratch struct {
+	v1, v2 []big.Int // vertex DP, m states
+	p1, p2 []big.Int // pair DP, m² states
+	q1, q2 []big.Int // square DP, m⁴ states
+}
+
+// plane returns buf resized to n values, all zeroed, growing the backing
+// array only when the automaton outgrows it.
+func plane(buf []big.Int, n int) []big.Int {
+	if cap(buf) < n {
+		return make([]big.Int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i].SetInt64(0)
+	}
+	return buf
+}
+
+func sumPlane(v []big.Int) *big.Int {
+	total := new(big.Int)
+	for i := range v {
+		total.Add(total, &v[i])
+	}
+	return total
+}
+
 // CountVertices returns |V(Q_d(f))|: the number of binary words of length d
 // that avoid the factor f. The computation is a dynamic program over the
 // automaton states and is exact for any d (big.Int arithmetic).
 func (a *DFA) CountVertices(d int) *big.Int {
+	var cs CountScratch
+	return a.CountVerticesInto(&cs, d)
+}
+
+// CountVerticesInto is CountVertices drawing its DP planes from the
+// scratch. The returned value is freshly allocated and independent of
+// the scratch.
+func (a *DFA) CountVerticesInto(cs *CountScratch, d int) *big.Int {
 	if d < 0 {
 		panic("automaton: negative dimension")
 	}
-	dp := make([]*big.Int, a.m)
-	next := make([]*big.Int, a.m)
-	for s := range dp {
-		dp[s] = new(big.Int)
-		next[s] = new(big.Int)
-	}
+	cs.v1 = plane(cs.v1, a.m)
+	cs.v2 = plane(cs.v2, a.m)
+	dp, next := cs.v1, cs.v2
 	dp[0].SetInt64(1)
 	for pos := 0; pos < d; pos++ {
 		for s := range next {
 			next[s].SetInt64(0)
 		}
-		for s := 0; s < a.m; s++ {
-			if dp[s].Sign() == 0 {
-				continue
-			}
-			for c := 0; c < 2; c++ {
-				t := a.delta[s][c]
-				if t == a.m {
-					continue
-				}
-				next[t].Add(next[t], dp[s])
-			}
-		}
+		a.stepVertices(dp, next)
 		dp, next = next, dp
 	}
-	total := new(big.Int)
+	cs.v1, cs.v2 = dp, next
+	return sumPlane(dp)
+}
+
+// stepVertices advances the vertex DP by one position.
+func (a *DFA) stepVertices(dp, next []big.Int) {
 	for s := 0; s < a.m; s++ {
-		total.Add(total, dp[s])
+		if dp[s].Sign() == 0 {
+			continue
+		}
+		for c := 0; c < 2; c++ {
+			t := a.delta[s][c]
+			if t == a.m {
+				continue
+			}
+			next[t].Add(&next[t], &dp[s])
+		}
 	}
-	return total
 }
 
 // CountVerticesSeq returns |V(Q_d(f))| for d = 0..dmax as a slice indexed by
 // d. It shares the DP across dimensions, so it is cheaper than dmax+1
 // independent CountVertices calls.
 func (a *DFA) CountVerticesSeq(dmax int) []*big.Int {
+	var cs CountScratch
+	return a.CountVerticesSeqInto(&cs, dmax)
+}
+
+// CountVerticesSeqInto is CountVerticesSeq drawing its DP planes from
+// the scratch.
+func (a *DFA) CountVerticesSeqInto(cs *CountScratch, dmax int) []*big.Int {
 	out := make([]*big.Int, dmax+1)
-	dp := make([]*big.Int, a.m)
-	next := make([]*big.Int, a.m)
-	for s := range dp {
-		dp[s] = new(big.Int)
-		next[s] = new(big.Int)
-	}
+	cs.v1 = plane(cs.v1, a.m)
+	cs.v2 = plane(cs.v2, a.m)
+	dp, next := cs.v1, cs.v2
 	dp[0].SetInt64(1)
-	sum := func(v []*big.Int) *big.Int {
-		t := new(big.Int)
-		for _, x := range v {
-			t.Add(t, x)
-		}
-		return t
-	}
-	out[0] = sum(dp)
+	out[0] = sumPlane(dp)
 	for d := 1; d <= dmax; d++ {
 		for s := range next {
 			next[s].SetInt64(0)
 		}
-		for s := 0; s < a.m; s++ {
-			if dp[s].Sign() == 0 {
-				continue
-			}
-			for c := 0; c < 2; c++ {
-				t := a.delta[s][c]
-				if t == a.m {
-					continue
-				}
-				next[t].Add(next[t], dp[s])
-			}
-		}
+		a.stepVertices(dp, next)
 		dp, next = next, dp
-		out[d] = sum(dp)
+		out[d] = sumPlane(dp)
 	}
+	cs.v1, cs.v2 = dp, next
 	return out
 }
 
@@ -94,20 +123,32 @@ func (a *DFA) CountVerticesSeq(dmax int) []*big.Int {
 // larger reads 1 (counting each edge exactly once); afterwards both read the
 // same bits but may occupy different states.
 func (a *DFA) CountEdges(d int) *big.Int {
+	var cs CountScratch
+	return a.CountEdgesInto(&cs, d)
+}
+
+// CountEdgesInto is CountEdges drawing its DP planes from the scratch.
+func (a *DFA) CountEdgesInto(cs *CountScratch, d int) *big.Int {
 	if d < 0 {
 		panic("automaton: negative dimension")
 	}
 	m := a.m
 	// dpSame[s]: runs where the endpoints have not yet diverged.
 	// dpPair[sa*m+sb]: runs after divergence; sa tracks the 0-endpoint.
-	dpSame := newBigs(m)
-	dpPair := newBigs(m * m)
-	nxSame := newBigs(m)
-	nxPair := newBigs(m * m)
+	cs.v1 = plane(cs.v1, m)
+	cs.v2 = plane(cs.v2, m)
+	cs.p1 = plane(cs.p1, m*m)
+	cs.p2 = plane(cs.p2, m*m)
+	dpSame, nxSame := cs.v1, cs.v2
+	dpPair, nxPair := cs.p1, cs.p2
 	dpSame[0].SetInt64(1)
 	for pos := 0; pos < d; pos++ {
-		zero(nxSame)
-		zero(nxPair)
+		for i := range nxSame {
+			nxSame[i].SetInt64(0)
+		}
+		for i := range nxPair {
+			nxPair[i].SetInt64(0)
+		}
 		for s := 0; s < m; s++ {
 			if dpSame[s].Sign() == 0 {
 				continue
@@ -118,17 +159,17 @@ func (a *DFA) CountEdges(d int) *big.Int {
 				if t == a.m {
 					continue
 				}
-				nxSame[t].Add(nxSame[t], dpSame[s])
+				nxSame[t].Add(&nxSame[t], &dpSame[s])
 			}
 			// Diverge here: smaller endpoint reads 0, larger reads 1.
 			ta, tb := a.delta[s][0], a.delta[s][1]
 			if ta != a.m && tb != a.m {
-				nxPair[ta*m+tb].Add(nxPair[ta*m+tb], dpSame[s])
+				nxPair[ta*m+tb].Add(&nxPair[ta*m+tb], &dpSame[s])
 			}
 		}
 		for sa := 0; sa < m; sa++ {
 			for sb := 0; sb < m; sb++ {
-				v := dpPair[sa*m+sb]
+				v := &dpPair[sa*m+sb]
 				if v.Sign() == 0 {
 					continue
 				}
@@ -137,18 +178,16 @@ func (a *DFA) CountEdges(d int) *big.Int {
 					if ta == a.m || tb == a.m {
 						continue
 					}
-					nxPair[ta*m+tb].Add(nxPair[ta*m+tb], v)
+					nxPair[ta*m+tb].Add(&nxPair[ta*m+tb], v)
 				}
 			}
 		}
 		dpSame, nxSame = nxSame, dpSame
 		dpPair, nxPair = nxPair, dpPair
 	}
-	total := new(big.Int)
-	for _, v := range dpPair {
-		total.Add(total, v)
-	}
-	return total
+	cs.v1, cs.v2 = dpSame, nxSame
+	cs.p1, cs.p2 = dpPair, nxPair
+	return sumPlane(dpPair)
 }
 
 // CountSquares returns |S(Q_d(f))|: the number of 4-cycles of Q_d(f). A
@@ -159,22 +198,38 @@ func (a *DFA) CountEdges(d int) *big.Int {
 // between i and j two states (bit 0 and bit 1 at position i); after j four
 // states, one per combination of bits at i and j.
 func (a *DFA) CountSquares(d int) *big.Int {
+	var cs CountScratch
+	return a.CountSquaresInto(&cs, d)
+}
+
+// CountSquaresInto is CountSquares drawing its DP planes from the
+// scratch.
+func (a *DFA) CountSquaresInto(cs *CountScratch, d int) *big.Int {
 	if d < 0 {
 		panic("automaton: negative dimension")
 	}
 	m := a.m
-	dp1 := newBigs(m)             // before i
-	dp2 := newBigs(m * m)         // between i and j: (s0, s1)
-	dp4 := newBigs(m * m * m * m) // after j: (s00, s01, s10, s11)
-	nx1 := newBigs(m)
-	nx2 := newBigs(m * m)
-	nx4 := newBigs(m * m * m * m)
+	cs.v1 = plane(cs.v1, m) // before i
+	cs.v2 = plane(cs.v2, m)
+	cs.p1 = plane(cs.p1, m*m) // between i and j: (s0, s1)
+	cs.p2 = plane(cs.p2, m*m)
+	cs.q1 = plane(cs.q1, m*m*m*m) // after j: (s00, s01, s10, s11)
+	cs.q2 = plane(cs.q2, m*m*m*m)
+	dp1, nx1 := cs.v1, cs.v2
+	dp2, nx2 := cs.p1, cs.p2
+	dp4, nx4 := cs.q1, cs.q2
 	dp1[0].SetInt64(1)
 	at := func(s00, s01, s10, s11 int) int { return ((s00*m+s01)*m+s10)*m + s11 }
 	for pos := 0; pos < d; pos++ {
-		zero(nx1)
-		zero(nx2)
-		zero(nx4)
+		for i := range nx1 {
+			nx1[i].SetInt64(0)
+		}
+		for i := range nx2 {
+			nx2[i].SetInt64(0)
+		}
+		for i := range nx4 {
+			nx4[i].SetInt64(0)
+		}
 		for s := 0; s < m; s++ {
 			if dp1[s].Sign() == 0 {
 				continue
@@ -182,18 +237,18 @@ func (a *DFA) CountSquares(d int) *big.Int {
 			for c := 0; c < 2; c++ {
 				t := a.delta[s][c]
 				if t != a.m {
-					nx1[t].Add(nx1[t], dp1[s])
+					nx1[t].Add(&nx1[t], &dp1[s])
 				}
 			}
 			// This position is i: branch on the bit at i.
 			t0, t1 := a.delta[s][0], a.delta[s][1]
 			if t0 != a.m && t1 != a.m {
-				nx2[t0*m+t1].Add(nx2[t0*m+t1], dp1[s])
+				nx2[t0*m+t1].Add(&nx2[t0*m+t1], &dp1[s])
 			}
 		}
 		for s0 := 0; s0 < m; s0++ {
 			for s1 := 0; s1 < m; s1++ {
-				v := dp2[s0*m+s1]
+				v := &dp2[s0*m+s1]
 				if v.Sign() == 0 {
 					continue
 				}
@@ -202,14 +257,14 @@ func (a *DFA) CountSquares(d int) *big.Int {
 					if t0 == a.m || t1 == a.m {
 						continue
 					}
-					nx2[t0*m+t1].Add(nx2[t0*m+t1], v)
+					nx2[t0*m+t1].Add(&nx2[t0*m+t1], v)
 				}
 				// This position is j: branch on the bit at j in both copies.
 				s00, s01 := a.delta[s0][0], a.delta[s0][1]
 				s10, s11 := a.delta[s1][0], a.delta[s1][1]
 				if s00 != a.m && s01 != a.m && s10 != a.m && s11 != a.m {
 					k := at(s00, s01, s10, s11)
-					nx4[k].Add(nx4[k], v)
+					nx4[k].Add(&nx4[k], v)
 				}
 			}
 		}
@@ -217,7 +272,7 @@ func (a *DFA) CountSquares(d int) *big.Int {
 			for s01 := 0; s01 < m; s01++ {
 				for s10 := 0; s10 < m; s10++ {
 					for s11 := 0; s11 < m; s11++ {
-						v := dp4[at(s00, s01, s10, s11)]
+						v := &dp4[at(s00, s01, s10, s11)]
 						if v.Sign() == 0 {
 							continue
 						}
@@ -228,7 +283,7 @@ func (a *DFA) CountSquares(d int) *big.Int {
 								continue
 							}
 							k := at(t00, t01, t10, t11)
-							nx4[k].Add(nx4[k], v)
+							nx4[k].Add(&nx4[k], v)
 						}
 					}
 				}
@@ -238,23 +293,8 @@ func (a *DFA) CountSquares(d int) *big.Int {
 		dp2, nx2 = nx2, dp2
 		dp4, nx4 = nx4, dp4
 	}
-	total := new(big.Int)
-	for _, v := range dp4 {
-		total.Add(total, v)
-	}
-	return total
-}
-
-func newBigs(n int) []*big.Int {
-	out := make([]*big.Int, n)
-	for i := range out {
-		out[i] = new(big.Int)
-	}
-	return out
-}
-
-func zero(v []*big.Int) {
-	for _, x := range v {
-		x.SetInt64(0)
-	}
+	cs.v1, cs.v2 = dp1, nx1
+	cs.p1, cs.p2 = dp2, nx2
+	cs.q1, cs.q2 = dp4, nx4
+	return sumPlane(dp4)
 }

@@ -26,17 +26,21 @@ func Count(d int, f bitstr.Word) BigCounts {
 // passes: a long-running request can be abandoned after any of the vertex,
 // edge or square computations.
 func CountCtx(ctx context.Context, d int, f bitstr.Word) (BigCounts, error) {
-	a := automaton.New(f)
+	var cs automaton.CountScratch
+	return countCtx(ctx, &cs, automaton.New(f), d)
+}
+
+func countCtx(ctx context.Context, cs *automaton.CountScratch, a *automaton.DFA, d int) (BigCounts, error) {
 	var out BigCounts
-	out.V = a.CountVertices(d)
+	out.V = a.CountVerticesInto(cs, d)
 	if err := ctx.Err(); err != nil {
 		return BigCounts{}, err
 	}
-	out.E = a.CountEdges(d)
+	out.E = a.CountEdgesInto(cs, d)
 	if err := ctx.Err(); err != nil {
 		return BigCounts{}, err
 	}
-	out.S = a.CountSquares(d)
+	out.S = a.CountSquaresInto(cs, d)
 	return out, nil
 }
 
@@ -47,15 +51,26 @@ func CountSeq(dmax int, f bitstr.Word) []BigCounts {
 }
 
 // CountSeqCtx is CountSeq with cooperative cancellation between
-// dimensions: a long batch job can be abandoned after any d.
+// dimensions: a long batch job can be abandoned after any d. One DP
+// scratch is shared across the whole sequence, so the per-dimension
+// allocation cost is just the result values.
 func CountSeqCtx(ctx context.Context, dmax int, f bitstr.Word) ([]BigCounts, error) {
+	var cs automaton.CountScratch
+	return countSeqCtx(ctx, &cs, dmax, f)
+}
+
+func countSeqCtx(ctx context.Context, cs *automaton.CountScratch, dmax int, f bitstr.Word) ([]BigCounts, error) {
 	a := automaton.New(f)
 	out := make([]BigCounts, dmax+1)
 	for d := 0; d <= dmax; d++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		out[d] = BigCounts{V: a.CountVertices(d), E: a.CountEdges(d), S: a.CountSquares(d)}
+		c, err := countCtx(ctx, cs, a, d)
+		if err != nil {
+			return nil, err
+		}
+		out[d] = c
 	}
 	return out, nil
 }

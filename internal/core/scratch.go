@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"gfcube/internal/automaton"
 	"gfcube/internal/bitstr"
 	"gfcube/internal/graph"
 )
@@ -21,6 +22,7 @@ import (
 type Scratch struct {
 	col *ColumnBuilder
 	ms  *graph.MSBFS
+	cnt automaton.CountScratch
 
 	// Provider, when non-nil, is consulted by Cube before building: a
 	// store-backed provider substitutes artifact loads for constructions,
@@ -70,6 +72,18 @@ func (s *Scratch) engine(g *graph.Graph) *graph.MSBFS {
 	}
 	s.ms.Reset(g)
 	return s.ms
+}
+
+// Count is CountCtx drawing the transfer-matrix DP planes from the
+// scratch, so repeated counting cells on one worker stop churning
+// big.Int slices (see automaton.CountScratch).
+func (s *Scratch) Count(ctx context.Context, d int, f bitstr.Word) (BigCounts, error) {
+	return countCtx(ctx, &s.cnt, automaton.New(f), d)
+}
+
+// CountSeq is CountSeqCtx through the scratch's DP planes.
+func (s *Scratch) CountSeq(ctx context.Context, dmax int, f bitstr.Word) ([]BigCounts, error) {
+	return countSeqCtx(ctx, &s.cnt, dmax, f)
 }
 
 // IsIsometric is the exact single-threaded embeddability check of

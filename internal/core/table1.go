@@ -1,6 +1,10 @@
 package core
 
-import "gfcube/internal/bitstr"
+import (
+	"sync"
+
+	"gfcube/internal/bitstr"
+)
 
 // AllD marks a Table 1 row whose factor yields an isometric subgraph for
 // every dimension d.
@@ -63,15 +67,25 @@ var Table1 = []Table1Row{
 	{"11010", AllD, "Proposition 5.1"},
 }
 
+// table1Index maps each row's canonical class representative to the row,
+// built once on first lookup. Hot sweep paths (the E02 benchmark
+// verifier, survey theory columns) call Table1Lookup per cell, so the
+// old per-call rescan that recanonicalized all 22 rows was measurable.
+var table1Index struct {
+	once sync.Once
+	m    map[bitstr.Word]Table1Row
+}
+
 // Table1Lookup returns the Table 1 row whose complement/reversal class
 // contains f, and whether one exists (it does for every nonempty f with
 // |f| <= 5).
 func Table1Lookup(f bitstr.Word) (Table1Row, bool) {
-	canon := bitstr.CanonicalRepresentative(f)
-	for _, row := range Table1 {
-		if bitstr.CanonicalRepresentative(row.Word()) == canon {
-			return row, true
+	table1Index.once.Do(func() {
+		table1Index.m = make(map[bitstr.Word]Table1Row, len(Table1))
+		for _, row := range Table1 {
+			table1Index.m[bitstr.CanonicalRepresentative(row.Word())] = row
 		}
-	}
-	return Table1Row{}, false
+	})
+	row, ok := table1Index.m[bitstr.CanonicalRepresentative(f)]
+	return row, ok
 }

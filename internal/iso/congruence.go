@@ -1,0 +1,145 @@
+package iso
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Mapping is a verified congruence certificate between two spaces:
+// Mapping[i] is the index in the target's word list of the image of the
+// source's i-th word. Every vertex pair was distance-checked during the
+// search, so a returned Mapping is proof, not a candidate.
+type Mapping []int32
+
+// findCongruence searches for a Hamming-distance-preserving bijection
+// from a onto b. The search maps vertices in most-constrained-color-first
+// order and checks every candidate image against all previously mapped
+// vertices, so a completed assignment has verified all n·(n-1)/2 pairs.
+// The budget bounds the number of pair checks; exhausting it returns
+// (nil, false), which callers treat as "not congruent" — a safe answer
+// that only costs dedup.
+func findCongruence(a, b *space, budget int64) (Mapping, bool) {
+	n := a.n()
+	if n != b.n() || a.d != b.d {
+		return nil, false
+	}
+	if n == 0 {
+		return Mapping{}, true
+	}
+	// Candidate images per color. Color multisets must agree (they do
+	// when fingerprints match, but findCongruence does not assume its
+	// caller checked).
+	cand := make(map[uint64][]int32, n)
+	for j := 0; j < n; j++ {
+		cand[b.colors[j]] = append(cand[b.colors[j]], int32(j))
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	classSize := make([]int, n)
+	for i := 0; i < n; i++ {
+		cs := cand[a.colors[i]]
+		if cs == nil {
+			return nil, false
+		}
+		classSize[i] = len(cs)
+	}
+	// Most-constrained first: small color classes pin the map early;
+	// ties break on color then word value for determinism.
+	sort.Slice(order, func(x, y int) bool {
+		i, j := order[x], order[y]
+		if classSize[i] != classSize[j] {
+			return classSize[i] < classSize[j]
+		}
+		if a.colors[i] != a.colors[j] {
+			return a.colors[i] < a.colors[j]
+		}
+		return a.words[i] < a.words[j]
+	})
+
+	img := make(Mapping, n)
+	for i := range img {
+		img[i] = -1
+	}
+	used := make([]bool, n)
+	// next[k] is the position in cand[color(order[k])] to try next when
+	// the search returns to depth k.
+	next := make([]int, n)
+	depth := 0
+	for depth >= 0 {
+		if depth == n {
+			return img, true
+		}
+		v := order[depth]
+		cs := cand[a.colors[v]]
+		found := false
+		for next[depth] < len(cs) {
+			w := cs[next[depth]]
+			next[depth]++
+			if used[w] {
+				continue
+			}
+			ok := true
+			wv := a.words[v]
+			ww := b.words[w]
+			for k := 0; k < depth; k++ {
+				u := order[k]
+				budget--
+				if budget < 0 {
+					return nil, false
+				}
+				if bits.OnesCount64(wv^a.words[u]) != bits.OnesCount64(ww^b.words[img[u]]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				img[v] = w
+				used[w] = true
+				found = true
+				break
+			}
+		}
+		if found {
+			depth++
+			if depth < n {
+				next[depth] = 0
+			}
+			continue
+		}
+		// Exhausted candidates at this depth: backtrack.
+		depth--
+		if depth >= 0 {
+			v := order[depth]
+			used[img[v]] = false
+			img[v] = -1
+		}
+	}
+	return nil, false
+}
+
+// verifyCongruence independently re-checks a mapping pair by pair. The
+// search already guarantees this; tests use it as a second opinion and
+// the baked-table generator runs it before committing a merge.
+func verifyCongruence(a, b *space, m Mapping) bool {
+	n := a.n()
+	if b.n() != n || len(m) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, w := range m {
+		if w < 0 || int(w) >= n || seen[w] {
+			return false
+		}
+		seen[w] = true
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if bits.OnesCount64(a.words[i]^a.words[j]) != bits.OnesCount64(b.words[m[i]]^b.words[m[j]]) {
+				return false
+			}
+		}
+	}
+	return true
+}

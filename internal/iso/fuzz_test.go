@@ -1,0 +1,105 @@
+package iso
+
+import (
+	"testing"
+
+	"gfcube/internal/automaton"
+	"gfcube/internal/bitstr"
+)
+
+// FuzzIsoFingerprint checks the fingerprint's defining property:
+// congruent inputs produce equal fingerprints. Every automorphism of the
+// hypercube is a coordinate permutation composed with an XOR translation,
+// so applying a random (π, t) to V(Q_d(f)) yields a congruent image set;
+// the fingerprints must match bit for bit. On small instances the fuzz
+// additionally drives the congruence search, which must rediscover a
+// verifiable bijection between the set and its image.
+func FuzzIsoFingerprint(f *testing.F) {
+	f.Add(uint64(0b0011), uint8(4), uint8(6), uint64(12345), uint64(7))
+	f.Add(uint64(0b101), uint8(3), uint8(5), uint64(99), uint64(0))
+	f.Add(uint64(0b1), uint8(1), uint8(4), uint64(1), uint64(15))
+	f.Add(uint64(0b00110), uint8(5), uint8(7), uint64(777), uint64(42))
+	f.Fuzz(func(t *testing.T, fbits uint64, flen, dim uint8, permSeed, trans uint64) {
+		n := int(flen)%5 + 1
+		d := int(dim)%8 + 1
+		factor := bitstr.New(fbits&((1<<uint(n))-1), n)
+		words := automaton.New(factor).Vertices(d)
+
+		perm := randPerm(d, permSeed)
+		tr := trans & ((1 << uint(d)) - 1)
+		image := make([]uint64, len(words))
+		for i, w := range words {
+			var x uint64
+			for b := 0; b < d; b++ {
+				x |= ((w >> uint(b)) & 1) << uint(perm[b])
+			}
+			image[i] = x ^ tr
+		}
+
+		a := newSpace(d, words)
+		b := newSpace(d, image)
+		if !a.fp.Equal(b.fp) {
+			t.Fatalf("fingerprint not invariant: f=%s d=%d perm=%v trans=%b", factor, d, perm, tr)
+		}
+		if a.n() != b.n() {
+			t.Fatalf("automorphism changed the order: %d vs %d", a.n(), b.n())
+		}
+		// The search must certify what we constructed, when the instance
+		// is small enough to keep the fuzz round fast.
+		if a.n() <= 128 {
+			m, ok := findCongruence(a, b, 1<<24)
+			if !ok {
+				t.Fatalf("search missed a congruence that exists by construction: f=%s d=%d", factor, d)
+			}
+			if !verifyCongruence(a, b, m) {
+				t.Fatalf("search produced an unverifiable mapping: f=%s d=%d", factor, d)
+			}
+		}
+	})
+}
+
+// randPerm derives a deterministic permutation of 0..d-1 from the seed
+// by Fisher-Yates over a splitmix64 stream.
+func randPerm(d int, seed uint64) []int {
+	perm := make([]int, d)
+	for i := range perm {
+		perm[i] = i
+	}
+	state := seed
+	nextRand := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		return mix64(state)
+	}
+	for i := d - 1; i > 0; i-- {
+		j := int(nextRand() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// TestFingerprintDetectsPerturbation is the negative control for the
+// fuzz property: swapping one vertex of Q_6(0011) for a word outside the
+// set changes the metric space and must change the fingerprint.
+func TestFingerprintDetectsPerturbation(t *testing.T) {
+	words := automaton.New(bitstr.MustParse("0011")).Vertices(6)
+	present := make(map[uint64]bool, len(words))
+	for _, w := range words {
+		present[w] = true
+	}
+	var outside uint64
+	found := false
+	for w := uint64(0); w < 1<<6; w++ {
+		if !present[w] {
+			outside, found = w, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("factor never occurs at this dimension")
+	}
+	mutated := append([]uint64(nil), words[1:]...)
+	mutated = append(mutated, outside)
+	if FingerprintSet(6, words).Equal(FingerprintSet(6, mutated)) {
+		t.Fatalf("fingerprint blind to a vertex-set mutation")
+	}
+}

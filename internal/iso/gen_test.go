@@ -1,0 +1,45 @@
+package iso
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"gfcube/internal/core"
+)
+
+// TestGenerateBakedTable prints the Go source of bakedPartitions from a
+// fresh computation. It is a generator, not a test: run it with
+//
+//	ISO_BAKE=1 go test ./internal/iso -run TestGenerateBakedTable -v
+//
+// and replace the literal in table_data.go with its output. The baked
+// data's correctness is enforced separately by
+// TestBakedTableMatchesComputed.
+func TestGenerateBakedTable(t *testing.T) {
+	if os.Getenv("ISO_BAKE") == "" {
+		t.Skip("set ISO_BAKE=1 to regenerate the baked partition table")
+	}
+	classes := core.Classes(1, bakedMaxLen)
+	var sb strings.Builder
+	sb.WriteString("var bakedPartitions = [bakedMaxD][][]string{\n")
+	for d := 1; d <= bakedMaxD; d++ {
+		p := computePartition(d, classes, Options{})
+		fmt.Fprintf(&sb, "\t{ // d = %d: %d groups\n", d, p.NumGroups())
+		for _, g := range p.Groups {
+			sb.WriteString("\t\t{")
+			for i, m := range g.Members {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "%q", m.Rep.String())
+			}
+			sb.WriteString("},\n")
+		}
+		sb.WriteString("\t},\n")
+	}
+	sb.WriteString("}\n")
+	t.Logf("generated table:\n%s", sb.String())
+	fmt.Println(sb.String())
+}

@@ -1,0 +1,307 @@
+// Package iso computes isomorphism-class fingerprints and verified
+// congruence partitions for generalized Fibonacci cubes Q_d(f).
+//
+// The sweep engine already dedupes the (f, d) grid by the paper's
+// complement/reversal symmetry (Lemmas 2.2 and 2.3, at most 4x). But many
+// canonical factor classes that the symmetry keeps apart still yield
+// isomorphic cubes (Azarija-Klavžar-Lee-Pantone-Rho, arXiv:1402.6377), so
+// the grid recomputes work that is provably identical. This package
+// partitions canonical classes into equivalence groups per dimension so
+// the sweep computes one representative per group and fans the result out.
+//
+// # Hamming congruence, not bare graph isomorphism
+//
+// Two factors f, g are merged at dimension d only when there is a verified
+// HAMMING-DISTANCE-PRESERVING bijection φ: V(Q_d(f)) → V(Q_d(g)) — a
+// congruence of the induced metric spaces, strictly stronger than an
+// abstract graph isomorphism. The distinction matters: the sweep's central
+// verdict is "Q_d(f) is isometric in Q_d", which is a property of the
+// natural embedding, not of the abstract graph. A congruence transfers it
+// exactly: graph adjacency is Hamming distance 1, so φ is a graph
+// isomorphism both ways, graph distances transfer (d_G(u,v) = d_G(φu,φv)),
+// and hence d_G = H holds for all pairs in Q_d(f) iff it does in Q_d(g).
+// The same argument transfers vertex/edge/square counts, degree profiles,
+// connectivity, the exact Wiener index, the Hamming-Wiener sum, and the
+// existence of Lemma 2.4 critical pairs (a p-critical pair is definable
+// purely in the metric: the "flip toward the partner" vertices are exactly
+// the w ∈ V with H(u,w) = 1 and H(v,w) = p-1). What does NOT transfer is
+// anything naming concrete vertices — violating-pair witnesses — which
+// consumers recompute per member.
+//
+// # Refinement ladder
+//
+// A candidate pair (f, g) at dimension d passes through ever-stronger
+// filters; a verified congruence is only ever produced by the last two:
+//
+//  1. order: |V| must agree (transfer-matrix DP, any d).
+//  2. full-cube shortcut: |V| = 2^d means neither factor occurs; both
+//     vertex sets are all of {0,1}^d and the identity is a congruence.
+//  3. minus-one shortcut: |V| = 2^d - 1 means exactly one word contains
+//     the factor; the XOR translation x ↦ x ⊕ (w_f ⊕ w_g) is a congruence.
+//  4. fingerprint: a congruence-invariant hash (order, degree histogram,
+//     Hamming and graph distance pair histograms, iterated per-vertex
+//     joint (H, d_G) Weisfeiler-Leman color refinement). Every component
+//     is a true congruence invariant, so unequal fingerprints PROVE the
+//     pair non-congruent; equal fingerprints prove nothing and only
+//     admit the pair to the search.
+//  5. search: a budget-capped backtracking search for an explicit
+//     bijection, ordered most-constrained-color-first, checking every new
+//     image against all previously mapped pairs. A completed mapping has
+//     had every vertex pair verified, so it IS a congruence certificate.
+//
+// Any failure (order mismatch, fingerprint mismatch, exhausted budget,
+// vertex sets too large to enumerate) keeps the classes separate, which
+// costs duplicate compute but never correctness.
+package iso
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/bits"
+	"sort"
+
+	"gfcube/internal/graph"
+)
+
+// Fingerprint is the congruence-invariant signature of one vertex set
+// V ⊆ {0,1}^d under the Hamming metric and the induced subgraph metric.
+// Equal fingerprints are necessary but not sufficient for congruence.
+type Fingerprint struct {
+	// N is the order |V| and M the number of Hamming-distance-1 pairs
+	// (the edge count of Q_d(f) when V is its vertex set).
+	N int
+	M int64
+	// Hash digests d, the order, the degree histogram, the Hamming and
+	// graph distance pair histograms, and the stable multiset of WL
+	// refinement colors.
+	Hash [sha256.Size]byte
+}
+
+// Equal reports whether two fingerprints are identical.
+func (fp Fingerprint) Equal(o Fingerprint) bool {
+	return fp.N == o.N && fp.M == o.M && fp.Hash == o.Hash
+}
+
+// wlRounds bounds the Weisfeiler-Leman refinement iterations after the
+// initial joint-profile coloring. The initial colors already encode the
+// full per-vertex (Hamming, graph) distance profile, so two rounds of
+// neighborhood mixing settle every partition seen in the |f| <= 5 census.
+const wlRounds = 2
+
+// space is the working representation of one vertex set: sorted words,
+// the induced graph, the dense graph-distance matrix and the final WL
+// colors. It is the unit the congruence search operates on.
+type space struct {
+	d     int
+	words []uint64 // ascending, deduplicated
+	g     *graph.Graph
+	// dist[i*n+j] is the graph distance between words i and j, -1 when
+	// unreachable. int16 keeps the matrix at 2 bytes per pair; distances
+	// in an n-vertex graph fit easily.
+	dist   []int16
+	colors []uint64
+	fp     Fingerprint
+}
+
+// newSpace enumerates nothing itself: the caller supplies the words
+// (from automaton.Vertices or a test harness). Words are copied, sorted
+// and deduplicated, so the caller's slice is not retained.
+func newSpace(d int, words []uint64) *space {
+	s := &space{d: d, words: append([]uint64(nil), words...)}
+	sort.Slice(s.words, func(i, j int) bool { return s.words[i] < s.words[j] })
+	n := 0
+	for i, w := range s.words {
+		if i == 0 || w != s.words[n-1] {
+			s.words[n] = w
+			n++
+		}
+	}
+	s.words = s.words[:n]
+	s.buildGraph()
+	s.computeDistances()
+	s.computeColors()
+	s.computeFingerprint()
+	return s
+}
+
+func (s *space) n() int { return len(s.words) }
+
+// indexOf locates a word by binary search, -1 when absent.
+func (s *space) indexOf(w uint64) int {
+	i := sort.Search(len(s.words), func(i int) bool { return s.words[i] >= w })
+	if i < len(s.words) && s.words[i] == w {
+		return i
+	}
+	return -1
+}
+
+// buildGraph connects words at Hamming distance 1. Each edge is added
+// once, from its lexicographically smaller endpoint.
+func (s *space) buildGraph() {
+	b := graph.NewBuilder(s.n())
+	for i, w := range s.words {
+		for bit := 0; bit < s.d; bit++ {
+			x := w ^ (1 << uint(bit))
+			if x <= w {
+				continue
+			}
+			if j := s.indexOf(x); j >= 0 {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	s.g = b.Build()
+}
+
+// computeDistances fills the dense all-pairs graph-distance matrix with
+// the MS-BFS engine (bit-parallel batches of sources).
+func (s *space) computeDistances() {
+	n := s.n()
+	s.dist = make([]int16, n*n)
+	eng := graph.NewMSBFS(s.g)
+	eng.RunAll(func(b *graph.DistBlock) bool {
+		for bi, src := range b.Sources {
+			row := b.Row(bi)
+			base := int(src) * n
+			for j, dv := range row {
+				if dv == graph.Unreachable {
+					s.dist[base+j] = -1
+				} else {
+					s.dist[base+j] = int16(dv)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mix64 is the splitmix64 finalizer: the stable mixing primitive of the
+// WL refinement. All multiset accumulation is commutative (wrapping sums
+// of mixed terms), so colors are invariant under vertex relabeling.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// pairTerm encodes one (Hamming distance, graph distance) observation.
+// Graph distance -1 (unreachable) maps to 0 after the +1 shift.
+func pairTerm(h int, dg int16) uint64 {
+	return mix64(uint64(h)<<32 | uint64(uint32(dg+1)))
+}
+
+// computeColors assigns each vertex its joint (H, d_G) profile color and
+// then runs wlRounds of neighborhood-mixing refinement over the complete
+// pair relation. Refinement stops early once the number of distinct
+// colors stabilizes.
+func (s *space) computeColors() {
+	n := s.n()
+	s.colors = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		var acc uint64
+		wi := s.words[i]
+		base := i * n
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			acc += pairTerm(bits.OnesCount64(wi^s.words[j]), s.dist[base+j])
+		}
+		s.colors[i] = mix64(acc ^ uint64(n))
+	}
+	distinct := countDistinct(s.colors)
+	next := make([]uint64, n)
+	for round := 0; round < wlRounds && distinct < n; round++ {
+		for i := 0; i < n; i++ {
+			var acc uint64
+			wi := s.words[i]
+			base := i * n
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				acc += mix64(s.colors[j] + pairTerm(bits.OnesCount64(wi^s.words[j]), s.dist[base+j]))
+			}
+			next[i] = mix64(s.colors[i] ^ acc)
+		}
+		s.colors, next = next, s.colors
+		nd := countDistinct(s.colors)
+		if nd == distinct {
+			break
+		}
+		distinct = nd
+	}
+}
+
+func countDistinct(colors []uint64) int {
+	seen := make(map[uint64]struct{}, len(colors))
+	for _, c := range colors {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}
+
+// computeFingerprint digests every invariant the space computed: order,
+// edge count, degree histogram, Hamming and graph distance histograms
+// over ordered pairs, and the sorted WL color multiset.
+func (s *space) computeFingerprint() {
+	n := s.n()
+	s.fp.N = n
+	s.fp.M = int64(s.g.M())
+	h := sha256.New()
+	writeU64 := func(v uint64) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeU64(uint64(s.d))
+	writeU64(uint64(n))
+	writeU64(uint64(s.fp.M))
+	degHist := make([]uint64, s.d+1)
+	for i := 0; i < n; i++ {
+		degHist[s.g.Degree(i)]++
+	}
+	for _, c := range degHist {
+		writeU64(c)
+	}
+	hamHist := make([]uint64, s.d+1)
+	// distHist[k+1] counts ordered pairs at graph distance k; slot 0
+	// counts unreachable pairs. Graph distances never exceed n-1.
+	distHist := make([]uint64, n+1)
+	for i := 0; i < n; i++ {
+		wi := s.words[i]
+		base := i * n
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			hamHist[bits.OnesCount64(wi^s.words[j])]++
+			distHist[s.dist[base+j]+1]++
+		}
+	}
+	for _, c := range hamHist {
+		writeU64(c)
+	}
+	for k, c := range distHist {
+		if c != 0 {
+			writeU64(uint64(k))
+			writeU64(c)
+		}
+	}
+	sorted := append([]uint64(nil), s.colors...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, c := range sorted {
+		writeU64(c)
+	}
+	copy(s.fp.Hash[:], h.Sum(nil))
+}
+
+// FingerprintSet computes the congruence-invariant fingerprint of an
+// arbitrary word set V ⊆ {0,1}^d. Exported for cross-checks and fuzzing;
+// partition construction uses the richer internal space representation.
+func FingerprintSet(d int, words []uint64) Fingerprint {
+	return newSpace(d, words).fp
+}

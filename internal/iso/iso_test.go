@@ -1,0 +1,209 @@
+package iso
+
+import (
+	"fmt"
+	"testing"
+
+	"gfcube/internal/automaton"
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+)
+
+// TestBakedTableMatchesComputed recomputes the partition from scratch
+// and compares it against the committed baked data. The |f| <= 4, d <= 8
+// sub-grid always runs; the full baked universe (|f| <= 5, d <= 12) is
+// covered unless -short.
+func TestBakedTableMatchesComputed(t *testing.T) {
+	maxLen, maxD := 4, 8
+	if !testing.Short() {
+		maxLen, maxD = bakedMaxLen, bakedMaxD
+	}
+	classes := core.Classes(1, maxLen)
+	for d := 1; d <= maxD; d++ {
+		baked, ok := bakedAt(d, classes)
+		if !ok {
+			t.Fatalf("d=%d: baked table did not serve the census grid", d)
+		}
+		computed := computePartition(d, classes, Options{})
+		if err := samePartition(baked, computed); err != nil {
+			t.Errorf("d=%d: baked table drifted from fresh computation: %v", d, err)
+		}
+	}
+}
+
+func samePartition(a, b *Partition) error {
+	if a.NumGroups() != b.NumGroups() {
+		return fmt.Errorf("groups: %d vs %d", a.NumGroups(), b.NumGroups())
+	}
+	for gi, g := range a.Groups {
+		h := b.Groups[gi]
+		if g.Leader.Rep != h.Leader.Rep || len(g.Members) != len(h.Members) {
+			return fmt.Errorf("group %d: leader %s/%d vs %s/%d", gi, g.Leader.Rep, len(g.Members), h.Leader.Rep, len(h.Members))
+		}
+		for mi, m := range g.Members {
+			if m.Rep != h.Members[mi].Rep {
+				return fmt.Errorf("group %d member %d: %s vs %s", gi, mi, m.Rep, h.Members[mi].Rep)
+			}
+		}
+	}
+	return nil
+}
+
+// TestPartitionShortcutTiers pins the two shortcut tiers: at d = 1 every
+// factor longer than 1 never occurs, so all of them form one full-cube
+// group; at d = |f| exactly one word contains each factor, so all
+// classes of that length merge through the translation shortcut.
+func TestPartitionShortcutTiers(t *testing.T) {
+	classes := core.Classes(1, 5)
+	p := At(1, classes)
+	if p.NumGroups() != 2 {
+		t.Fatalf("d=1: %d groups, want 2 (the length-1 class apart from one full-cube group)", p.NumGroups())
+	}
+	for _, cl := range classes {
+		if cl.Rep.Len() == 1 {
+			continue
+		}
+		if lead := p.Leader(cl.Rep); lead != bitstr.MustParse("00") {
+			t.Errorf("d=1: leader of %s = %s, want 00", cl.Rep, lead)
+		}
+	}
+	// d = 4: the six length-4 classes are Q_4 minus one vertex each.
+	p = At(4, classes)
+	g, ok := p.GroupOf(bitstr.MustParse("0000"))
+	if !ok || len(g.Members) != 6 {
+		t.Fatalf("d=4: length-4 group has %d members, want all 6", len(g.Members))
+	}
+}
+
+// TestKnownSearchedMerge verifies one nontrivial merge end to end: at
+// d = 5, Q_5(0001) and Q_5(0011) are congruent only via the searched
+// bijection (orders match but neither shortcut applies), and the found
+// mapping survives independent re-verification.
+func TestKnownSearchedMerge(t *testing.T) {
+	a := newSpace(5, automaton.New(bitstr.MustParse("0001")).Vertices(5))
+	b := newSpace(5, automaton.New(bitstr.MustParse("0011")).Vertices(5))
+	if a.n() != b.n() {
+		t.Fatalf("orders differ: %d vs %d", a.n(), b.n())
+	}
+	if !a.fp.Equal(b.fp) {
+		t.Fatalf("fingerprints differ for a known-congruent pair")
+	}
+	m, ok := findCongruence(a, b, 1<<24)
+	if !ok {
+		t.Fatalf("no congruence found for 0001/0011 at d=5")
+	}
+	if !verifyCongruence(a, b, m) {
+		t.Fatalf("found mapping failed independent verification")
+	}
+	// And the partition agrees.
+	p := At(5, core.Classes(4, 4))
+	if p.Leader(bitstr.MustParse("0011")) != bitstr.MustParse("0001") {
+		t.Errorf("partition did not merge 0011 into 0001 at d=5")
+	}
+}
+
+// TestFingerprintSeparatesKnownDistinct pins a pair that ties on order
+// but is provably non-congruent: the fingerprint (a true congruence
+// invariant) must differ, because the paper's Table 1 gives the two
+// cubes different isometry verdicts at d = 7 (Q_7(0001) embeds
+// isometrically, Q_7(0011) does not; congruence would transfer the
+// verdict).
+func TestFingerprintSeparatesKnownDistinct(t *testing.T) {
+	a := FingerprintSet(7, automaton.New(bitstr.MustParse("0001")).Vertices(7))
+	b := FingerprintSet(7, automaton.New(bitstr.MustParse("0011")).Vertices(7))
+	if a.N != b.N {
+		t.Fatalf("expected an order tie, got %d vs %d", a.N, b.N)
+	}
+	if a.Equal(b) {
+		t.Fatalf("fingerprints agree on a provably non-congruent pair")
+	}
+}
+
+// TestBandIsMeet checks that the band partition merges exactly the
+// classes congruent at every dimension of the band.
+func TestBandIsMeet(t *testing.T) {
+	classes := core.Classes(1, 5)
+	// Band [1,4]: length-5 classes are full cubes at every d <= 4, so
+	// they all merge; length-4 classes merge with them for d <= 3 but
+	// split at d = 4 (minus-one vs full), so the meet separates them.
+	p := Band(1, 4, classes)
+	five := p.Leader(bitstr.MustParse("01110"))
+	if five != bitstr.MustParse("00000") {
+		t.Errorf("band [1,4]: length-5 classes should share one group, leader = %s", five)
+	}
+	if p.Leader(bitstr.MustParse("0000")) == five {
+		t.Errorf("band [1,4]: length-4 classes must split from length-5 at d=4")
+	}
+	// Band [1,12] over the census: the per-d singletons at d >= 7 force
+	// the meet down to per-class granularity except where every
+	// dimension agrees.
+	p = Band(1, 12, classes)
+	for _, cl := range classes {
+		if got := p.Leader(cl.Rep); got != cl.Rep {
+			t.Errorf("band [1,12]: %s unexpectedly led by %s", cl.Rep, got)
+		}
+	}
+}
+
+// TestLeaderPrecedesMembers checks the grid-order guarantee sweeps rely
+// on: in core.Classes order, a group's leader is always its first
+// member, so the leader's cell is computed before any member's cell is
+// fanned.
+func TestLeaderPrecedesMembers(t *testing.T) {
+	classes := core.Classes(1, 5)
+	pos := make(map[bitstr.Word]int)
+	for i, cl := range classes {
+		pos[cl.Rep] = i
+	}
+	for d := 1; d <= 12; d++ {
+		p := At(d, classes)
+		for _, g := range p.Groups {
+			if g.Members[0].Rep != g.Leader.Rep {
+				t.Fatalf("d=%d: group leader %s is not its first member", d, g.Leader.Rep)
+			}
+			for _, m := range g.Members {
+				if pos[m.Rep] < pos[g.Leader.Rep] {
+					t.Fatalf("d=%d: member %s precedes leader %s in grid order", d, m.Rep, g.Leader.Rep)
+				}
+			}
+		}
+	}
+}
+
+// TestComputedPathOutsideBakedUniverse exercises the runtime compute
+// path (and its memo cache) on a grid the baked table does not cover.
+func TestComputedPathOutsideBakedUniverse(t *testing.T) {
+	classes := core.Classes(6, 6)
+	p := At(3, classes)
+	// At d = 3 every length-6 factor is absent: one full-cube group.
+	if p.NumGroups() != 1 {
+		t.Fatalf("d=3 |f|=6: %d groups, want 1", p.NumGroups())
+	}
+	if q := At(3, classes); q != p {
+		t.Errorf("memo cache miss on identical request")
+	}
+}
+
+// TestVerifyCongruenceRejects feeds corrupted mappings to the verifier.
+func TestVerifyCongruenceRejects(t *testing.T) {
+	a := newSpace(5, automaton.New(bitstr.MustParse("0001")).Vertices(5))
+	b := newSpace(5, automaton.New(bitstr.MustParse("0011")).Vertices(5))
+	m, ok := findCongruence(a, b, 1<<24)
+	if !ok {
+		t.Fatal("search failed")
+	}
+	bad := append(Mapping(nil), m...)
+	bad[0], bad[1] = bad[1], bad[0] // almost certainly breaks some pair
+	if verifyCongruence(a, b, bad) {
+		t.Errorf("verifier accepted a transposed mapping")
+	}
+	short := m[:len(m)-1]
+	if verifyCongruence(a, b, short) {
+		t.Errorf("verifier accepted a truncated mapping")
+	}
+	dup := append(Mapping(nil), m...)
+	dup[0] = dup[1]
+	if verifyCongruence(a, b, dup) {
+		t.Errorf("verifier accepted a non-injective mapping")
+	}
+}

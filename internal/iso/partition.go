@@ -1,0 +1,289 @@
+package iso
+
+import (
+	"math/big"
+	"strings"
+	"sync"
+
+	"gfcube/internal/automaton"
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+)
+
+// Options tunes partition construction. The zero value uses the package
+// defaults; they are the ones the baked table was generated with.
+type Options struct {
+	// MaxN caps the vertex-set size that is enumerated for fingerprints
+	// and congruence searches (default 4096 = the full Q_12). Larger
+	// cells merge only through the full-cube / minus-one shortcuts,
+	// which need no enumeration.
+	MaxN int
+	// Budget caps pair-distance checks per congruence search; zero
+	// derives 8·n² + 2^20 from the instance size, enough for every
+	// successful search in the census while bounding adversarial
+	// backtracking.
+	Budget int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxN <= 0 {
+		o.MaxN = 4096
+	}
+	return o
+}
+
+// maxEnumD bounds enumeration: vertex words are packed uint64 bitstrings.
+const maxEnumD = bitstr.MaxLen
+
+// Group is one congruence class of canonical factor classes at a fixed
+// dimension (or across a band): every member's Q_d(f) admits a verified
+// Hamming-congruence onto the leader's.
+type Group struct {
+	// Leader is the first member in the caller's class order — for grid
+	// sweeps the grid-first class, so a leader's cell always precedes
+	// its members' cells.
+	Leader core.Class
+	// Members lists the whole group in caller order, Leader first.
+	Members []core.Class
+}
+
+// Partition is the congruence partition of a class list at one dimension
+// (D >= 0) or over a dimension band (D = -1, the per-dimension meet).
+type Partition struct {
+	D      int
+	Groups []Group
+	leader map[bitstr.Word]int // class rep -> group index
+}
+
+// Leader returns the group leader's class for a member representative;
+// classes the partition has never seen lead themselves.
+func (p *Partition) Leader(rep bitstr.Word) bitstr.Word {
+	if gi, ok := p.leader[rep]; ok {
+		return p.Groups[gi].Leader.Rep
+	}
+	return rep
+}
+
+// GroupOf returns the group containing rep, or false.
+func (p *Partition) GroupOf(rep bitstr.Word) (Group, bool) {
+	gi, ok := p.leader[rep]
+	if !ok {
+		return Group{}, false
+	}
+	return p.Groups[gi], true
+}
+
+// NumClasses is the number of factor classes partitioned.
+func (p *Partition) NumClasses() int { return len(p.leader) }
+
+// NumGroups is the number of congruence groups.
+func (p *Partition) NumGroups() int { return len(p.Groups) }
+
+func (p *Partition) index() {
+	p.leader = make(map[bitstr.Word]int)
+	for gi, g := range p.Groups {
+		for _, m := range g.Members {
+			p.leader[m.Rep] = gi
+		}
+	}
+}
+
+// At returns the verified congruence partition of the classes at
+// dimension d. Classes must be listed in a deterministic order (grids
+// pass core.Classes order); the first member of each group leads it.
+// Results for the |f| <= 5, d <= 12 census come from the baked verified
+// table; anything else is computed and memoized process-wide.
+func At(d int, classes []core.Class) *Partition {
+	return AtOpts(d, classes, Options{})
+}
+
+// AtOpts is At with explicit construction options. Options only affect
+// the computed path; baked lookups ignore them.
+func AtOpts(d int, classes []core.Class, opt Options) *Partition {
+	if p, ok := bakedAt(d, classes); ok {
+		return p
+	}
+	key := cacheKey(d, classes, opt)
+	partMu.Lock()
+	p, ok := partCache[key]
+	partMu.Unlock()
+	if ok {
+		return p
+	}
+	p = computePartition(d, classes, opt)
+	partMu.Lock()
+	if len(partCache) > maxCachedPartitions {
+		partCache = make(map[string]*Partition)
+	}
+	partCache[key] = p
+	partMu.Unlock()
+	return p
+}
+
+// Band returns the meet of the per-dimension partitions over
+// [minD, maxD]: classes grouped together only when they are congruent at
+// EVERY dimension of the band. This is the partition class-granular
+// workloads (survey scans, fabric shard affinity) need — any dimension a
+// member's scan visits is covered by the certificate.
+func Band(minD, maxD int, classes []core.Class) *Partition {
+	return BandOpts(minD, maxD, classes, Options{})
+}
+
+// BandOpts is Band with explicit construction options.
+func BandOpts(minD, maxD int, classes []core.Class, opt Options) *Partition {
+	if minD < 1 {
+		minD = 1
+	}
+	p := &Partition{D: -1}
+	if maxD < minD || len(classes) == 0 {
+		p.index()
+		return p
+	}
+	// sig[i] identifies class i's group tuple across the band.
+	sigs := make([]string, len(classes))
+	var sb strings.Builder
+	for d := minD; d <= maxD; d++ {
+		pd := AtOpts(d, classes, opt)
+		for i, cl := range classes {
+			sb.Reset()
+			sb.WriteString(sigs[i])
+			sb.WriteByte('|')
+			sb.WriteString(pd.Leader(cl.Rep).String())
+			sigs[i] = sb.String()
+		}
+	}
+	bySig := make(map[string]int)
+	for i, cl := range classes {
+		gi, ok := bySig[sigs[i]]
+		if !ok {
+			gi = len(p.Groups)
+			bySig[sigs[i]] = gi
+			p.Groups = append(p.Groups, Group{Leader: cl})
+		}
+		p.Groups[gi].Members = append(p.Groups[gi].Members, cl)
+	}
+	p.index()
+	return p
+}
+
+const maxCachedPartitions = 1 << 12
+
+var (
+	partMu    sync.Mutex
+	partCache = map[string]*Partition{}
+)
+
+func cacheKey(d int, classes []core.Class, opt Options) string {
+	var sb strings.Builder
+	sb.WriteString("d=")
+	sb.WriteString(big.NewInt(int64(d)).String())
+	sb.WriteString("/n=")
+	sb.WriteString(big.NewInt(int64(opt.MaxN)).String())
+	sb.WriteString("/b=")
+	sb.WriteString(big.NewInt(opt.Budget).String())
+	for _, cl := range classes {
+		sb.WriteByte(' ')
+		sb.WriteString(cl.Rep.String())
+	}
+	return sb.String()
+}
+
+// classWork is the per-class state of one partition computation: the
+// order (always computed) and the lazily built metric space.
+type classWork struct {
+	cl    core.Class
+	order *big.Int
+	full  bool // order == 2^d: the factor never occurs
+	m1    bool // order == 2^d - 1: exactly one word contains the factor
+	small bool // enumerable under MaxN and the word-packing cap
+	sp    *space
+}
+
+func (w *classWork) space(d int) *space {
+	if w.sp == nil {
+		w.sp = newSpace(d, automaton.New(w.cl.Rep).Vertices(d))
+	}
+	return w.sp
+}
+
+// computePartition builds the partition from scratch, one verified merge
+// at a time. Congruence is transitive (composition of Hamming-preserving
+// bijections), so comparing each class against group leaders suffices.
+func computePartition(d int, classes []core.Class, opt Options) *Partition {
+	opt = opt.withDefaults()
+	full := new(big.Int).Lsh(big.NewInt(1), uint(d))
+	m1 := new(big.Int).Sub(full, big.NewInt(1))
+	maxN := big.NewInt(int64(opt.MaxN))
+
+	p := &Partition{D: d}
+	var leaders []*classWork
+	for _, cl := range classes {
+		w := &classWork{cl: cl, order: automaton.New(cl.Rep).CountVertices(d)}
+		w.full = w.order.Cmp(full) == 0
+		w.m1 = w.order.Cmp(m1) == 0
+		w.small = d <= maxEnumD && w.order.Cmp(maxN) <= 0
+		gi := -1
+		for li, lead := range leaders {
+			if congruent(d, lead, w, opt) {
+				gi = li
+				break
+			}
+		}
+		if gi < 0 {
+			gi = len(p.Groups)
+			p.Groups = append(p.Groups, Group{Leader: cl})
+			leaders = append(leaders, w)
+		}
+		p.Groups[gi].Members = append(p.Groups[gi].Members, cl)
+	}
+	p.index()
+	return p
+}
+
+// congruent runs the refinement ladder on one candidate pair. Every
+// "true" is backed by an explicit congruence: set identity, an XOR
+// translation, or a searched-and-reverified bijection.
+func congruent(d int, a, b *classWork, opt Options) bool {
+	if a.order.Cmp(b.order) != 0 {
+		return false
+	}
+	// Both vertex sets are all of {0,1}^d: the identity is a congruence.
+	if a.full {
+		return true
+	}
+	// Both are Q_d minus a single word: x ↦ x ⊕ (w_a ⊕ w_b) translates
+	// one missing word onto the other and preserves all Hamming
+	// distances.
+	if a.m1 {
+		return true
+	}
+	if !a.small || !b.small {
+		return false
+	}
+	sa, sb := a.space(d), b.space(d)
+	if wordsEqual(sa.words, sb.words) {
+		return true
+	}
+	if !sa.fp.Equal(sb.fp) {
+		return false
+	}
+	budget := opt.Budget
+	if budget <= 0 {
+		n := int64(sa.n())
+		budget = 8*n*n + 1<<20
+	}
+	m, ok := findCongruence(sa, sb, budget)
+	return ok && verifyCongruence(sa, sb, m)
+}
+
+func wordsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, w := range a {
+		if w != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -23,6 +23,7 @@ import (
 	"gfcube/internal/core"
 	"gfcube/internal/fabric"
 	"gfcube/internal/store"
+	"gfcube/internal/sweep"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -132,6 +133,7 @@ var endpointPaths = []string{
 	"/v1/simulate", "/v1/broadcast", "/v1/hamilton",
 	"/v1/sweep/classify", "/v1/sweep/survey", "/v1/sweep/count",
 	"/v1/sweep/fdim", "/v1/sweep/degrees", "/v1/sweep/wiener",
+	"/v1/sweep/isoclasses",
 	"/v1/fabric/lease", "/v1/fabric/report",
 	"/v1/admin/store", "/v1/admin/warm",
 }
@@ -234,6 +236,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweep/fdim", s.instrument("/v1/sweep/fdim", s.handleSweepFDim))
 	mux.HandleFunc("GET /v1/sweep/degrees", s.instrument("/v1/sweep/degrees", s.handleSweepDegrees))
 	mux.HandleFunc("GET /v1/sweep/wiener", s.instrument("/v1/sweep/wiener", s.handleSweepWiener))
+	mux.HandleFunc("GET /v1/sweep/isoclasses", s.instrument("/v1/sweep/isoclasses", s.handleSweepIsoClasses))
 	mux.HandleFunc("POST /v1/fabric/lease", s.instrument("/v1/fabric/lease", s.handleFabricLease))
 	mux.HandleFunc("DELETE /v1/fabric/lease", s.instrument("/v1/fabric/lease", s.handleFabricCancel))
 	mux.HandleFunc("GET /v1/fabric/report", s.instrument("/v1/fabric/report", s.handleFabricReport))
@@ -405,6 +408,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	batches, batched, shed := s.metrics.BatchTotals()
 	colReuse, colRebuild := core.ColumnCounters()
+	isoDedup, isoFanout := sweep.IsoCounters()
 	lanes := 0
 	if s.batcher != nil {
 		lanes = s.batcher.Lanes()
@@ -429,6 +433,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BatchLanes:      lanes,
 		ColumnReuse:     colReuse,
 		ColumnRebuild:   colRebuild,
+		IsoDedup:        isoDedup,
+		IsoFanout:       isoFanout,
 	}
 	if s.store != nil {
 		resp.Store = &StoreStatsResponse{

@@ -51,22 +51,34 @@ func collect[T any](ctx context.Context, tasks []Task, fn Func, opts Options) ([
 	return out, nil
 }
 
+// classifyFn is the per-cell task body of ClassifyGrid, shared with the
+// iso-dedup path so representative cells and recomputed member cells run
+// the exact same code as the oracle.
+func classifyFn(spec GridSpec) Func {
+	return func(ctx context.Context, s *core.Scratch, t Task) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return core.ClassifyCell(ctx, s, t.Class, t.D, spec.Method), nil
+	}
+}
+
 // ClassifyGrid evaluates the full (class, d) grid in parallel and returns
 // the cells in the same deterministic order as the serial
 // core.ClassifyAll: classes in (length, value) order, d ascending. This is
-// the E02 workload (Table 1) generalized to arbitrary bounds.
+// the E02 workload (Table 1) generalized to arbitrary bounds. With
+// opts.IsoDedup the grid is computed once per congruence group and fanned
+// out (see classifyGridIso); the output is identical either way.
 func ClassifyGrid(ctx context.Context, spec GridSpec, opts Options) ([]core.Cell, error) {
 	spec, err := spec.normalized()
 	if err != nil {
 		return nil, err
 	}
+	if opts.IsoDedup {
+		return classifyGridIso(ctx, spec, opts)
+	}
 	tasks := CellTasks(spec.MinLen, spec.MaxLen, spec.MinD, spec.MaxD)
-	return collect[core.Cell](ctx, tasks, func(ctx context.Context, s *core.Scratch, t Task) (any, error) {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		return core.ClassifyCell(ctx, s, t.Class, t.D, spec.Method), nil
-	}, opts)
+	return collect[core.Cell](ctx, tasks, classifyFn(spec), opts)
 }
 
 // SurveyRow is the per-class summary of a first-failure survey: the
@@ -80,20 +92,11 @@ type SurveyRow struct {
 	Theory string
 }
 
-// Survey runs the gfc-survey workload: for every canonical class of length
-// MinLen..MaxLen, scan d = max(MinD, |f|+1) .. MaxD until the first
-// non-isometric dimension (d <= |f| is always isometric by Lemma 2.1, so
-// the scan skips it). One task per class; within a task the scan stops at
-// the first failure, exactly like the serial survey, so no
-// symmetry-redundant or post-failure work is done.
-func Survey(ctx context.Context, spec GridSpec, opts Options) ([]SurveyRow, error) {
-	spec, err := spec.normalized()
-	if err != nil {
-		return nil, err
-	}
-	tasks := ClassTasks(spec.MinLen, spec.MaxLen)
-	return collect[SurveyRow](ctx, tasks, func(ctx context.Context, s *core.Scratch, t Task) (any, error) {
-		row := SurveyRow{Class: t.Class, Theory: "-"}
+// surveyFn is the per-class task body of Survey: scan for the first
+// failing dimension, then attach the paper's verdict.
+func surveyFn(spec GridSpec) Func {
+	return func(ctx context.Context, s *core.Scratch, t Task) (any, error) {
+		row := SurveyRow{Class: t.Class, Theory: surveyTheory(t.Class, spec.MaxD)}
 		start := t.Class.Rep.Len() + 1
 		if spec.MinD > start {
 			start = spec.MinD
@@ -107,11 +110,39 @@ func Survey(ctx context.Context, spec GridSpec, opts Options) ([]SurveyRow, erro
 				break
 			}
 		}
-		if cl := core.Classify(t.Class.Rep, spec.MaxD); cl.Verdict != core.Unknown {
-			row.Theory = cl.Reason
-		}
 		return row, nil
-	}, opts)
+	}
+}
+
+// surveyTheory is the Theory column of one survey row: the paper's
+// classification reason, or "-" when the paper does not decide the class.
+// It depends on the class label, so the iso-dedup path evaluates it per
+// member instead of copying it from the group leader.
+func surveyTheory(cl core.Class, maxD int) string {
+	if c := core.Classify(cl.Rep, maxD); c.Verdict != core.Unknown {
+		return c.Reason
+	}
+	return "-"
+}
+
+// Survey runs the gfc-survey workload: for every canonical class of length
+// MinLen..MaxLen, scan d = max(MinD, |f|+1) .. MaxD until the first
+// non-isometric dimension (d <= |f| is always isometric by Lemma 2.1, so
+// the scan skips it). One task per class; within a task the scan stops at
+// the first failure, exactly like the serial survey, so no
+// symmetry-redundant or post-failure work is done. With opts.IsoDedup one
+// scan per band-congruence group replaces the per-class scans (see
+// surveyIso).
+func Survey(ctx context.Context, spec GridSpec, opts Options) ([]SurveyRow, error) {
+	spec, err := spec.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if opts.IsoDedup {
+		return surveyIso(ctx, spec, opts)
+	}
+	tasks := ClassTasks(spec.MinLen, spec.MaxLen)
+	return collect[SurveyRow](ctx, tasks, surveyFn(spec), opts)
 }
 
 // CountRow is the counting sequence of one factor class: exact vertex,
@@ -130,7 +161,7 @@ func CountGrid(ctx context.Context, minLen, maxLen, maxD int, opts Options) ([]C
 	}
 	tasks := ClassTasks(minLen, maxLen)
 	return collect[CountRow](ctx, tasks, func(ctx context.Context, s *core.Scratch, t Task) (any, error) {
-		seq, err := core.CountSeqCtx(ctx, maxD, t.Class.Rep)
+		seq, err := s.CountSeq(ctx, maxD, t.Class.Rep)
 		if err != nil {
 			return nil, err
 		}
@@ -163,8 +194,16 @@ func DegreeGrid(ctx context.Context, spec GridSpec, opts Options) ([]DegreeCell,
 	if err != nil {
 		return nil, err
 	}
+	if opts.IsoDedup {
+		return degreeGridIso(ctx, spec, opts)
+	}
 	tasks := CellTasks(spec.MinLen, spec.MaxLen, spec.MinD, spec.MaxD)
-	return collect[DegreeCell](ctx, tasks, func(ctx context.Context, _ *core.Scratch, t Task) (any, error) {
+	return collect[DegreeCell](ctx, tasks, degreeFn(), opts)
+}
+
+// degreeFn is the per-cell task body of DegreeGrid.
+func degreeFn() Func {
+	return func(ctx context.Context, _ *core.Scratch, t Task) (any, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -184,7 +223,7 @@ func DegreeGrid(ctx context.Context, spec GridSpec, opts Options) ([]DegreeCell,
 			cell.MinDeg = 0
 		}
 		return cell, nil
-	}, opts)
+	}
 }
 
 // WienerCell pairs, for one (class, d) grid cell, the exact BFS Wiener
@@ -223,8 +262,16 @@ func WienerGrid(ctx context.Context, spec GridSpec, opts Options) ([]WienerCell,
 	if err != nil {
 		return nil, err
 	}
+	if opts.IsoDedup {
+		return wienerGridIso(ctx, spec, opts)
+	}
 	tasks := CellTasks(spec.MinLen, spec.MaxLen, spec.MinD, spec.MaxD)
-	return collect[WienerCell](ctx, tasks, func(ctx context.Context, s *core.Scratch, t Task) (any, error) {
+	return collect[WienerCell](ctx, tasks, wienerFn(), opts)
+}
+
+// wienerFn is the per-cell task body of WienerGrid.
+func wienerFn() Func {
+	return func(ctx context.Context, s *core.Scratch, t Task) (any, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -242,7 +289,7 @@ func WienerGrid(ctx context.Context, spec GridSpec, opts Options) ([]WienerCell,
 			cell.MeanDist = w / pairs
 		}
 		return cell, nil
-	}, opts)
+	}
 }
 
 // FDimRow is the f-dimension of a guest graph under one factor class.

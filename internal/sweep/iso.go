@@ -1,0 +1,290 @@
+package sweep
+
+import (
+	"context"
+	"math/big"
+	"sync/atomic"
+
+	"gfcube/internal/bitstr"
+	"gfcube/internal/core"
+	"gfcube/internal/iso"
+)
+
+// Iso-dedup execution. The complement/reversal symmetry already folds the
+// factor universe ~4x (core.Classes); the iso package's verified
+// Hamming-congruence partition folds the surviving grid further, because
+// distinct canonical classes can still induce congruent cubes at a given
+// dimension (e.g. Q_5(0001) and Q_5(0011)). The paths below compute each
+// grid cell once per congruence group and fan the payload out to the
+// member classes. Everything fanned is congruence-invariant — verdicts,
+// orders, degree profiles, connectivity, both Wiener sums, first-failure
+// dimensions — so the output is byte-identical to the non-deduped oracle.
+// The two payload components that are NOT invariant are recomputed per
+// member: violating-pair witnesses (concrete vertex labels) and the
+// survey's Theory column (the paper's per-class citation).
+
+// isoDedupTotal counts member cells whose computation was elided because a
+// congruence-group leader covers them; isoFanoutTotal counts the result
+// copies actually delivered for such cells. The difference is the number
+// of member cells that were recomputed after all to restore a
+// label-dependent witness. Exported to /metrics as
+// gfc_sweep_iso_dedup_total and gfc_sweep_iso_fanout_total.
+var (
+	isoDedupTotal  atomic.Uint64
+	isoFanoutTotal atomic.Uint64
+)
+
+// IsoCounters reports the process-wide iso-dedup tallies: cells whose
+// computation was planned away (dedup) and result copies delivered by
+// fan-out (fanout). dedup - fanout cells were recomputed for witnesses.
+func IsoCounters() (dedup, fanout uint64) {
+	return isoDedupTotal.Load(), isoFanoutTotal.Load()
+}
+
+// isoPlan maps every cell of a (class, d) grid to the cell that computes
+// it. Cells are indexed i = classIndex*nD + dIndex — the CellTasks /
+// ClassifyGrid output order — and rep[i] is the index of the congruence
+// leader's cell at the same dimension (rep[i] == i for leaders). Leaders
+// are grid-first within their group, so rep[i] <= i always.
+type isoPlan struct {
+	classes []core.Class
+	nD      int
+	minD    int
+	rep     []int
+}
+
+func planIso(spec GridSpec) *isoPlan {
+	classes := core.Classes(spec.MinLen, spec.MaxLen)
+	nD := spec.MaxD - spec.MinD + 1
+	p := &isoPlan{classes: classes, nD: nD, minD: spec.MinD, rep: make([]int, len(classes)*nD)}
+	idx := make(map[bitstr.Word]int, len(classes))
+	for ci, cl := range classes {
+		idx[cl.Rep] = ci
+	}
+	for di := 0; di < nD; di++ {
+		part := iso.At(spec.MinD+di, classes)
+		for ci := range classes {
+			li := idx[part.Leader(classes[ci].Rep)]
+			p.rep[ci*nD+di] = li*nD + di
+		}
+	}
+	return p
+}
+
+// repTasks lists the leader cells in grid order. Contiguous same-class
+// runs survive the filtering, so the engine's column-affine grouping still
+// applies.
+func (p *isoPlan) repTasks() []Task {
+	var tasks []Task
+	for i, r := range p.rep {
+		if r == i {
+			tasks = append(tasks, Task{Class: p.classes[i/p.nD], D: p.minD + i%p.nD})
+		}
+	}
+	return tasks
+}
+
+// classifyGridIso is ClassifyGrid deduplicated by congruence groups in two
+// phases. Phase 1 computes the leader cells. Members of positive
+// (isometric) leaders are fanned as-is — a positive cell is fully
+// determined by (class, d, verdict). Members of negative leaders inherit
+// the verdict but not the witness, whose vertex labels are specific to the
+// leader's cube; phase 2 recomputes those member cells so each reports its
+// own deterministic violating pair, exactly as the oracle would.
+func classifyGridIso(ctx context.Context, spec GridSpec, opts Options) ([]core.Cell, error) {
+	plan := planIso(spec)
+	fn := classifyFn(spec)
+	repCells, err := collect[core.Cell](ctx, plan.repTasks(), fn, opts)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]core.Cell, len(plan.rep))
+	k := 0
+	for i, r := range plan.rep {
+		if r == i {
+			cells[i] = repCells[k]
+			k++
+		}
+	}
+	var redo []Task
+	var redoIdx []int
+	var dedup, fanout uint64
+	for i, r := range plan.rep {
+		if r == i {
+			continue
+		}
+		dedup++
+		cl, d := plan.classes[i/plan.nD], plan.minD+i%plan.nD
+		if cells[r].Isometric {
+			cells[i] = core.Cell{Class: cl, D: d, Isometric: true}
+			fanout++
+			continue
+		}
+		redo = append(redo, Task{Class: cl, D: d})
+		redoIdx = append(redoIdx, i)
+	}
+	if len(redo) > 0 {
+		redoCells, err := collect[core.Cell](ctx, redo, fn, opts)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range redoIdx {
+			cells[i] = redoCells[j]
+		}
+	}
+	isoDedupTotal.Add(dedup)
+	isoFanoutTotal.Add(fanout)
+	return cells, nil
+}
+
+// degreeGridIso is DegreeGrid deduplicated by congruence groups. Order and
+// the degree histogram are congruence invariants (a congruence is a graph
+// isomorphism), so every member cell is a relabeled copy of its leader's;
+// the Dist slice is cloned so cells do not alias.
+func degreeGridIso(ctx context.Context, spec GridSpec, opts Options) ([]DegreeCell, error) {
+	plan := planIso(spec)
+	repCells, err := collect[DegreeCell](ctx, plan.repTasks(), degreeFn(), opts)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]DegreeCell, len(plan.rep))
+	k := 0
+	for i, r := range plan.rep {
+		if r == i {
+			cells[i] = repCells[k]
+			k++
+		}
+	}
+	var dedup uint64
+	for i, r := range plan.rep {
+		if r == i {
+			continue
+		}
+		dedup++
+		cell := cells[r]
+		cell.Class = plan.classes[i/plan.nD]
+		cell.Dist = append([]int64(nil), cells[r].Dist...)
+		cells[i] = cell
+	}
+	isoDedupTotal.Add(dedup)
+	isoFanoutTotal.Add(dedup)
+	return cells, nil
+}
+
+// wienerGridIso is WienerGrid deduplicated by congruence groups. The exact
+// Wiener index transfers because a congruence preserves graph distances;
+// the Hamming sum transfers because it preserves Hamming distances — both
+// directions of the same certificate. The big.Int payloads are cloned so
+// cells do not alias.
+func wienerGridIso(ctx context.Context, spec GridSpec, opts Options) ([]WienerCell, error) {
+	plan := planIso(spec)
+	repCells, err := collect[WienerCell](ctx, plan.repTasks(), wienerFn(), opts)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]WienerCell, len(plan.rep))
+	k := 0
+	for i, r := range plan.rep {
+		if r == i {
+			cells[i] = repCells[k]
+			k++
+		}
+	}
+	var dedup uint64
+	for i, r := range plan.rep {
+		if r == i {
+			continue
+		}
+		dedup++
+		cell := cells[r]
+		cell.Class = plan.classes[i/plan.nD]
+		cell.Wiener = new(big.Int).Set(cells[r].Wiener)
+		cell.WienerHamming = new(big.Int).Set(cells[r].WienerHamming)
+		cells[i] = cell
+	}
+	isoDedupTotal.Add(dedup)
+	isoFanoutTotal.Add(dedup)
+	return cells, nil
+}
+
+// surveyIso is Survey deduplicated by the band congruence partition: one
+// first-failure scan per group over [MinD, MaxD]. Band congruence holds at
+// every dimension of the band, so the leader's verdict at each scanned d
+// transfers to every member; dimensions below a member's own scan start
+// are isometric unconditionally (Lemma 2.1). FirstFail therefore transfers
+// exactly. The Theory column cites the paper per class label, so it is
+// evaluated per member rather than copied.
+func surveyIso(ctx context.Context, spec GridSpec, opts Options) ([]SurveyRow, error) {
+	classes := core.Classes(spec.MinLen, spec.MaxLen)
+	part := iso.Band(spec.MinD, spec.MaxD, classes)
+	var tasks []Task
+	leadIdx := make(map[bitstr.Word]int)
+	for _, cl := range classes {
+		if part.Leader(cl.Rep) == cl.Rep {
+			leadIdx[cl.Rep] = len(tasks)
+			tasks = append(tasks, Task{Class: cl, D: -1})
+		}
+	}
+	repRows, err := collect[SurveyRow](ctx, tasks, surveyFn(spec), opts)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SurveyRow, len(classes))
+	var dedup uint64
+	for i, cl := range classes {
+		lead := part.Leader(cl.Rep)
+		rep := repRows[leadIdx[lead]]
+		if lead == cl.Rep {
+			rows[i] = rep
+			continue
+		}
+		dedup++
+		rows[i] = SurveyRow{
+			Class:     cl,
+			FirstFail: rep.FirstFail,
+			Theory:    surveyTheory(cl, spec.MaxD),
+		}
+	}
+	isoDedupTotal.Add(dedup)
+	isoFanoutTotal.Add(dedup)
+	return rows, nil
+}
+
+// IsoClassRow is the congruence partition of one dimension of a grid:
+// every canonical class grouped with the classes whose Q_d(f) it is
+// congruent to. Members list representative strings, group leader first,
+// groups in grid order. This is the payload of /v1/sweep/isoclasses.
+type IsoClassRow struct {
+	D       int        `json:"d"`
+	Classes int        `json:"classes"`
+	Groups  int        `json:"groups"`
+	Members [][]string `json:"members"`
+}
+
+// IsoClassGrid reports the per-dimension congruence partitions of the
+// spec's grid without computing any cells — the planning view of the
+// iso-dedup sweeps above. The spec's Method is ignored.
+func IsoClassGrid(ctx context.Context, spec GridSpec) ([]IsoClassRow, error) {
+	spec, err := spec.normalized()
+	if err != nil {
+		return nil, err
+	}
+	classes := core.Classes(spec.MinLen, spec.MaxLen)
+	rows := make([]IsoClassRow, 0, spec.MaxD-spec.MinD+1)
+	for d := spec.MinD; d <= spec.MaxD; d++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p := iso.At(d, classes)
+		row := IsoClassRow{D: d, Classes: len(classes), Groups: p.NumGroups()}
+		for _, g := range p.Groups {
+			members := make([]string, len(g.Members))
+			for i, m := range g.Members {
+				members[i] = m.Rep.String()
+			}
+			row.Members = append(row.Members, members)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

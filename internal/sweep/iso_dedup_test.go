@@ -1,0 +1,194 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"gfcube/internal/core"
+)
+
+// Iso-dedup is an optimization with a hard contract: output byte-identical
+// to the non-deduped oracle. Every test here runs the same spec through
+// both paths and diffs with reflect.DeepEqual, which follows the Witness
+// pointers and big.Int payloads.
+
+func TestClassifyGridIsoMatchesOracle(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec GridSpec
+	}{
+		{"exact-len4-d7", GridSpec{MaxLen: 4, MaxD: 7, Method: core.MethodExact}},
+		{"exact-len5-d7", GridSpec{MaxLen: 5, MaxD: 7, Method: core.MethodExact}},
+		{"screen-len5-d9", GridSpec{MaxLen: 5, MaxD: 9, Method: core.MethodScreen}},
+		{"quick-len3-5-d3-8", GridSpec{MinLen: 3, MaxLen: 5, MinD: 3, MaxD: 8, Method: core.MethodQuick}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if testing.Short() && tc.spec.MaxD > 7 {
+				t.Skip("large grid")
+			}
+			want, err := ClassifyGrid(context.Background(), tc.spec, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 8} {
+				got, err := ClassifyGrid(context.Background(), tc.spec, Options{Workers: workers, IsoDedup: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				diffCells(t, got, want)
+			}
+		})
+	}
+}
+
+func diffCells(t *testing.T, got, want []core.Cell) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d cells, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("cell %d (%s d=%d): iso-dedup %+v, oracle %+v",
+				i, want[i].Rep, want[i].D, got[i], want[i])
+		}
+	}
+}
+
+func TestSurveyIsoMatchesOracle(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec GridSpec
+	}{
+		{"len5-d9", GridSpec{MaxLen: 5, MaxD: 9, Method: core.MethodExact}},
+		{"len2-4-d4-8", GridSpec{MinLen: 2, MaxLen: 4, MinD: 4, MaxD: 8, Method: core.MethodScreen}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if testing.Short() && tc.spec.MaxD > 8 {
+				t.Skip("large survey")
+			}
+			want, err := Survey(context.Background(), tc.spec, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Survey(context.Background(), tc.spec, Options{Workers: 4, IsoDedup: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("iso-dedup survey diverges:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestDegreeGridIsoMatchesOracle(t *testing.T) {
+	spec := GridSpec{MaxLen: 5, MaxD: 8}
+	want, err := DegreeGrid(context.Background(), spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DegreeGrid(context.Background(), spec, Options{Workers: 4, IsoDedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("iso-dedup degree grid diverges from oracle")
+	}
+	// Fanned Dist slices must not alias their leader's.
+	for i := range got {
+		for j := range got {
+			if i != j && len(got[i].Dist) > 0 && len(got[j].Dist) > 0 &&
+				&got[i].Dist[0] == &got[j].Dist[0] {
+				t.Fatalf("cells %d and %d share a Dist backing array", i, j)
+			}
+		}
+	}
+}
+
+func TestWienerGridIsoMatchesOracle(t *testing.T) {
+	spec := GridSpec{MaxLen: 4, MaxD: 7}
+	want, err := WienerGrid(context.Background(), spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := WienerGrid(context.Background(), spec, Options{Workers: 4, IsoDedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d cells, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Class != w.Class || g.D != w.D || g.Order != w.Order ||
+			g.Connected != w.Connected || g.Match != w.Match || g.MeanDist != w.MeanDist ||
+			g.Wiener.Cmp(w.Wiener) != 0 || g.WienerHamming.Cmp(w.WienerHamming) != 0 {
+			t.Errorf("cell %d (%s d=%d): iso-dedup %+v, oracle %+v", i, w.Class.Rep, w.D, g, w)
+		}
+	}
+	for i := range got {
+		for j := range got {
+			if i != j && (got[i].Wiener == got[j].Wiener || got[i].WienerHamming == got[j].WienerHamming) {
+				t.Fatalf("cells %d and %d share a big.Int", i, j)
+			}
+		}
+	}
+}
+
+// TestIsoDedupComputeReduction pins the acceptance bar of the iso-dedup
+// mode: on the |f| <= 5, d <= 7 classification grid it must decide at
+// least 2x fewer cells than the complement/reversal symmetry alone. The
+// cell counts are asserted exactly so the census cannot silently shrink:
+// 154 grid cells fold into 68 congruence-group leaders, and 4 member
+// cells come back in phase 2 for their own negative witnesses — 72
+// decided cells, a 2.14x reduction.
+func TestIsoDedupComputeReduction(t *testing.T) {
+	spec := GridSpec{MaxLen: 5, MaxD: 7, Method: core.MethodExact}
+	d0, f0 := IsoCounters()
+	cells, err := ClassifyGrid(context.Background(), spec, Options{Workers: 4, IsoDedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, f1 := IsoCounters()
+	total := len(cells)
+	dedup, fanout := int(d1-d0), int(f1-f0)
+	computed := total - fanout
+	if total != 154 || dedup != 86 || fanout != 82 || computed != 72 {
+		t.Errorf("total=%d dedup=%d fanout=%d computed=%d, want 154/86/82/72",
+			total, dedup, fanout, computed)
+	}
+	if 2*computed > total {
+		t.Errorf("iso-dedup decided %d of %d cells; want at least a 2x reduction", computed, total)
+	}
+}
+
+func TestIsoClassGrid(t *testing.T) {
+	rows, err := IsoClassGrid(context.Background(), GridSpec{MaxLen: 5, MaxD: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows: %d, want 7", len(rows))
+	}
+	// Group counts of the verified |f| <= 5 census, d = 1..7.
+	wantGroups := []int{2, 3, 5, 8, 11, 17, 22}
+	for i, row := range rows {
+		if row.D != i+1 || row.Classes != 22 {
+			t.Fatalf("row %d: D=%d Classes=%d, want D=%d Classes=22", i, row.D, row.Classes, i+1)
+		}
+		if row.Groups != wantGroups[i] {
+			t.Errorf("d=%d: %d groups, want %d", row.D, row.Groups, wantGroups[i])
+		}
+		if len(row.Members) != row.Groups {
+			t.Errorf("d=%d: %d member lists for %d groups", row.D, len(row.Members), row.Groups)
+		}
+		seen := 0
+		for _, g := range row.Members {
+			seen += len(g)
+		}
+		if seen != row.Classes {
+			t.Errorf("d=%d: member lists cover %d classes, want %d", row.D, seen, row.Classes)
+		}
+	}
+}
